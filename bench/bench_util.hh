@@ -1,0 +1,311 @@
+/**
+ * @file
+ * Shared plumbing for the reproduction benches: one-time trace
+ * generation with on-disk caching (generate once, sweep many times —
+ * the paper's own methodology), a fixed-width table printer, and the
+ * paper's published numbers for side-by-side comparison.
+ *
+ * Environment knobs:
+ *   CCP_TRACE_DIR  cache directory (default ./ccp_traces)
+ *   CCP_SCALE      workload iteration scale (default 1.0)
+ *   CCP_SEED       workload seed (default 0x5eed)
+ */
+
+#ifndef CCP_BENCH_BENCH_UTIL_HH
+#define CCP_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hh"
+#include "workloads/registry.hh"
+
+namespace ccp::benchutil {
+
+inline double
+envScale()
+{
+    const char *s = std::getenv("CCP_SCALE");
+    return s ? std::atof(s) : 1.0;
+}
+
+inline std::uint64_t
+envSeed()
+{
+    const char *s = std::getenv("CCP_SEED");
+    return s ? std::strtoull(s, nullptr, 0) : 0x5eed;
+}
+
+inline std::string
+traceDir()
+{
+    const char *d = std::getenv("CCP_TRACE_DIR");
+    return d ? d : "ccp_traces";
+}
+
+/**
+ * Load the seven-benchmark suite from the trace cache, generating and
+ * saving any missing traces.  All benches share the cache, so the
+ * suite is generated exactly once per (seed, scale).
+ */
+inline std::vector<trace::SharingTrace>
+loadOrGenerateSuite()
+{
+    const double scale = envScale();
+    const std::uint64_t seed = envSeed();
+    const std::string dir = traceDir();
+    std::filesystem::create_directories(dir);
+
+    std::vector<trace::SharingTrace> suite;
+    for (const auto &name : workloads::workloadNames()) {
+        std::ostringstream file;
+        file << dir << '/' << name << "_s" << std::hex << seed
+             << std::dec << "_x" << scale << ".trace";
+
+        trace::SharingTrace tr;
+        if (tr.loadFile(file.str())) {
+            suite.push_back(std::move(tr));
+            continue;
+        }
+        std::fprintf(stderr, "[bench] generating %s (scale %.2f)...\n",
+                     name.c_str(), scale);
+        workloads::WorkloadParams params;
+        params.seed = seed;
+        params.scale = scale;
+        tr = workloads::generateTrace(name, params);
+        if (!tr.saveFile(file.str()))
+            std::fprintf(stderr, "[bench] warning: cannot cache %s\n",
+                         file.str().c_str());
+        suite.push_back(std::move(tr));
+    }
+    return suite;
+}
+
+/** Minimal fixed-width column table printer. */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers)
+        : headers_(std::move(headers))
+    {
+    }
+
+    void
+    addRow(std::vector<std::string> cells)
+    {
+        rows_.push_back(std::move(cells));
+    }
+
+    void
+    print() const
+    {
+        std::vector<std::size_t> width(headers_.size());
+        for (std::size_t c = 0; c < headers_.size(); ++c)
+            width[c] = headers_[c].size();
+        for (const auto &row : rows_)
+            for (std::size_t c = 0; c < row.size(); ++c)
+                width[c] = std::max(width[c], row[c].size());
+
+        auto line = [&](const std::vector<std::string> &cells) {
+            for (std::size_t c = 0; c < cells.size(); ++c)
+                std::printf("%-*s%s", static_cast<int>(width[c]),
+                            cells[c].c_str(),
+                            c + 1 == cells.size() ? "\n" : "  ");
+        };
+        line(headers_);
+        std::size_t total = headers_.size() * 2;
+        for (auto w : width)
+            total += w;
+        std::printf("%s\n", std::string(total, '-').c_str());
+        for (const auto &row : rows_)
+            line(row);
+    }
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string
+fmt(double v, int prec = 2)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+    return buf;
+}
+
+inline std::string
+fmtU(std::uint64_t v)
+{
+    return std::to_string(v);
+}
+
+/** The paper's Table 5 rows (per benchmark). */
+struct PaperTable5
+{
+    const char *name;
+    std::uint64_t maxStaticStores;
+    std::uint64_t maxPredictedStores;
+    std::uint64_t blocksTouched;
+    std::uint64_t storeMisses;
+};
+
+inline const std::vector<PaperTable5> &
+paperTable5()
+{
+    static const std::vector<PaperTable5> rows = {
+        {"barnes", 164, 61, 22241, 161911},
+        {"em3d", 35, 23, 51889, 262451},
+        {"gauss", 21, 13, 32946, 129528},
+        {"mp3d", 160, 71, 30182, 212828},
+        {"ocean", 380, 230, 239861, 2871656},
+        {"unstruct", 69, 67, 2832, 633607},
+        {"water", 69, 27, 2896, 172925},
+    };
+    return rows;
+}
+
+/** The paper's Table 6 rows. */
+struct PaperTable6
+{
+    const char *name;
+    std::uint64_t sharingEvents;
+    std::uint64_t sharingDecisions;
+    double prevalencePct;
+};
+
+inline const std::vector<PaperTable6> &
+paperTable6()
+{
+    static const std::vector<PaperTable6> rows = {
+        {"barnes", 391085, 2590576, 15.10},
+        {"em3d", 133926, 4199216, 3.19},
+        {"gauss", 205666, 2072448, 9.92},
+        {"mp3d", 306990, 3405248, 9.02},
+        {"ocean", 983085, 45946496, 2.14},
+        {"unstruct", 1300764, 10137712, 12.83},
+        {"water", 335482, 2766800, 12.13},
+    };
+    return rows;
+}
+
+/** The paper's Table 7 rows (prior schemes). */
+struct PaperTable7
+{
+    const char *description;
+    const char *scheme;
+    const char *update;
+    int sizeLog2;
+    double sensitivity;
+    double pvp;
+};
+
+inline const std::vector<PaperTable7> &
+paperTable7()
+{
+    static const std::vector<PaperTable7> rows = {
+        {"baseline-last", "last()1", "direct", 0, 0.57, 0.66},
+        {"Kaxiras-instr.-last", "last(pid+pc8)1", "direct", 16, 0.57,
+         0.66},
+        {"Kaxiras-instr.-inter.", "inter(pid+pc8)2", "direct", 17, 0.45,
+         0.80},
+        {"Lai-address+pid-last", "last(pid+mem8)1", "direct", 16, 0.57,
+         0.66},
+        {"Kaxiras-instr.-last", "last(pid+pc8)1", "forwarded", 16, 0.51,
+         0.61},
+        {"Kaxiras-instr.-inter.", "inter(pid+pc8)2", "forwarded", 17,
+         0.43, 0.80},
+        {"Lai-address+pid-last", "last(pid+mem8)1", "forwarded", 16,
+         0.55, 0.66},
+    };
+    return rows;
+}
+
+/** One row of the paper's top-10 Tables 8-11. */
+struct PaperTopTen
+{
+    const char *scheme;
+    int sizeLog2;
+    double pvp;
+    double sens;
+};
+
+inline const std::vector<PaperTopTen> &
+paperTable8()
+{
+    static const std::vector<PaperTopTen> rows = {
+        {"inter(pid+add6)4", 16, 0.93, 0.32},
+        {"inter(pid+pc2+add6)4", 18, 0.92, 0.34},
+        {"inter(pid+add8)4", 18, 0.92, 0.32},
+        {"inter(pid+pc4+add6)4", 20, 0.91, 0.36},
+        {"inter(pid+add10)4", 20, 0.91, 0.33},
+        {"inter(pid+pc2+add8)4", 20, 0.91, 0.33},
+        {"inter(pid+add4)4", 14, 0.90, 0.32},
+        {"inter(pid+pc6+add6)4", 22, 0.90, 0.37},
+        {"inter(pid+add8)3", 18, 0.90, 0.36},
+        {"inter(pid+pc4+add4)4", 18, 0.90, 0.36},
+    };
+    return rows;
+}
+
+inline const std::vector<PaperTopTen> &
+paperTable9()
+{
+    static const std::vector<PaperTopTen> rows = {
+        {"inter(pid+pc8+add6)4", 24, 0.94, 0.36},
+        {"inter(pid+pc6+add6)4", 22, 0.94, 0.36},
+        {"inter(pid+pc6+dir+add4)4", 24, 0.94, 0.34},
+        {"inter(pid+pc10+add4)4", 24, 0.93, 0.37},
+        {"inter(pid+pc4+dir+add4)4", 22, 0.93, 0.34},
+        {"inter(pid+pc4+add6)4", 20, 0.93, 0.35},
+        {"inter(pid+pc6+add8)4", 24, 0.93, 0.35},
+        {"inter(pid+pc8+add4)4", 22, 0.93, 0.36},
+        {"inter(pid+pc4+dir+add6)4", 24, 0.93, 0.33},
+        {"inter(pid+pc6+add4)4", 20, 0.93, 0.36},
+    };
+    return rows;
+}
+
+inline const std::vector<PaperTopTen> &
+paperTable10()
+{
+    static const std::vector<PaperTopTen> rows = {
+        {"union(dir+add14)4", 24, 0.47, 0.68},
+        {"union(add16)4", 22, 0.45, 0.67},
+        {"union(dir+add12)4", 22, 0.45, 0.67},
+        {"union(dir+add10)4", 20, 0.42, 0.67},
+        {"union(dir+add2)4", 12, 0.39, 0.67},
+        {"union(dir+add8)4", 18, 0.41, 0.67},
+        {"union(pc2+dir+add6)4", 18, 0.39, 0.67},
+        {"union(add14)4", 20, 0.42, 0.67},
+        {"union(pc4+dir)4", 14, 0.40, 0.66},
+        {"union(pc2+dir+add2)4", 14, 0.40, 0.66},
+    };
+    return rows;
+}
+
+inline const std::vector<PaperTopTen> &
+paperTable11()
+{
+    static const std::vector<PaperTopTen> rows = {
+        {"union(dir+add14)4", 24, 0.47, 0.68},
+        {"union(pid+dir+add4)4", 18, 0.46, 0.68},
+        {"union(pid+dir+add2)4", 16, 0.46, 0.68},
+        {"union(add16)4", 22, 0.45, 0.67},
+        {"union(dir+add12)4", 22, 0.45, 0.67},
+        {"union(dir+add10)4", 20, 0.42, 0.67},
+        {"union(dir+add2)4", 12, 0.39, 0.67},
+        {"union(pid+dir+add6)4", 20, 0.47, 0.67},
+        {"union(dir+add8)4", 18, 0.41, 0.67},
+        {"union(pid+add6)4", 16, 0.43, 0.67},
+    };
+    return rows;
+}
+
+} // namespace ccp::benchutil
+
+#endif // CCP_BENCH_BENCH_UTIL_HH

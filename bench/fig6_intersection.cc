@@ -1,0 +1,18 @@
+/**
+ * @file
+ * Reproduces Figure 6: intersection prediction (history depth 2,
+ * 16-bit max index) under direct, forwarded, and ordered update.
+ * Expected shape: PVP curve above sensitivity; pid indexing lifts
+ * both; pc-only indexing is poor.
+ */
+
+#include "figure_common.hh"
+
+int
+main()
+{
+    using namespace ccp;
+    return benchutil::runFigure(
+        "Figure 6: intersection prediction, depth 2, 16-bit max index",
+        predict::FunctionKind::Inter, 2, sweep::figureIndexSeries16());
+}

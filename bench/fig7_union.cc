@@ -1,0 +1,19 @@
+/**
+ * @file
+ * Reproduces Figure 7: union prediction (history depth 2, 16-bit max
+ * index) under direct, forwarded, and ordered update.  Expected
+ * shape: like Figure 6 but with the sensitivity curve above the PVP
+ * curve — union makes more, but less good, predictions.
+ */
+
+#include "figure_common.hh"
+
+int
+main()
+{
+    using namespace ccp;
+    int rc = benchutil::runFigure(
+        "Figure 7: union prediction, depth 2, 16-bit max index",
+        predict::FunctionKind::Union, 2, sweep::figureIndexSeries16());
+    return rc;
+}

@@ -1,0 +1,19 @@
+/**
+ * @file
+ * Reproduces Figure 8: two-level PAs prediction (history depth 1,
+ * 12-bit max index — PAs entries are inherently expensive) under
+ * direct, forwarded, and ordered update.  Expected shape: PAs
+ * benefits from pid indexing but never beats the window predictors;
+ * the SPLASH traces contain no patterns for it to exploit.
+ */
+
+#include "figure_common.hh"
+
+int
+main()
+{
+    using namespace ccp;
+    return benchutil::runFigure(
+        "Figure 8: PAs prediction, depth 1, 12-bit max index",
+        predict::FunctionKind::PAs, 1, sweep::figureIndexSeries12());
+}

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Microbenchmarks (google-benchmark) of the library itself: predictor
+ * lookup/update throughput per function family, full-trace evaluation
+ * rate, protocol-engine op rate, and torus accounting — the numbers
+ * that bound how large a design-space sweep is practical.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hh"
+#include "mem/protocol.hh"
+#include "predict/evaluator.hh"
+#include "sweep/name.hh"
+#include "workloads/registry.hh"
+
+namespace {
+
+using namespace ccp;
+
+/** A reusable synthetic trace with realistic low prevalence. */
+const trace::SharingTrace &
+syntheticTrace()
+{
+    static const trace::SharingTrace tr = [] {
+        trace::SharingTrace t("synthetic", 16);
+        Rng rng(1);
+        std::vector<trace::CoherenceEvent> last(4096);
+        std::vector<bool> seen(4096, false);
+        for (int i = 0; i < 200000; ++i) {
+            trace::CoherenceEvent ev;
+            ev.block = rng.below(4096);
+            ev.pid = static_cast<NodeId>(rng.below(16));
+            ev.pc = 0x400 + 4 * rng.below(64);
+            ev.dir = static_cast<NodeId>(ev.block % 16);
+            std::uint64_t readers = 0;
+            // ~1.5 readers per event on average.
+            while (rng.chance(0.6))
+                readers |= 1ull << rng.below(16);
+            readers &= ~(1ull << ev.pid);
+            ev.readers = SharingBitmap(readers);
+            if (seen[ev.block]) {
+                ev.invalidated = last[ev.block].readers;
+                ev.prevWriterPid = last[ev.block].pid;
+                ev.prevWriterPc = last[ev.block].pc;
+                ev.hasPrevWriter = true;
+            }
+            seen[ev.block] = true;
+            last[ev.block] = ev;
+            t.append(ev);
+        }
+        return t;
+    }();
+    return tr;
+}
+
+predict::SchemeSpec
+schemeOf(const char *text)
+{
+    auto parsed = sweep::parseScheme(text);
+    if (!parsed)
+        std::abort();
+    return parsed->scheme;
+}
+
+void
+BM_TablePredictUpdate(benchmark::State &state, const char *text)
+{
+    auto scheme = schemeOf(text);
+    auto table = scheme.makeTable(16);
+    Rng rng(2);
+    std::uint64_t ops = 0;
+    for (auto _ : state) {
+        NodeId pid = static_cast<NodeId>(rng.below(16));
+        Pc pc = 0x400 + 4 * rng.below(64);
+        Addr block = rng.below(4096);
+        auto pred = table.predict(pid, pc, block % 16, block);
+        benchmark::DoNotOptimize(pred);
+        table.update(pid, pc, block % 16, block,
+                     SharingBitmap(rng() & 0xffff));
+        ++ops;
+    }
+    state.SetItemsProcessed(ops);
+}
+
+BENCHMARK_CAPTURE(BM_TablePredictUpdate, last, "last(pid+add8)1");
+BENCHMARK_CAPTURE(BM_TablePredictUpdate, union4, "union(dir+add12)4");
+BENCHMARK_CAPTURE(BM_TablePredictUpdate, inter4, "inter(pid+pc4+add6)4");
+BENCHMARK_CAPTURE(BM_TablePredictUpdate, pas2, "pas(pid+add4)2");
+
+void
+BM_EvaluateTrace(benchmark::State &state, const char *text,
+                 int mode_int)
+{
+    const auto &tr = syntheticTrace();
+    auto scheme = schemeOf(text);
+    auto table = scheme.makeTable(16);
+    auto mode = static_cast<predict::UpdateMode>(mode_int);
+    for (auto _ : state) {
+        auto conf = predict::evaluateTrace(tr, table, mode);
+        benchmark::DoNotOptimize(conf);
+    }
+    state.SetItemsProcessed(state.iterations() * tr.events().size());
+}
+
+BENCHMARK_CAPTURE(BM_EvaluateTrace, union2_direct,
+                  "union(pid+dir+add4)2", 0);
+BENCHMARK_CAPTURE(BM_EvaluateTrace, inter4_forwarded,
+                  "inter(pid+pc4+add6)4", 1);
+BENCHMARK_CAPTURE(BM_EvaluateTrace, union1_ordered, "last(pid+add8)1",
+                  2);
+BENCHMARK_CAPTURE(BM_EvaluateTrace, pas2_direct, "pas(pid+add4)2", 0);
+
+void
+BM_ProtocolOps(benchmark::State &state)
+{
+    mem::MachineConfig cfg;
+    trace::SharingTrace tr("bm", 16);
+    mem::CoherenceController ctl(cfg, &tr);
+    Rng rng(3);
+    std::uint64_t ops = 0;
+    for (auto _ : state) {
+        NodeId node = static_cast<NodeId>(rng.below(16));
+        Addr addr = blockBase(rng.below(1 << 14));
+        if (rng.chance(0.3))
+            ctl.write(node, addr, 0x400 + 4 * rng.below(32));
+        else
+            ctl.read(node, addr);
+        ++ops;
+    }
+    state.SetItemsProcessed(ops);
+}
+
+BENCHMARK(BM_ProtocolOps);
+
+void
+BM_WorkloadGeneration(benchmark::State &state)
+{
+    workloads::WorkloadParams params;
+    params.scale = 0.05;
+    std::uint64_t ops = 0;
+    for (auto _ : state) {
+        auto tr = workloads::generateTrace("mp3d", params);
+        ops += tr.meta().totalOps;
+        benchmark::DoNotOptimize(tr);
+    }
+    state.SetItemsProcessed(ops);
+}
+
+BENCHMARK(BM_WorkloadGeneration)->Unit(benchmark::kMillisecond);
+
+void
+BM_TorusMessage(benchmark::State &state)
+{
+    net::Torus2D torus(4, 4);
+    Rng rng(4);
+    for (auto _ : state) {
+        auto hops = torus.sendMessage(
+            static_cast<NodeId>(rng.below(16)),
+            static_cast<NodeId>(rng.below(16)), 72);
+        benchmark::DoNotOptimize(hops);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+BENCHMARK(BM_TorusMessage);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,19 @@
+/**
+ * @file
+ * Reproduces Table 10: the ten most sensitive schemes under direct
+ * update.  Expected shape: all maximum-depth union schemes with
+ * comparable sensitivity but varied PVP; cheap dir+addr unions rank
+ * remarkably well.
+ */
+
+#include "topten_common.hh"
+
+int
+main()
+{
+    using namespace ccp;
+    return benchutil::runTopTen(
+        "Table 10: top 10 sensitivity, direct update",
+        predict::UpdateMode::Direct, sweep::RankBy::Sensitivity,
+        benchutil::paperTable10());
+}

@@ -1,0 +1,19 @@
+/**
+ * @file
+ * Reproduces Table 11: the ten most sensitive schemes under forwarded
+ * update.  Expected shape: deep unions again, heavily overlapping
+ * Table 10's list (update mechanism matters little for union
+ * sensitivity).
+ */
+
+#include "topten_common.hh"
+
+int
+main()
+{
+    using namespace ccp;
+    return benchutil::runTopTen(
+        "Table 11: top 10 sensitivity, forwarded update",
+        predict::UpdateMode::Forwarded, sweep::RankBy::Sensitivity,
+        benchutil::paperTable11());
+}

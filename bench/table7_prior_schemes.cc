@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Reproduces Table 7: schemes reported by earlier work (the zero-cost
+ * baseline last-bitmap predictor, Kaxiras & Goodman's instruction
+ * last/intersection predictors, and Lai & Falsafi's address+pid last
+ * predictor) under direct and forwarded update.
+ *
+ * Expected shape: baseline sensitivity ~= PVP ~= 0.6; the
+ * intersection scheme trades sensitivity for distinctly higher PVP;
+ * forwarded update changes little for these shallow schemes.
+ */
+
+#include "bench_util.hh"
+#include "predict/evaluator.hh"
+#include "sweep/name.hh"
+
+int
+main()
+{
+    using namespace ccp;
+    using namespace ccp::benchutil;
+
+    auto suite = loadOrGenerateSuite();
+
+    std::printf("Table 7: schemes reported by earlier work\n\n");
+    Table t({"update", "description", "scheme", "size", "sens",
+             "paper", "pvp", "paper"});
+
+    for (const auto &row : paperTable7()) {
+        auto parsed = sweep::parseScheme(row.scheme);
+        if (!parsed) {
+            std::fprintf(stderr, "bad scheme %s\n", row.scheme);
+            return 1;
+        }
+        predict::UpdateMode mode =
+            std::string(row.update) == "direct"
+                ? predict::UpdateMode::Direct
+                : predict::UpdateMode::Forwarded;
+        auto res = predict::evaluateSuite(suite, parsed->scheme, mode);
+        t.addRow({row.update, row.description, row.scheme,
+                  std::to_string(row.sizeLog2),
+                  fmt(res.avgSensitivity()), fmt(row.sensitivity),
+                  fmt(res.avgPvp()), fmt(row.pvp)});
+    }
+    t.print();
+
+    // Shape check: inter trades sensitivity for PVP vs the lasts.
+    auto last = sweep::parseScheme("last(pid+pc8)1")->scheme;
+    auto inter = sweep::parseScheme("inter(pid+pc8)2")->scheme;
+    auto rl = predict::evaluateSuite(suite, last,
+                                     predict::UpdateMode::Direct);
+    auto ri = predict::evaluateSuite(suite, inter,
+                                     predict::UpdateMode::Direct);
+    std::printf("\nShape checks:\n");
+    std::printf("  inter PVP > last PVP:                 %s "
+                "(%.2f vs %.2f)\n",
+                ri.avgPvp() > rl.avgPvp() ? "yes" : "NO", ri.avgPvp(),
+                rl.avgPvp());
+    std::printf("  inter sensitivity < last sensitivity: %s "
+                "(%.2f vs %.2f)\n",
+                ri.avgSensitivity() < rl.avgSensitivity() ? "yes" : "NO",
+                ri.avgSensitivity(), rl.avgSensitivity());
+    return 0;
+}

@@ -1,0 +1,18 @@
+/**
+ * @file
+ * Reproduces Table 8: the ten highest-PVP schemes under direct
+ * update.  Expected shape: all deep-history intersection schemes,
+ * all pid-indexed, PVP far above sensitivity.
+ */
+
+#include "topten_common.hh"
+
+int
+main()
+{
+    using namespace ccp;
+    return benchutil::runTopTen(
+        "Table 8: top 10 PVP, direct update",
+        predict::UpdateMode::Direct, sweep::RankBy::Pvp,
+        benchutil::paperTable8());
+}

@@ -1,0 +1,19 @@
+/**
+ * @file
+ * Reproduces Table 9: the ten highest-PVP schemes under forwarded
+ * update.  Expected shape: deep intersection schemes again; PVP
+ * barely changes versus direct update but sensitivity improves, and
+ * several schemes overlap with Table 8's list.
+ */
+
+#include "topten_common.hh"
+
+int
+main()
+{
+    using namespace ccp;
+    return benchutil::runTopTen(
+        "Table 9: top 10 PVP, forwarded update",
+        predict::UpdateMode::Forwarded, sweep::RankBy::Pvp,
+        benchutil::paperTable9());
+}

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Shared driver for the top-10 benches (Tables 8-11): enumerate the
+ * affordable design space, rank by the requested metric under the
+ * requested update mode, and print our top-10 next to the paper's.
+ */
+
+#ifndef CCP_BENCH_TOPTEN_COMMON_HH
+#define CCP_BENCH_TOPTEN_COMMON_HH
+
+#include <cmath>
+
+#include "bench_util.hh"
+#include "sweep/name.hh"
+#include "sweep/search.hh"
+#include "sweep/space.hh"
+
+namespace ccp::benchutil {
+
+inline sweep::SpaceSpec
+paperSpace()
+{
+    sweep::SpaceSpec space;
+    // The paper explores implementations up to 2^24 bits.  PAs
+    // schemes are swept on a coarser grid (they are uniformly
+    // dominated — Section 5.4.1 finds no two-level scheme in any
+    // top-10 — and cost ~20x more to simulate); set CCP_FULL_PAS=1
+    // to widen.
+    if (std::getenv("CCP_FULL_PAS")) {
+        space.pasDepths = {1, 2, 4};
+    } else {
+        space.pasDepths = {2};
+    }
+    return space;
+}
+
+inline int
+runTopTen(const char *title, predict::UpdateMode mode, sweep::RankBy by,
+          const std::vector<PaperTopTen> &paper)
+{
+    auto suite = loadOrGenerateSuite();
+    auto schemes = enumerateSchemes(paperSpace());
+
+    std::fprintf(stderr, "[bench] sweeping %zu schemes...\n",
+                 schemes.size());
+    std::size_t last_pct = 0;
+    auto top = sweep::rankSchemes(
+        suite, schemes, mode, by, 10,
+        [&](std::size_t done, std::size_t total) {
+            std::size_t pct = done * 100 / total;
+            if (pct >= last_pct + 10) {
+                std::fprintf(stderr, "[bench] ... %zu%%\n", pct);
+                last_pct = pct;
+            }
+        });
+
+    std::printf("%s\n\n", title);
+    Table t({"#", "scheme", "size", "prev", "pvp", "sens", "| paper",
+             "size", "pvp", "sens"});
+    for (std::size_t i = 0; i < top.size(); ++i) {
+        const auto &r = top[i];
+        const auto &p = paper[i];
+        t.addRow({std::to_string(i + 1),
+                  sweep::formatScheme(r.result.scheme),
+                  fmt(std::log2(double(r.result.scheme.sizeBits(16))),
+                      0),
+                  fmt(r.result.avgPrevalence()),
+                  fmt(r.result.avgPvp()), fmt(r.result.avgSensitivity()),
+                  std::string("| ") + p.scheme,
+                  std::to_string(p.sizeLog2), fmt(p.pvp), fmt(p.sens)});
+    }
+    t.print();
+
+    // Shape checks.
+    unsigned deep = 0, with_pid = 0, inter_count = 0, union_count = 0;
+    for (const auto &r : top) {
+        deep += r.result.scheme.depth >= 3;
+        with_pid += r.result.scheme.index.usePid;
+        inter_count += r.result.scheme.kind ==
+                       predict::FunctionKind::Inter;
+        union_count += r.result.scheme.kind ==
+                       predict::FunctionKind::Union;
+    }
+    std::printf("\nShape checks:\n");
+    std::printf("  deep-history schemes in top-10:  %u/10\n", deep);
+    if (by == sweep::RankBy::Pvp) {
+        std::printf("  intersection schemes in top-10:  %u/10 "
+                    "(paper: 10)\n",
+                    inter_count);
+        std::printf("  pid-indexed schemes in top-10:   %u/10 "
+                    "(paper: 10)\n",
+                    with_pid);
+    } else {
+        std::printf("  union schemes in top-10:         %u/10 "
+                    "(paper: 10)\n",
+                    union_count);
+    }
+    return 0;
+}
+
+} // namespace ccp::benchutil
+
+#endif // CCP_BENCH_TOPTEN_COMMON_HH

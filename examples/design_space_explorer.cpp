@@ -1,0 +1,96 @@
+/**
+ * @file
+ * design_space_explorer: interactive-grade sweep over the predictor
+ * taxonomy for a chosen benchmark.
+ *
+ * Enumerates the affordable design space (paper section 5.4) under a
+ * configurable cost cap, evaluates every scheme on one benchmark's
+ * trace, and prints the Pareto frontier of (sensitivity, PVP) plus
+ * the top schemes by each metric — the workflow the paper's Tables
+ * 8-11 automate for the whole suite.
+ *
+ * Usage: design_space_explorer [benchmark] [log2_max_bits] [scale]
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "predict/evaluator.hh"
+#include "sweep/name.hh"
+#include "sweep/search.hh"
+#include "sweep/space.hh"
+#include "workloads/registry.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace ccp;
+
+    std::string benchmark = argc > 1 ? argv[1] : "water";
+    unsigned log2_bits = argc > 2 ? std::atoi(argv[2]) : 18;
+    double scale = argc > 3 ? std::atof(argv[3]) : 0.5;
+
+    workloads::WorkloadParams params;
+    params.scale = scale;
+    std::printf("generating '%s' trace...\n", benchmark.c_str());
+    std::vector<trace::SharingTrace> suite;
+    suite.push_back(workloads::generateTrace(benchmark, params));
+    std::printf("  %llu events, prevalence %.2f%%\n\n",
+                (unsigned long long)suite[0].storeMisses(),
+                100.0 * suite[0].prevalence());
+
+    sweep::SpaceSpec space;
+    space.maxBits = 1ull << log2_bits;
+    // A coarser grid than the paper's full sweep keeps this example
+    // interactive; bench/table8..11 run the full space.
+    space.pcBitsGrid = {0, 4, 8, 12};
+    space.addrBitsGrid = {0, 4, 8, 12};
+    space.pasDepths = {2};
+    auto schemes = sweep::enumerateSchemes(space);
+    std::printf("evaluating %zu schemes under 2^%u bits...\n",
+                schemes.size(), log2_bits);
+
+    auto results = sweep::evaluateSchemes(suite, schemes,
+                                          predict::UpdateMode::Direct);
+
+    // Pareto frontier on (sensitivity, pvp).
+    struct Point
+    {
+        double sens, pvp;
+        const predict::SuiteResult *res;
+    };
+    std::vector<Point> pts;
+    for (const auto &r : results)
+        pts.push_back({r.avgSensitivity(), r.avgPvp(), &r});
+    std::sort(pts.begin(), pts.end(), [](const Point &a, const Point &b) {
+        return a.sens != b.sens ? a.sens > b.sens : a.pvp > b.pvp;
+    });
+    std::printf("\nPareto frontier (sensitivity vs PVP):\n");
+    std::printf("%-28s %6s %12s %8s\n", "scheme", "size", "sensitivity",
+                "pvp");
+    double best_pvp = -1.0;
+    for (const auto &p : pts) {
+        if (p.pvp <= best_pvp)
+            continue;
+        best_pvp = p.pvp;
+        std::printf("%-28s 2^%-4.0f %12.3f %8.3f\n",
+                    sweep::formatScheme(p.res->scheme).c_str(),
+                    p.res->scheme.makeTable(16).log2SizeBits(), p.sens,
+                    p.pvp);
+    }
+
+    for (auto by : {sweep::RankBy::Pvp, sweep::RankBy::Sensitivity}) {
+        auto top = sweep::rankSchemes(suite, schemes,
+                                      predict::UpdateMode::Direct, by, 5);
+        std::printf("\ntop 5 by %s:\n",
+                    by == sweep::RankBy::Pvp ? "PVP" : "sensitivity");
+        for (const auto &r : top)
+            std::printf("  %-28s sens %.3f  pvp %.3f\n",
+                        sweep::formatScheme(r.result.scheme).c_str(),
+                        r.result.avgSensitivity(), r.result.avgPvp());
+    }
+    return 0;
+}

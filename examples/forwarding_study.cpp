@@ -1,0 +1,103 @@
+/**
+ * @file
+ * forwarding_study: quantifies the bandwidth-latency trade-off the
+ * paper's conclusion sketches, using the data-forwarding overlay
+ * (the repository's extension of the study, see src/forward).
+ *
+ * For a spectrum of schemes from sure-bet (deep intersection) to
+ * aggressive (deep union), replays a benchmark trace with forwarding
+ * enabled and reports cycles saved versus forwarding traffic injected
+ * on the 2-D torus.
+ *
+ * Usage: forwarding_study [benchmark] [scale]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "forward/forwarding.hh"
+#include "forward/selector.hh"
+#include "sweep/name.hh"
+#include "workloads/registry.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace ccp;
+
+    std::string benchmark = argc > 1 ? argv[1] : "em3d";
+    double scale = argc > 2 ? std::atof(argv[2]) : 0.5;
+
+    workloads::WorkloadParams params;
+    params.scale = scale;
+    std::printf("generating '%s' trace...\n", benchmark.c_str());
+    auto tr = workloads::generateTrace(benchmark, params);
+    std::printf("  %llu coherence store misses, prevalence %.2f%%\n\n",
+                (unsigned long long)tr.storeMisses(),
+                100.0 * tr.prevalence());
+
+    // Sure bets first, then increasingly aggressive forwarding.
+    const char *schemes[] = {
+        "inter(pid+add6)4",    // high PVP: only stable relationships
+        "inter(pid+pc8)2",     // Kaxiras & Goodman
+        "last(pid+add8)1",     // Lai & Falsafi style
+        "union(pid+dir+add4)2",
+        "union(dir+add14)4",   // high sensitivity: forward eagerly
+    };
+
+    std::printf("%-24s %9s %9s %10s %12s %10s\n", "scheme", "sens",
+                "pvp", "saved(Mc)", "traffic(MBh)", "MBh/Mcycle");
+    for (const char *text : schemes) {
+        auto parsed = sweep::parseScheme(text);
+        if (!parsed) {
+            std::fprintf(stderr, "bad scheme %s\n", text);
+            return 1;
+        }
+        auto res = forward::simulateForwarding(
+            tr, parsed->scheme, predict::UpdateMode::Direct);
+        std::printf("%-24s %9.3f %9.3f %10.2f %12.2f %10.2f\n", text,
+                    res.sensitivity(), res.pvp(),
+                    res.cyclesSaved / 1e6, res.forwardByteHops / 1e6,
+                    res.cyclesSaved
+                        ? res.forwardByteHops /
+                              static_cast<double>(res.cyclesSaved)
+                        : 0.0);
+    }
+
+    std::printf(
+        "\nThe frontier quantifies the paper's conclusion: with spare\n"
+        "network bandwidth, aggressive high-sensitivity union schemes\n"
+        "convert traffic into latency savings; on a loaded network the\n"
+        "high-PVP intersection schemes make only sure bets.\n");
+
+    // Automatic selection under shrinking bandwidth budgets.
+    std::vector<trace::SharingTrace> suite;
+    suite.push_back(std::move(tr));
+    std::vector<predict::SchemeSpec> candidates;
+    for (const char *text : schemes)
+        candidates.push_back(sweep::parseScheme(text)->scheme);
+
+    std::printf("\nselectScheme() under shrinking traffic budgets "
+                "(byte-hops per event):\n");
+    for (double budget : {1e300, 200.0, 60.0, 15.0, 3.0}) {
+        forward::SelectionConstraints constraints;
+        constraints.maxByteHopsPerEvent = budget;
+        auto sel = forward::selectScheme(suite, candidates, constraints);
+        if (budget >= 1e300)
+            std::printf("  budget unlimited -> ");
+        else
+            std::printf("  budget %7.1f   -> ", budget);
+        if (sel.best) {
+            const auto &win = sel.candidates[*sel.best];
+            std::printf("%-24s (%.2f Mcycles saved, %.1f Bh/event)\n",
+                        sweep::formatScheme(win.scheme).c_str(),
+                        win.pooled.cyclesSaved / 1e6,
+                        win.byteHopsPerEvent);
+        } else {
+            std::printf("no scheme fits: forward nothing\n");
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,167 @@
+#include "analysis/patterns.hh"
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/bitmap.hh"
+#include "common/logging.hh"
+
+namespace ccp::analysis {
+
+const char *
+sharingPatternName(SharingPattern pattern)
+{
+    switch (pattern) {
+      case SharingPattern::Unshared:
+        return "unshared";
+      case SharingPattern::ProducerConsumer:
+        return "producer-consumer";
+      case SharingPattern::Migratory:
+        return "migratory";
+      case SharingPattern::WideShared:
+        return "wide-shared";
+      case SharingPattern::Irregular:
+        return "irregular";
+      case SharingPattern::NumPatterns:
+        break;
+    }
+    ccp_panic("bad SharingPattern");
+}
+
+std::uint64_t
+TraceAnalysis::totalBlocks() const
+{
+    std::uint64_t total = 0;
+    for (auto b : blocks)
+        total += b;
+    return total;
+}
+
+std::uint64_t
+TraceAnalysis::totalEvents() const
+{
+    std::uint64_t total = 0;
+    for (auto e : events)
+        total += e;
+    return total;
+}
+
+double
+TraceAnalysis::blockFraction(SharingPattern pattern) const
+{
+    auto total = totalBlocks();
+    return total ? static_cast<double>(
+                       blocks[static_cast<std::size_t>(pattern)]) /
+                       static_cast<double>(total)
+                 : 0.0;
+}
+
+double
+TraceAnalysis::eventFraction(SharingPattern pattern) const
+{
+    auto total = totalEvents();
+    return total ? static_cast<double>(
+                       events[static_cast<std::size_t>(pattern)]) /
+                       static_cast<double>(total)
+                 : 0.0;
+}
+
+namespace {
+
+/** Per-block accumulation while walking the trace. */
+struct BlockChain
+{
+    std::uint64_t events = 0;
+    std::uint64_t readerBits = 0;
+    std::uint64_t migratoryHandoffs = 0;
+    std::uint64_t handoffCandidates = 0;
+    double jaccardSum = 0.0;
+    std::uint64_t jaccardCount = 0;
+    SharingBitmap lastReaders;
+    bool hasLastReaders = false;
+};
+
+double
+jaccard(const SharingBitmap &a, const SharingBitmap &b)
+{
+    unsigned uni = (a | b).popcount();
+    if (uni == 0)
+        return 1.0; // both empty: perfectly stable emptiness
+    return static_cast<double>((a & b).popcount()) /
+           static_cast<double>(uni);
+}
+
+SharingPattern
+classify(const BlockChain &chain, unsigned n_nodes,
+         const PatternRules &rules)
+{
+    double mean_readers =
+        static_cast<double>(chain.readerBits) /
+        static_cast<double>(chain.events);
+
+    if (chain.readerBits == 0)
+        return SharingPattern::Unshared;
+    if (chain.events < rules.minEvents)
+        return SharingPattern::Unshared;
+
+    if (mean_readers >= rules.wideFraction * n_nodes)
+        return SharingPattern::WideShared;
+
+    if (chain.handoffCandidates > 0) {
+        double handoff =
+            static_cast<double>(chain.migratoryHandoffs) /
+            static_cast<double>(chain.handoffCandidates);
+        if (handoff >= rules.migratoryFraction && mean_readers <= 1.5)
+            return SharingPattern::Migratory;
+    }
+
+    if (chain.jaccardCount > 0) {
+        double stability =
+            chain.jaccardSum / static_cast<double>(chain.jaccardCount);
+        if (stability >= rules.stabilityThreshold)
+            return SharingPattern::ProducerConsumer;
+    }
+    return SharingPattern::Irregular;
+}
+
+} // namespace
+
+TraceAnalysis
+analyzeTrace(const trace::SharingTrace &trace, const PatternRules &rules)
+{
+    TraceAnalysis out;
+    out.traceName = trace.name();
+    out.nNodes = trace.nNodes();
+
+    std::unordered_map<Addr, BlockChain> chains;
+    for (const auto &ev : trace.events()) {
+        BlockChain &chain = chains[ev.block];
+        ++chain.events;
+        unsigned readers = ev.readers.popcount();
+        chain.readerBits += readers;
+        out.invalidationDegree.add(readers);
+        out.readersPerEvent.add(static_cast<double>(readers));
+
+        if (ev.hasPrevWriter && chain.hasLastReaders) {
+            // Did the previous version hand off to this writer?
+            ++chain.handoffCandidates;
+            if (chain.lastReaders.popcount() <= 1 &&
+                chain.lastReaders.test(ev.pid))
+                ++chain.migratoryHandoffs;
+            chain.jaccardSum += jaccard(chain.lastReaders, ev.readers);
+            ++chain.jaccardCount;
+        }
+        chain.lastReaders = ev.readers;
+        chain.hasLastReaders = true;
+    }
+
+    for (const auto &[block, chain] : chains) {
+        (void)block;
+        SharingPattern p = classify(chain, out.nNodes, rules);
+        ++out.blocks[static_cast<std::size_t>(p)];
+        out.events[static_cast<std::size_t>(p)] += chain.events;
+    }
+    return out;
+}
+
+} // namespace ccp::analysis

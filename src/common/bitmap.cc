@@ -1,0 +1,15 @@
+#include "common/bitmap.hh"
+
+namespace ccp {
+
+std::string
+SharingBitmap::toString(unsigned n_nodes) const
+{
+    std::string s;
+    s.reserve(n_nodes);
+    for (unsigned i = 0; i < n_nodes; ++i)
+        s.push_back(test(i) ? '1' : '0');
+    return s;
+}
+
+} // namespace ccp

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * SharingBitmap: a fixed-width bitmap of reader nodes.
+ *
+ * The central data type of the paper: every prediction and every piece
+ * of feedback is a bitmap with one bit per node, bit i set meaning
+ * "node i read (or is predicted to read) the value".  The bitmap is a
+ * value type backed by a single 64-bit word, which comfortably covers
+ * the paper's 16-node machine and anything up to 64 nodes.
+ */
+
+#ifndef CCP_COMMON_BITMAP_HH
+#define CCP_COMMON_BITMAP_HH
+
+#include <bit>
+#include <cstdint>
+#include <string>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace ccp {
+
+/**
+ * A bitmap of up to maxNodes reader nodes.
+ *
+ * The width (node count) is not stored; callers interpret the bitmap
+ * against a known machine size.  Bits at or above the machine size must
+ * simply never be set, which every producer in this library guarantees.
+ */
+class SharingBitmap
+{
+  public:
+    /** The empty bitmap (no readers). */
+    constexpr SharingBitmap() : bits_(0) {}
+
+    /** Build directly from a raw bit pattern. */
+    explicit constexpr SharingBitmap(std::uint64_t raw) : bits_(raw) {}
+
+    /** A bitmap with the single bit for @p node set. */
+    static constexpr SharingBitmap
+    single(NodeId node)
+    {
+        return SharingBitmap(std::uint64_t(1) << node);
+    }
+
+    /** A bitmap with the low @p n bits set (all nodes of an n-node
+     *  machine). */
+    static constexpr SharingBitmap
+    all(unsigned n)
+    {
+        return n >= 64 ? SharingBitmap(~std::uint64_t(0))
+                       : SharingBitmap((std::uint64_t(1) << n) - 1);
+    }
+
+    /** Raw 64-bit pattern. */
+    constexpr std::uint64_t raw() const { return bits_; }
+
+    /** True if bit @p node is set. */
+    constexpr bool
+    test(NodeId node) const
+    {
+        return (bits_ >> node) & 1;
+    }
+
+    /** Set bit @p node. */
+    void
+    set(NodeId node)
+    {
+        ccp_assert(node < maxNodes, "node ", node, " out of range");
+        bits_ |= std::uint64_t(1) << node;
+    }
+
+    /** Clear bit @p node. */
+    void
+    reset(NodeId node)
+    {
+        ccp_assert(node < maxNodes, "node ", node, " out of range");
+        bits_ &= ~(std::uint64_t(1) << node);
+    }
+
+    /** Set bit @p node to @p value. */
+    void
+    assign(NodeId node, bool value)
+    {
+        if (value)
+            set(node);
+        else
+            reset(node);
+    }
+
+    /** Number of set bits (readers). */
+    constexpr unsigned popcount() const { return std::popcount(bits_); }
+
+    /** True if no bits are set. */
+    constexpr bool empty() const { return bits_ == 0; }
+
+    /** True if every bit set here is also set in @p other. */
+    constexpr bool
+    subsetOf(const SharingBitmap &other) const
+    {
+        return (bits_ & ~other.bits_) == 0;
+    }
+
+    /** True if the two bitmaps share at least one set bit. */
+    constexpr bool
+    intersects(const SharingBitmap &other) const
+    {
+        return (bits_ & other.bits_) != 0;
+    }
+
+    constexpr SharingBitmap
+    operator|(const SharingBitmap &o) const
+    {
+        return SharingBitmap(bits_ | o.bits_);
+    }
+
+    constexpr SharingBitmap
+    operator&(const SharingBitmap &o) const
+    {
+        return SharingBitmap(bits_ & o.bits_);
+    }
+
+    constexpr SharingBitmap
+    operator^(const SharingBitmap &o) const
+    {
+        return SharingBitmap(bits_ ^ o.bits_);
+    }
+
+    /** Bits set here but not in @p o. */
+    constexpr SharingBitmap
+    minus(const SharingBitmap &o) const
+    {
+        return SharingBitmap(bits_ & ~o.bits_);
+    }
+
+    SharingBitmap &
+    operator|=(const SharingBitmap &o)
+    {
+        bits_ |= o.bits_;
+        return *this;
+    }
+
+    SharingBitmap &
+    operator&=(const SharingBitmap &o)
+    {
+        bits_ &= o.bits_;
+        return *this;
+    }
+
+    constexpr bool
+    operator==(const SharingBitmap &o) const = default;
+
+    /**
+     * Render as a string of '0'/'1' characters, node 0 leftmost, for
+     * an @p n_nodes machine — e.g. "0100000000000010" for a 16-node
+     * bitmap with nodes 1 and 14 set.
+     */
+    std::string toString(unsigned n_nodes) const;
+
+  private:
+    std::uint64_t bits_;
+};
+
+} // namespace ccp
+
+#endif // CCP_COMMON_BITMAP_HH

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Error reporting helpers in the gem5 style.
+ *
+ * panic()  — an internal invariant was violated (a ccp bug); aborts.
+ * fatal()  — the user asked for something impossible (bad config);
+ *            exits with status 1.
+ * warn()   — something is suspicious but the run can continue.
+ * inform() — plain status output.
+ */
+
+#ifndef CCP_COMMON_LOGGING_HH
+#define CCP_COMMON_LOGGING_HH
+
+#include <sstream>
+#include <string>
+
+namespace ccp {
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+namespace detail {
+
+/** Render a sequence of stream-insertable values into one string. */
+template <typename... Args>
+std::string
+format(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+}
+
+} // namespace detail
+
+} // namespace ccp
+
+/** Abort with a message: internal invariant violated. */
+#define ccp_panic(...) \
+    ::ccp::panicImpl(__FILE__, __LINE__, ::ccp::detail::format(__VA_ARGS__))
+
+/** Exit with a message: unusable user configuration. */
+#define ccp_fatal(...) \
+    ::ccp::fatalImpl(__FILE__, __LINE__, ::ccp::detail::format(__VA_ARGS__))
+
+/** Print a warning and continue. */
+#define ccp_warn(...) \
+    ::ccp::warnImpl(::ccp::detail::format(__VA_ARGS__))
+
+/** Print a status message. */
+#define ccp_inform(...) \
+    ::ccp::informImpl(::ccp::detail::format(__VA_ARGS__))
+
+/** panic() unless the condition holds. */
+#define ccp_assert(cond, ...)                                          \
+    do {                                                                \
+        if (!(cond)) {                                                  \
+            ::ccp::panicImpl(__FILE__, __LINE__,                        \
+                ::ccp::detail::format("assertion '" #cond "' failed: ", \
+                                      ##__VA_ARGS__));                  \
+        }                                                               \
+    } while (0)
+
+#endif // CCP_COMMON_LOGGING_HH

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * Workload generation must be exactly reproducible across runs and
+ * platforms, so we implement xoshiro256** (Blackman & Vigna) rather
+ * than relying on implementation-defined std::default_random_engine
+ * distributions.  All derived draws (ranges, doubles, permutations)
+ * are implemented here in a platform-independent way.
+ */
+
+#ifndef CCP_COMMON_RNG_HH
+#define CCP_COMMON_RNG_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace ccp {
+
+/**
+ * xoshiro256** 1.0 generator with splitmix64 seeding.
+ *
+ * Satisfies UniformRandomBitGenerator, but prefer the member helpers
+ * for reproducibility.
+ */
+class Rng
+{
+  public:
+    using result_type = std::uint64_t;
+
+    /** Seed deterministically from a single 64-bit value. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() { return ~result_type(0); }
+
+    /** Next raw 64-bit draw. */
+    std::uint64_t operator()();
+
+    /** Uniform integer in [0, bound). @p bound must be non-zero. */
+    std::uint64_t below(std::uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t range(std::int64_t lo, std::int64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Bernoulli draw with probability @p p of true. */
+    bool chance(double p);
+
+    /** Geometric-ish draw: number of successes before failure, capped. */
+    unsigned geometric(double p, unsigned cap);
+
+    /** Fisher-Yates shuffle of a vector, deterministic for a seed. */
+    template <typename T>
+    void
+    shuffle(std::vector<T> &v)
+    {
+        for (std::size_t i = v.size(); i > 1; --i) {
+            std::size_t j = below(i);
+            std::swap(v[i - 1], v[j]);
+        }
+    }
+
+    /** Fork an independent stream for substream @p id. */
+    Rng fork(std::uint64_t id) const;
+
+  private:
+    std::uint64_t s_[4];
+    std::uint64_t seed_;
+};
+
+} // namespace ccp
+
+#endif // CCP_COMMON_RNG_HH

@@ -1,0 +1,74 @@
+#include "common/stats.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace ccp {
+
+void
+Summary::add(double x)
+{
+    ++count_;
+    sum_ += x;
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+}
+
+void
+Summary::merge(const Summary &other)
+{
+    if (other.count_ == 0)
+        return;
+    count_ += other.count_;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+Histogram::Histogram(std::size_t buckets) : counts_(buckets, 0)
+{
+    ccp_assert(buckets > 0, "histogram needs at least one bucket");
+}
+
+void
+Histogram::add(std::uint64_t value)
+{
+    if (value < counts_.size())
+        ++counts_[value];
+    else
+        ++overflow_;
+    ++total_;
+    sum_ += static_cast<double>(
+        std::min<std::uint64_t>(value, counts_.size()));
+}
+
+std::uint64_t
+Histogram::bucket(std::size_t i) const
+{
+    ccp_assert(i < counts_.size(), "histogram bucket out of range");
+    return counts_[i];
+}
+
+double
+Histogram::mean() const
+{
+    return total_ ? sum_ / static_cast<double>(total_) : 0.0;
+}
+
+std::string
+Histogram::toString() const
+{
+    std::ostringstream os;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        if (i)
+            os << ' ';
+        os << counts_[i];
+    }
+    if (overflow_)
+        os << " +" << overflow_;
+    return os.str();
+}
+
+} // namespace ccp

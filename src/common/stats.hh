@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Small statistics helpers used by the simulator and the benches:
+ * a running scalar summary and a fixed-bucket histogram.
+ */
+
+#ifndef CCP_COMMON_STATS_HH
+#define CCP_COMMON_STATS_HH
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace ccp {
+
+/** Running count/mean/min/max over a stream of samples. */
+class Summary
+{
+  public:
+    void add(double x);
+
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+
+    /** Merge another summary into this one. */
+    void merge(const Summary &other);
+
+  private:
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/**
+ * A histogram with unit-width integer buckets [0, n) plus an overflow
+ * bucket; used for e.g. readers-per-invalidation distributions.
+ */
+class Histogram
+{
+  public:
+    explicit Histogram(std::size_t buckets);
+
+    void add(std::uint64_t value);
+
+    std::uint64_t bucket(std::size_t i) const;
+    std::uint64_t overflow() const { return overflow_; }
+    std::uint64_t total() const { return total_; }
+    std::size_t size() const { return counts_.size(); }
+
+    /** Mean of recorded values (overflow samples counted at size()). */
+    double mean() const;
+
+    /** Render "v0 v1 ... v(n-1) [+overflow]" for logs. */
+    std::string toString() const;
+
+  private:
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t overflow_ = 0;
+    std::uint64_t total_ = 0;
+    double sum_ = 0.0;
+};
+
+} // namespace ccp
+
+#endif // CCP_COMMON_STATS_HH

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every module of the ccp library.
+ *
+ * The library models a distributed shared-memory multiprocessor with up
+ * to 64 nodes.  All modules agree on these aliases so that node ids,
+ * byte addresses, block addresses, and synthetic program counters are
+ * not confused with one another.
+ */
+
+#ifndef CCP_COMMON_TYPES_HH
+#define CCP_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace ccp {
+
+/** Identifier of a processor node (also used for directory/home ids). */
+using NodeId = std::uint32_t;
+
+/** A byte address in the simulated shared address space. */
+using Addr = std::uint64_t;
+
+/**
+ * Synthetic program counter of a static store instruction.
+ *
+ * Workloads assign each static store site a stable pc value; predictors
+ * may truncate it to a configured number of bits.
+ */
+using Pc = std::uint64_t;
+
+/** Monotonically increasing index of a coherence event within a trace. */
+using EventSeq = std::uint64_t;
+
+/** A simulated cycle count (used only by the network latency model). */
+using Cycles = std::uint64_t;
+
+/** Maximum number of nodes a SharingBitmap can represent. */
+inline constexpr unsigned maxNodes = 64;
+
+/** Log2 of the coherence block (cache line) size in bytes. */
+inline constexpr unsigned blockShift = 6;
+
+/** Coherence block (cache line) size in bytes: 64, as in the paper. */
+inline constexpr unsigned blockBytes = 1u << blockShift;
+
+/** Convert a byte address to its block address (block number). */
+constexpr Addr
+blockOf(Addr byte_addr)
+{
+    return byte_addr >> blockShift;
+}
+
+/** Convert a block number back to the base byte address of the block. */
+constexpr Addr
+blockBase(Addr block)
+{
+    return block << blockShift;
+}
+
+} // namespace ccp
+
+#endif // CCP_COMMON_TYPES_HH

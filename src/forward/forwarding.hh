@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Data-forwarding overlay: the optimization layer the paper describes
+ * in section 3.3 but leaves out of its evaluation (this module is the
+ * repository's extension of the study).
+ *
+ * The overlay replays a coherence trace with a prediction scheme; at
+ * each coherence store miss it forwards the block to every predicted
+ * reader, in the style of Koufaty & Torrellas' directory-initiated
+ * forwarding.  A forward to a true reader converts that reader's
+ * remote read miss into a local hit (saving remote minus local
+ * latency); a forward to a non-reader is pure wasted traffic.  The
+ * torus model prices the messages so the bandwidth-latency trade-off
+ * of high-sensitivity versus high-PVP schemes (paper section 6)
+ * becomes quantitative.
+ */
+
+#ifndef CCP_FORWARD_FORWARDING_HH
+#define CCP_FORWARD_FORWARDING_HH
+
+#include <cstdint>
+
+#include "net/torus.hh"
+#include "predict/evaluator.hh"
+#include "trace/trace.hh"
+
+namespace ccp::forward {
+
+/** Knobs of the forwarding overlay. */
+struct ForwardingParams
+{
+    net::TorusParams torus;
+    /** Torus width for the machine (height derived). */
+    unsigned torusWidth = 4;
+    /**
+     * Fraction of useful forwards that arrive in time to hide the
+     * miss (late forwards still consume bandwidth but save nothing).
+     */
+    double timelyFraction = 0.85;
+};
+
+/** Outcome of replaying one trace with forwarding enabled. */
+struct ForwardingResult
+{
+    std::uint64_t events = 0;
+    std::uint64_t forwardsSent = 0;    ///< predicted-positive bits
+    std::uint64_t usefulForwards = 0;  ///< true positives
+    std::uint64_t wastedForwards = 0;  ///< false positives
+    std::uint64_t missedReaders = 0;   ///< false negatives
+
+    /** Remote read misses hidden by timely useful forwards. */
+    std::uint64_t missesAvoided = 0;
+    /** Modelled cycles saved across all avoided misses. */
+    Cycles cyclesSaved = 0;
+    /** Bytes of forwarding traffic injected (all forwards). */
+    std::uint64_t forwardBytes = 0;
+    /** Byte-hops of forwarding traffic on the torus. */
+    std::uint64_t forwardByteHops = 0;
+    /** Bytes of request/response traffic saved by avoided misses. */
+    std::uint64_t bytesSaved = 0;
+
+    /** Useful fraction of forwarding traffic (== scheme PVP). */
+    double pvp() const;
+    /** Fraction of sharing opportunities captured (== sensitivity). */
+    double sensitivity() const;
+    /** Net traffic cost in byte-hops per cycle saved. */
+    double byteHopsPerCycleSaved() const;
+};
+
+/**
+ * Replay @p trace with @p scheme under @p mode and simulate
+ * forwarding.  Deterministic: the timely-arrival draw is seeded.
+ */
+ForwardingResult
+simulateForwarding(const trace::SharingTrace &trace,
+                   const predict::SchemeSpec &scheme,
+                   predict::UpdateMode mode,
+                   const ForwardingParams &params = ForwardingParams(),
+                   std::uint64_t seed = 0xf02d);
+
+} // namespace ccp::forward
+
+#endif // CCP_FORWARD_FORWARDING_HH

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * OnlineForwarder: closes the loop the paper leaves open.
+ *
+ * The paper evaluates predictors in isolation ("an actual data
+ * forwarding protocol remains outside the scope of our work", §3.3);
+ * this class runs one *inside* the machine: it attaches a predictor
+ * to the coherence controller's forwarding hook, so every coherence
+ * store miss pushes the new value into the predicted readers' caches.
+ * The protocol then charges the real costs — the writer yields its
+ * write permission (footnote 3, turning later stores into write
+ * faults), forwarded fills can evict useful lines (pollution), and
+ * unaccessed forwards are counted wasted when invalidated — while
+ * access bits keep the feedback bitmaps limited to true readers
+ * (§3.4), so prediction quality is unaffected by its own speculation.
+ */
+
+#ifndef CCP_FORWARD_ONLINE_HH
+#define CCP_FORWARD_ONLINE_HH
+
+#include "mem/protocol.hh"
+#include "predict/evaluator.hh"
+
+namespace ccp::forward {
+
+/**
+ * A direct-update predictor wired into a live machine.
+ *
+ * The forwarder must outlive the controller's use of the hook (or
+ * the hook must be cleared first).
+ */
+class OnlineForwarder
+{
+  public:
+    /** @param scheme  Prediction scheme to run online.
+     *  @param n_nodes Machine size. */
+    OnlineForwarder(const predict::SchemeSpec &scheme, unsigned n_nodes);
+
+    /** Install this predictor as @p ctl's forwarding hook. */
+    void attach(mem::CoherenceController &ctl);
+
+    /** The live predictor state (e.g. for inspection in tests). */
+    const predict::PredictorTable &table() const { return table_; }
+
+  private:
+    predict::PredictorTable table_;
+};
+
+} // namespace ccp::forward
+
+#endif // CCP_FORWARD_ONLINE_HH

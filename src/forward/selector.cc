@@ -1,0 +1,81 @@
+#include "forward/selector.hh"
+
+#include "common/logging.hh"
+
+namespace ccp::forward {
+
+namespace {
+
+void
+accumulate(ForwardingResult &into, const ForwardingResult &part)
+{
+    into.events += part.events;
+    into.forwardsSent += part.forwardsSent;
+    into.usefulForwards += part.usefulForwards;
+    into.wastedForwards += part.wastedForwards;
+    into.missedReaders += part.missedReaders;
+    into.missesAvoided += part.missesAvoided;
+    into.cyclesSaved += part.cyclesSaved;
+    into.forwardBytes += part.forwardBytes;
+    into.forwardByteHops += part.forwardByteHops;
+    into.bytesSaved += part.bytesSaved;
+}
+
+} // namespace
+
+SelectionResult
+selectScheme(const std::vector<trace::SharingTrace> &traces,
+             const std::vector<predict::SchemeSpec> &candidates,
+             const SelectionConstraints &constraints)
+{
+    ccp_assert(!traces.empty(), "selection needs at least one trace");
+    SelectionResult result;
+    result.candidates.reserve(candidates.size());
+    const unsigned n_nodes = traces.front().nNodes();
+
+    for (const auto &scheme : candidates) {
+        SelectionCandidate cand;
+        cand.scheme = scheme;
+        for (const auto &tr : traces) {
+            auto part = simulateForwarding(tr, scheme, constraints.mode,
+                                           constraints.params);
+            accumulate(cand.pooled, part);
+        }
+        cand.byteHopsPerEvent =
+            cand.pooled.events
+                ? static_cast<double>(cand.pooled.forwardByteHops) /
+                      static_cast<double>(cand.pooled.events)
+                : 0.0;
+        cand.withinBudget =
+            cand.byteHopsPerEvent <= constraints.maxByteHopsPerEvent &&
+            (constraints.maxSizeBits == 0 ||
+             scheme.sizeBits(n_nodes) <= constraints.maxSizeBits);
+        result.candidates.push_back(std::move(cand));
+    }
+
+    for (std::size_t i = 0; i < result.candidates.size(); ++i) {
+        const auto &cand = result.candidates[i];
+        if (!cand.withinBudget)
+            continue;
+        if (!result.best) {
+            result.best = i;
+            continue;
+        }
+        const auto &best = result.candidates[*result.best];
+        if (cand.pooled.cyclesSaved != best.pooled.cyclesSaved) {
+            if (cand.pooled.cyclesSaved > best.pooled.cyclesSaved)
+                result.best = i;
+        } else if (cand.pooled.forwardByteHops !=
+                   best.pooled.forwardByteHops) {
+            if (cand.pooled.forwardByteHops <
+                best.pooled.forwardByteHops)
+                result.best = i;
+        } else if (cand.scheme.sizeBits(n_nodes) <
+                   best.scheme.sizeBits(n_nodes)) {
+            result.best = i;
+        }
+    }
+    return result;
+}
+
+} // namespace ccp::forward

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Scheme selection under a bandwidth budget.
+ *
+ * The paper's conclusion frames predictor choice as a bandwidth-
+ * latency trade: "on a machine with a very busy communications
+ * network, only sure bets should be made", while spare bandwidth
+ * favours high-sensitivity schemes.  This module operationalizes
+ * that: given candidate schemes and a per-event forwarding-traffic
+ * budget, pick the scheme that hides the most latency while staying
+ * within budget.
+ */
+
+#ifndef CCP_FORWARD_SELECTOR_HH
+#define CCP_FORWARD_SELECTOR_HH
+
+#include <optional>
+#include <vector>
+
+#include "forward/forwarding.hh"
+
+namespace ccp::forward {
+
+/** The budget and replay settings for selection. */
+struct SelectionConstraints
+{
+    /**
+     * Maximum forwarding traffic allowed, in byte-hops per coherence
+     * store miss (averaged over the suite).  Infinity = latency-only
+     * selection.
+     */
+    double maxByteHopsPerEvent = 1e300;
+    /** Maximum predictor cost in bits; 0 = unconstrained. */
+    std::uint64_t maxSizeBits = 0;
+    predict::UpdateMode mode = predict::UpdateMode::Direct;
+    ForwardingParams params;
+};
+
+/** A scored candidate. */
+struct SelectionCandidate
+{
+    predict::SchemeSpec scheme;
+    ForwardingResult pooled;   ///< summed over the suite
+    double byteHopsPerEvent = 0.0;
+    bool withinBudget = false;
+};
+
+/** The selection outcome: every candidate scored, plus the winner. */
+struct SelectionResult
+{
+    std::vector<SelectionCandidate> candidates;
+    /** Index into candidates, or nullopt if nothing fits. */
+    std::optional<std::size_t> best;
+};
+
+/**
+ * Replay every candidate over the suite with forwarding enabled and
+ * select the in-budget scheme with the most cycles saved (ties break
+ * toward less traffic, then the smaller table).
+ */
+SelectionResult
+selectScheme(const std::vector<trace::SharingTrace> &traces,
+             const std::vector<predict::SchemeSpec> &candidates,
+             const SelectionConstraints &constraints);
+
+} // namespace ccp::forward
+
+#endif // CCP_FORWARD_SELECTOR_HH

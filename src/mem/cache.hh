@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Set-associative cache models: a single level (SetAssocCache) and the
+ * per-node two-level hierarchy (NodeCache) matching the paper's
+ * Table 4 (16KB direct-mapped L1, 512KB 4-way L2, 64-byte lines).
+ *
+ * The caches track coherence metadata only (tag + MSI state + version
+ * of the cached value); the actual computation happens functionally in
+ * the workload kernels.  The L2 is inclusive of the L1: coherence
+ * state lives at the L2, and L2 evictions back-invalidate the L1.
+ */
+
+#ifndef CCP_MEM_CACHE_HH
+#define CCP_MEM_CACHE_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace ccp::mem {
+
+/** Coherence state of a cached block (MSI, plus E under MESI). */
+enum class CacheState : std::uint8_t
+{
+    Invalid,
+    Shared,
+    /** Sole clean copy (MESI only): may upgrade to Modified
+     *  silently, without a coherence transaction. */
+    Exclusive,
+    Modified,
+};
+
+/** One cache line's metadata. */
+struct CacheLine
+{
+    Addr block = 0;
+    CacheState state = CacheState::Invalid;
+    /** Version of the value held (for protocol correctness checks). */
+    std::uint64_t version = 0;
+    /** The line arrived by prediction-driven forwarding, not demand. */
+    bool forwarded = false;
+    /** A forwarded line was touched by the local processor (the
+     *  access bit of paper section 3.4). */
+    bool accessed = false;
+
+    bool valid() const { return state != CacheState::Invalid; }
+};
+
+/** Geometry of one cache level. */
+struct CacheGeometry
+{
+    std::uint32_t sizeBytes;
+    std::uint32_t assoc;
+
+    std::uint32_t lines() const { return sizeBytes / blockBytes; }
+    std::uint32_t sets() const { return lines() / assoc; }
+};
+
+/** The paper's L1: 16KB direct-mapped. */
+constexpr CacheGeometry paperL1{16 * 1024, 1};
+/** The paper's L2: 512KB 4-way set-associative. */
+constexpr CacheGeometry paperL2{512 * 1024, 4};
+
+/**
+ * A single set-associative cache level with true-LRU replacement.
+ *
+ * Lookups and fills operate on block numbers.  The cache never
+ * initiates coherence actions itself; NodeCache and the protocol
+ * engine orchestrate state changes.
+ */
+class SetAssocCache
+{
+  public:
+    explicit SetAssocCache(const CacheGeometry &geom);
+
+    const CacheGeometry &geometry() const { return geom_; }
+
+    /** Find the line holding @p block, or nullptr. */
+    CacheLine *find(Addr block);
+    const CacheLine *find(Addr block) const;
+
+    /** Mark @p block most recently used (no-op if absent). */
+    void touch(Addr block);
+
+    /**
+     * Insert @p block with @p state, evicting the LRU line of the set
+     * if needed.  @return the evicted line's metadata if a valid line
+     * was displaced.
+     */
+    std::optional<CacheLine> insert(Addr block, CacheState state,
+                                    std::uint64_t version);
+
+    /** Drop @p block if present.  @return its metadata if it was
+     *  valid. */
+    std::optional<CacheLine> invalidate(Addr block);
+
+    /** Invalidate every line (e.g. between workload phases). */
+    void flush();
+
+    /** Number of valid lines currently held. */
+    std::uint32_t validLines() const;
+
+  private:
+    std::uint32_t setOf(Addr block) const;
+
+    CacheGeometry geom_;
+    /** ways[set * assoc + way]; way order is LRU order
+     *  (way 0 = MRU). */
+    std::vector<CacheLine> ways_;
+};
+
+/** Hit/miss counters for one node's hierarchy. */
+struct CacheStats
+{
+    std::uint64_t l1Hits = 0;
+    std::uint64_t l2Hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t upgrades = 0;
+    std::uint64_t l2Evictions = 0;
+    std::uint64_t writebacks = 0;
+};
+
+/**
+ * A node's private two-level hierarchy with inclusion.
+ *
+ * Coherence state is authoritative at the L2; the L1 mirrors it for
+ * the subset of blocks it holds.  All state-changing operations go
+ * through this class so the two levels can never disagree.
+ */
+class NodeCache
+{
+  public:
+    NodeCache(const CacheGeometry &l1 = paperL1,
+              const CacheGeometry &l2 = paperL2);
+
+    /** Coherence state of @p block (Invalid if not cached). */
+    CacheState state(Addr block) const;
+
+    /** Version held for @p block (0 if not cached). */
+    std::uint64_t version(Addr block) const;
+
+    /**
+     * Record a processor-side access for hit accounting and LRU
+     * update.  @return true if it hit in the L1.
+     */
+    bool access(Addr block);
+
+    /**
+     * Fill @p block in @p state after a coherence transaction.
+     * @param forwarded Mark the line as prediction-forwarded (its
+     *                  access bit starts clear).
+     * @return the L2 victim if a valid block was displaced (the
+     * caller must inform the directory).
+     */
+    std::optional<CacheLine> fill(Addr block, CacheState state,
+                                  std::uint64_t version,
+                                  bool forwarded = false);
+
+    /**
+     * If @p block is a forwarded line not yet touched, set its access
+     * bit and return true (exactly once per forwarded fill).
+     */
+    bool consumeForwardedTouch(Addr block);
+
+    /** Upgrade a Shared copy to Modified (write fault granted). */
+    void upgrade(Addr block, std::uint64_t new_version);
+
+    /** Silently upgrade an Exclusive copy to Modified (MESI): no
+     *  coherence transaction, and the version is unchanged — the
+     *  exclusive episode began at the E grant. */
+    void upgradeSilent(Addr block);
+
+    /** Downgrade a Modified or Exclusive copy to Shared (remote
+     *  read). */
+    void downgrade(Addr block);
+
+    /** Invalidate @p block at both levels.  @return the prior L2
+     *  line (with its forwarded/accessed bits) if it was valid. */
+    std::optional<CacheLine> invalidate(Addr block);
+
+    CacheStats &stats() { return stats_; }
+    const CacheStats &stats() const { return stats_; }
+
+  private:
+    SetAssocCache l1_;
+    SetAssocCache l2_;
+    CacheStats stats_;
+};
+
+} // namespace ccp::mem
+
+#endif // CCP_MEM_CACHE_HH

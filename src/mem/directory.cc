@@ -1,0 +1,22 @@
+#include "mem/directory.hh"
+
+namespace ccp::mem {
+
+const DirectoryEntry *
+DirectorySlice::find(Addr block) const
+{
+    auto it = entries_.find(block);
+    return it == entries_.end() ? nullptr : &it->second;
+}
+
+NodeId
+MemoryMap::homeOf(Addr block, NodeId toucher)
+{
+    if (policy_ == PlacementPolicy::Interleaved)
+        return static_cast<NodeId>(block % nNodes_);
+    auto [it, inserted] = homes_.try_emplace(block, toucher);
+    (void)inserted;
+    return it->second;
+}
+
+} // namespace ccp::mem

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Full-map directory state (DirNB-style, one presence bit per node).
+ *
+ * Each block's home node owns a DirectoryEntry.  Besides the classic
+ * state/sharers/owner triple, the entry carries the bookkeeping the
+ * prediction study needs:
+ *
+ *  - readersSinceExclusive: the *true readers* of the current version
+ *    (the access-bit feedback of paper section 3.4 — survives sharer
+ *    replacement hints, so replacements do not erase true sharing);
+ *  - the last writer's (pid, pc), required by forwarded update;
+ *  - pendingEvent: the trace sequence number of the coherence store
+ *    miss that created the current version, so later readers can be
+ *    recorded as that event's outcome.
+ */
+
+#ifndef CCP_MEM_DIRECTORY_HH
+#define CCP_MEM_DIRECTORY_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/bitmap.hh"
+#include "common/types.hh"
+#include "trace/event.hh"
+
+namespace ccp::mem {
+
+/** Directory-side state of one block. */
+enum class DirState : std::uint8_t
+{
+    Uncached,  ///< no cached copies; memory is up to date
+    Shared,    ///< >= 1 read-only copies
+    /**
+     * MESI only: a single owner holds the sole copy, which may be
+     * clean (E) or — after a silent upgrade the directory cannot
+     * observe — dirty (M).
+     */
+    Exclusive,
+    Modified,  ///< exactly one dirty copy at `owner`
+};
+
+/** Directory record for one block. */
+struct DirectoryEntry
+{
+    DirState state = DirState::Uncached;
+    /** Nodes holding a copy (Shared) — or just the owner (Modified). */
+    SharingBitmap sharers;
+    /** Owner node, meaningful in Modified state. */
+    NodeId owner = 0;
+
+    /** Version counter: bumped on every exclusive acquisition. */
+    std::uint64_t version = 0;
+
+    /** True readers of the current version (access-bit feedback). */
+    SharingBitmap readersSinceExclusive;
+
+    /** Identity of the writer that produced the current version. */
+    NodeId lastWriterPid = 0;
+    Pc lastWriterPc = 0;
+    bool hasLastWriter = false;
+
+    /** Trace event that created the current version. */
+    EventSeq pendingEvent = trace::noEvent;
+};
+
+/**
+ * The directory slice homed at one node: a sparse map from block
+ * number to entry.  Blocks that were never referenced have the default
+ * Uncached entry and are not materialized.
+ */
+class DirectorySlice
+{
+  public:
+    /** Look up (and create on first use) the entry for @p block. */
+    DirectoryEntry &entry(Addr block) { return entries_[block]; }
+
+    /** Look up without creating.  @return nullptr if absent. */
+    const DirectoryEntry *find(Addr block) const;
+
+    /** Number of materialized entries. */
+    std::size_t size() const { return entries_.size(); }
+
+    /** Iteration support (used by invariant checks in tests). */
+    auto begin() const { return entries_.begin(); }
+    auto end() const { return entries_.end(); }
+
+  private:
+    std::unordered_map<Addr, DirectoryEntry> entries_;
+};
+
+/** How blocks are assigned to home nodes. */
+enum class PlacementPolicy : std::uint8_t
+{
+    /** Round-robin at block granularity. */
+    Interleaved,
+    /**
+     * The first node to touch a block becomes its home — the paper's
+     * RSIM setup ("first-touch policy on a cache-line granularity"),
+     * which makes initial placement effective and gives the `dir`
+     * index field its data-affinity meaning.
+     */
+    FirstTouch,
+};
+
+/**
+ * Home-node assignment for the N directory slices.
+ *
+ * Under FirstTouch the assignment is sticky: the first requester of a
+ * block becomes its home for the rest of the run.
+ */
+class MemoryMap
+{
+  public:
+    explicit MemoryMap(unsigned n_nodes,
+                       PlacementPolicy policy = PlacementPolicy::FirstTouch)
+        : nNodes_(n_nodes), policy_(policy)
+    {
+    }
+
+    unsigned nNodes() const { return nNodes_; }
+    PlacementPolicy policy() const { return policy_; }
+
+    /**
+     * Home (directory) node of @p block, assigning it to @p toucher
+     * on first reference under the first-touch policy.
+     */
+    NodeId homeOf(Addr block, NodeId toucher);
+
+    /** Number of blocks pinned by first touch so far. */
+    std::size_t assignedBlocks() const { return homes_.size(); }
+
+  private:
+    unsigned nNodes_;
+    PlacementPolicy policy_;
+    std::unordered_map<Addr, NodeId> homes_;
+};
+
+} // namespace ccp::mem
+
+#endif // CCP_MEM_DIRECTORY_HH

@@ -1,0 +1,459 @@
+#include "mem/protocol.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace ccp::mem {
+
+namespace {
+
+/** Modelled latency of an L1 hit, in cycles. */
+constexpr Cycles l1HitCycles = 1;
+/** Modelled latency of an L2 hit, in cycles. */
+constexpr Cycles l2HitCycles = 10;
+
+} // namespace
+
+CoherenceController::CoherenceController(const MachineConfig &config,
+                                         trace::SharingTrace *trace)
+    : config_(config), trace_(trace),
+      torus_(config.torusWidth,
+             config.nNodes / std::max(1u, config.torusWidth)),
+      map_(config.nNodes, config.placement),
+      staticStores_(config.nNodes), predictedStores_(config.nNodes)
+{
+    ccp_assert(trace_ != nullptr, "controller needs a trace sink");
+    ccp_assert(config_.nNodes >= 1 && config_.nNodes <= maxNodes,
+               "unsupported node count ", config_.nNodes);
+    ccp_assert(config_.torusWidth >= 1 &&
+                   config_.nNodes % config_.torusWidth == 0,
+               "torus width must divide the node count");
+    caches_.reserve(config_.nNodes);
+    for (unsigned i = 0; i < config_.nNodes; ++i)
+        caches_.emplace_back(config_.l1, config_.l2);
+    slices_.resize(config_.nNodes);
+}
+
+const CacheStats &
+CoherenceController::cacheStats(NodeId node) const
+{
+    ccp_assert(node < config_.nNodes, "node out of range");
+    return caches_[node].stats();
+}
+
+std::uint64_t
+CoherenceController::staticStores(NodeId node) const
+{
+    ccp_assert(node < config_.nNodes, "node out of range");
+    return staticStores_[node].size();
+}
+
+std::uint64_t
+CoherenceController::predictedStores(NodeId node) const
+{
+    ccp_assert(node < config_.nNodes, "node out of range");
+    return predictedStores_[node].size();
+}
+
+void
+CoherenceController::message(NodeId from, NodeId to, bool data)
+{
+    torus_.sendMessage(from, to,
+                       data ? torus_.params().dataMessageBytes
+                            : torus_.params().controlMessageBytes);
+}
+
+DirectoryEntry &
+CoherenceController::dirEntry(Addr block, NodeId toucher, NodeId &home)
+{
+    home = map_.homeOf(block, toucher);
+    return slices_[home].entry(block);
+}
+
+void
+CoherenceController::noteForwardedTouch(NodeId node, Addr block)
+{
+    if (!caches_[node].consumeForwardedTouch(block))
+        return;
+    // First local use of a prediction-forwarded line: a remote read
+    // miss was avoided, and the access bit makes this node a true
+    // reader of the current version.
+    ++stats_.forwardHits;
+    NodeId home = 0;
+    DirectoryEntry &dir = dirEntry(block, node, home);
+    recordReader(dir, node);
+}
+
+void
+CoherenceController::doForwarding(const trace::CoherenceEvent &ev,
+                                  Addr block, NodeId home)
+{
+    SharingBitmap targets = forwardHook_(ev);
+    targets &= SharingBitmap::all(config_.nNodes);
+    targets.reset(ev.pid);
+    if (targets.empty())
+        return;
+
+    for (NodeId p = 0; p < config_.nNodes; ++p) {
+        if (!targets.test(p))
+            continue;
+        if (caches_[p].state(block) != CacheState::Invalid)
+            continue; // already has a copy somehow; nothing to push
+        message(home, p, true);
+        ++stats_.forwardsSent;
+        {
+            DirectoryEntry &dir = dirEntry(block, p, home);
+            dir.sharers.set(p);
+        }
+        auto victim = caches_[p].fill(block, CacheState::Shared,
+                                      currentVersion(blockBase(block)),
+                                      /*forwarded=*/true);
+        if (victim) {
+            ++stats_.pollutionEvictions;
+            handleVictim(p, *victim);
+        }
+    }
+
+    // The writer yields its write permission upon forwarding (paper
+    // footnote 3), guaranteeing the forwarded values are final.
+    NodeId h = 0;
+    DirectoryEntry &dir = dirEntry(block, ev.pid, h);
+    if (dir.state == DirState::Modified && dir.owner == ev.pid) {
+        caches_[ev.pid].downgrade(block);
+        dir.state = DirState::Shared;
+        ++stats_.downgrades;
+    }
+}
+
+void
+CoherenceController::recordReader(DirectoryEntry &dir, NodeId node)
+{
+    // The producer of the current version is not a reader of it.
+    if (dir.hasLastWriter && dir.lastWriterPid == node)
+        return;
+    dir.readersSinceExclusive.set(node);
+    if (dir.pendingEvent != trace::noEvent)
+        trace_->events()[dir.pendingEvent].readers.set(node);
+}
+
+void
+CoherenceController::handleVictim(NodeId node, const CacheLine &victim)
+{
+    NodeId home = 0;
+    DirectoryEntry &dir = dirEntry(victim.block, node, home);
+
+    if (victim.state == CacheState::Modified) {
+        // Under MESI the directory may still believe the line is
+        // clean-Exclusive (the upgrade was silent).
+        ccp_assert((dir.state == DirState::Modified ||
+                    dir.state == DirState::Exclusive) &&
+                       dir.owner == node,
+                   "writeback from a non-owner");
+        dir.state = DirState::Uncached;
+        dir.sharers = SharingBitmap();
+        message(node, home, true);
+    } else if (victim.state == CacheState::Exclusive) {
+        ccp_assert(dir.state == DirState::Exclusive &&
+                       dir.owner == node,
+                   "exclusive replacement from a non-owner");
+        dir.state = DirState::Uncached;
+        dir.sharers = SharingBitmap();
+        message(node, home, false); // clean: no data
+    } else {
+        // Replacement hint for a Shared copy.  The true-reader record
+        // (readersSinceExclusive) deliberately survives: the node did
+        // read this version (paper section 3.4's access bits).
+        ccp_assert(dir.state == DirState::Shared &&
+                       dir.sharers.test(node),
+                   "replacement hint from a non-sharer");
+        if (victim.forwarded && !victim.accessed)
+            ++stats_.wastedForwards; // evicted before it was used
+        dir.sharers.reset(node);
+        if (dir.sharers.empty())
+            dir.state = DirState::Uncached;
+        message(node, home, false);
+    }
+}
+
+void
+CoherenceController::invalidateSharers(DirectoryEntry &dir, Addr block,
+                                       NodeId except, NodeId home)
+{
+    SharingBitmap to_kill = dir.sharers.minus(SharingBitmap::single(except));
+    for (NodeId s = 0; s < config_.nNodes; ++s) {
+        if (!to_kill.test(s))
+            continue;
+        message(home, s, false);
+        auto old = caches_[s].invalidate(block);
+        ccp_assert(old && old->state == CacheState::Shared,
+                   "invalidated a non-shared copy");
+        if (old->forwarded && !old->accessed)
+            ++stats_.wastedForwards;
+        message(s, home, false);
+        ++stats_.invalidationsSent;
+    }
+}
+
+void
+CoherenceController::read(NodeId node, Addr addr)
+{
+    ccp_assert(node < config_.nNodes, "node out of range");
+    Addr block = blockOf(addr);
+    blocksTouched_.insert(block);
+    ++stats_.reads;
+
+    if (caches_[node].state(block) != CacheState::Invalid) {
+        noteForwardedTouch(node, block);
+        bool l1_hit = caches_[node].access(block);
+        stats_.latency += l1_hit ? l1HitCycles : l2HitCycles;
+        return;
+    }
+
+    ++stats_.readMisses;
+    ++caches_[node].stats().misses;
+
+    NodeId home = 0;
+    DirectoryEntry &dir = dirEntry(block, node, home);
+    message(node, home, false);
+    stats_.latency += torus_.latency(node, home);
+
+    CacheState fill_state = CacheState::Shared;
+    switch (dir.state) {
+      case DirState::Uncached:
+        if (config_.protocol == ProtocolKind::MESI) {
+            // Sole reader: grant Exclusive so a subsequent write
+            // upgrades silently.
+            dir.state = DirState::Exclusive;
+            dir.owner = node;
+            fill_state = CacheState::Exclusive;
+        } else {
+            dir.state = DirState::Shared;
+        }
+        dir.sharers.set(node);
+        message(home, node, true);
+        break;
+
+      case DirState::Shared:
+        dir.sharers.set(node);
+        message(home, node, true);
+        break;
+
+      case DirState::Exclusive:
+      case DirState::Modified: {
+        NodeId owner = dir.owner;
+        ccp_assert(owner != node,
+                   "owner read-missed its own exclusive block");
+        message(home, owner, false);
+        caches_[owner].downgrade(block);
+        ++stats_.downgrades;
+        message(owner, node, true);  // cache-to-cache transfer
+        message(owner, home, true);  // sharing writeback
+        stats_.latency += torus_.latency(home, owner);
+        dir.state = DirState::Shared;
+        dir.sharers.set(node);
+        break;
+      }
+    }
+
+    recordReader(dir, node);
+    auto victim = caches_[node].fill(block, fill_state, dir.version);
+    if (victim)
+        handleVictim(node, *victim);
+}
+
+void
+CoherenceController::write(NodeId node, Addr addr, Pc pc)
+{
+    ccp_assert(node < config_.nNodes, "node out of range");
+    Addr block = blockOf(addr);
+    blocksTouched_.insert(block);
+    ++stats_.writes;
+    staticStores_[node].insert(pc);
+
+    CacheState st = caches_[node].state(block);
+    if (st == CacheState::Modified) {
+        bool l1_hit = caches_[node].access(block);
+        stats_.latency += l1_hit ? l1HitCycles : l2HitCycles;
+        return;
+    }
+    if (st == CacheState::Exclusive) {
+        // MESI: silent E->M upgrade, invisible to the directory and
+        // to the predictors (no coherence store miss).
+        caches_[node].upgradeSilent(block);
+        bool l1_hit = caches_[node].access(block);
+        stats_.latency += l1_hit ? l1HitCycles : l2HitCycles;
+        ++stats_.silentUpgrades;
+        return;
+    }
+
+    // Coherence store miss: a write fault (upgrade) or a write miss.
+    predictedStores_[node].insert(pc);
+
+    NodeId home = 0;
+    DirectoryEntry &dir = dirEntry(block, node, home);
+    message(node, home, false);
+    stats_.latency += torus_.latency(node, home);
+
+    // Capture the feedback for the dying version before mutating.
+    // The feedback is the set of nodes actually *invalidated*: the
+    // new writer itself is excluded — it keeps (upgrades) its copy,
+    // so it never reports an access bit.  This matters: a writer that
+    // read-modify-writes would otherwise dominate its own history and
+    // poison writer-indexed predictors with a self-bit that can never
+    // be a correct prediction.
+    trace::CoherenceEvent ev;
+    ev.pid = node;
+    ev.pc = pc;
+    ev.dir = home;
+    ev.block = block;
+    ev.invalidated =
+        dir.readersSinceExclusive.minus(SharingBitmap::single(node));
+    ev.prevWriterPid = dir.lastWriterPid;
+    ev.prevWriterPc = dir.lastWriterPc;
+    ev.hasPrevWriter = dir.hasLastWriter;
+    ev.prevEvent = dir.pendingEvent;
+
+    if (st == CacheState::Shared) {
+        ++stats_.writeFaults;
+        ccp_assert(dir.state == DirState::Shared &&
+                       dir.sharers.test(node),
+                   "upgrading node absent from sharer set");
+        invalidateSharers(dir, block, node, home);
+        caches_[node].upgrade(block, dir.version + 1);
+    } else {
+        ++stats_.writeMisses;
+        ++caches_[node].stats().misses;
+        if (dir.state == DirState::Modified ||
+            dir.state == DirState::Exclusive) {
+            NodeId owner = dir.owner;
+            ccp_assert(owner != node,
+                       "owner write-missed its own exclusive block");
+            message(home, owner, false);
+            auto old = caches_[owner].invalidate(block);
+            ccp_assert(old && (old->state == CacheState::Modified ||
+                               (dir.state == DirState::Exclusive &&
+                                old->state == CacheState::Exclusive)),
+                       "directory owner lost its copy");
+            ++stats_.invalidationsSent;
+            // Dirty copies transfer cache-to-cache; clean Exclusive
+            // copies are satisfied from memory.
+            if (old->state == CacheState::Modified)
+                message(owner, node, true);
+            else
+                message(home, node, true);
+            stats_.latency += torus_.latency(home, owner);
+        } else {
+            invalidateSharers(dir, block, node, home);
+            message(home, node, true);
+        }
+        auto victim = caches_[node].fill(block, CacheState::Modified,
+                                         dir.version + 1);
+        if (victim)
+            handleVictim(node, *victim);
+    }
+
+    dir.state = DirState::Modified;
+    dir.owner = node;
+    dir.sharers = SharingBitmap::single(node);
+    dir.version += 1;
+    dir.readersSinceExclusive = SharingBitmap();
+    dir.lastWriterPid = node;
+    dir.lastWriterPc = pc;
+    dir.hasLastWriter = true;
+    dir.pendingEvent = trace_->append(ev);
+
+    if (forwardHook_)
+        doForwarding(ev, block, home);
+}
+
+void
+CoherenceController::finalizeTrace()
+{
+    trace::TraceMeta &meta = trace_->meta();
+    meta.blocksTouched = blocksTouched_.size();
+    meta.totalOps = stats_.reads + stats_.writes;
+    meta.maxStaticStoresPerNode = 0;
+    meta.maxPredictedStoresPerNode = 0;
+    for (unsigned i = 0; i < config_.nNodes; ++i) {
+        meta.maxStaticStoresPerNode =
+            std::max<std::uint64_t>(meta.maxStaticStoresPerNode,
+                                    staticStores_[i].size());
+        meta.maxPredictedStoresPerNode =
+            std::max<std::uint64_t>(meta.maxPredictedStoresPerNode,
+                                    predictedStores_[i].size());
+    }
+}
+
+std::uint64_t
+CoherenceController::currentVersion(Addr addr)
+{
+    Addr block = blockOf(addr);
+    NodeId home = map_.homeOf(block, 0);
+    const DirectoryEntry *dir = slices_[home].find(block);
+    return dir ? dir->version : 0;
+}
+
+void
+CoherenceController::checkInvariants() const
+{
+    for (NodeId home = 0; home < config_.nNodes; ++home) {
+        for (const auto &[block, dir] : slices_[home]) {
+            unsigned modified_copies = 0;
+            unsigned owned_copies = 0;
+            for (NodeId n = 0; n < config_.nNodes; ++n) {
+                CacheState cs = caches_[n].state(block);
+                if (cs == CacheState::Invalid) {
+                    ccp_assert(!(dir.state == DirState::Shared &&
+                                 dir.sharers.test(n)),
+                               "sharer bit set for an invalid copy");
+                    continue;
+                }
+                if (cs == CacheState::Modified) {
+                    ++modified_copies;
+                    ++owned_copies;
+                    // Under MESI a silently-upgraded copy may still
+                    // look clean-Exclusive to the directory.
+                    ccp_assert((dir.state == DirState::Modified ||
+                                dir.state == DirState::Exclusive) &&
+                                   dir.owner == n,
+                               "modified copy without ownership");
+                }
+                if (cs == CacheState::Exclusive) {
+                    ++owned_copies;
+                    ccp_assert(dir.state == DirState::Exclusive &&
+                                   dir.owner == n,
+                               "exclusive copy without ownership");
+                }
+                ccp_assert(dir.sharers.test(n),
+                           "cached copy missing from sharer set");
+                ccp_assert(caches_[n].version(block) == dir.version,
+                           "stale version cached at node ", n);
+            }
+            ccp_assert(owned_copies <= 1,
+                       "multiple owned copies of block ", block);
+            if (dir.state == DirState::Modified) {
+                ccp_assert(modified_copies == 1,
+                           "directory Modified without a dirty copy");
+                ccp_assert(dir.sharers ==
+                               SharingBitmap::single(dir.owner),
+                           "Modified entry sharers != {owner}");
+            }
+            if (dir.state == DirState::Exclusive) {
+                ccp_assert(owned_copies == 1,
+                           "directory Exclusive without an owner copy");
+                ccp_assert(dir.sharers ==
+                               SharingBitmap::single(dir.owner),
+                           "Exclusive entry sharers != {owner}");
+            }
+            if (dir.state == DirState::Uncached) {
+                ccp_assert(dir.sharers.empty(),
+                           "Uncached entry with sharers");
+                ccp_assert(owned_copies == 0,
+                           "Uncached entry with an owned copy");
+            }
+        }
+    }
+}
+
+} // namespace ccp::mem

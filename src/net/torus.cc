@@ -1,0 +1,124 @@
+#include "net/torus.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace ccp::net {
+
+namespace {
+
+/** Signed shortest offset from a to b on a ring of size n. */
+int
+ringDelta(unsigned a, unsigned b, unsigned n)
+{
+    int fwd = static_cast<int>((b + n - a) % n);
+    int bwd = fwd - static_cast<int>(n);
+    return fwd <= -bwd ? fwd : bwd;
+}
+
+} // namespace
+
+Torus2D::Torus2D(unsigned width, unsigned height,
+                 const TorusParams &params)
+    : width_(width), height_(height), params_(params),
+      linkBytes_(static_cast<std::size_t>(width) * height * 4, 0)
+{
+    ccp_assert(width_ > 0 && height_ > 0, "degenerate torus");
+    ccp_assert(nodes() <= maxNodes, "torus larger than maxNodes");
+
+    double total = 0.0;
+    for (NodeId to = 0; to < nodes(); ++to)
+        total += hops(0, to);
+    meanHops_ = nodes() > 1 ? total / (nodes() - 1) : 1.0;
+}
+
+unsigned
+Torus2D::hops(NodeId a, NodeId b) const
+{
+    unsigned ax = a % width_, ay = a / width_;
+    unsigned bx = b % width_, by = b / width_;
+    return static_cast<unsigned>(std::abs(ringDelta(ax, bx, width_))) +
+           static_cast<unsigned>(std::abs(ringDelta(ay, by, height_)));
+}
+
+double
+Torus2D::meanHops(NodeId from) const
+{
+    double total = 0.0;
+    for (NodeId to = 0; to < nodes(); ++to)
+        total += hops(from, to);
+    return nodes() > 1 ? total / (nodes() - 1) : 0.0;
+}
+
+Cycles
+Torus2D::latency(NodeId from, NodeId to) const
+{
+    if (from == to)
+        return params_.localLatency;
+    double scale = hops(from, to) / meanHops_;
+    double net = static_cast<double>(params_.remoteLatency -
+                                     params_.localLatency);
+    return params_.localLatency +
+           static_cast<Cycles>(std::llround(net * scale));
+}
+
+unsigned
+Torus2D::linkIndex(unsigned x, unsigned y, unsigned dir) const
+{
+    return (y * width_ + x) * 4 + dir;
+}
+
+void
+Torus2D::accountPath(NodeId from, NodeId to, unsigned bytes)
+{
+    unsigned x = from % width_, y = from / width_;
+    unsigned tx = to % width_, ty = to / width_;
+
+    // X dimension first (dimension-order routing), then Y.
+    int dx = ringDelta(x, tx, width_);
+    while (dx != 0) {
+        unsigned dir = dx > 0 ? 0 : 1; // 0: +x, 1: -x
+        linkBytes_[linkIndex(x, y, dir)] += bytes;
+        totalByteHops_ += bytes;
+        x = (x + width_ + (dx > 0 ? 1 : width_ - 1)) % width_;
+        dx += dx > 0 ? -1 : 1;
+    }
+    int dy = ringDelta(y, ty, height_);
+    while (dy != 0) {
+        unsigned dir = dy > 0 ? 2 : 3; // 2: +y, 3: -y
+        linkBytes_[linkIndex(x, y, dir)] += bytes;
+        totalByteHops_ += bytes;
+        y = (y + height_ + (dy > 0 ? 1 : height_ - 1)) % height_;
+        dy += dy > 0 ? -1 : 1;
+    }
+}
+
+unsigned
+Torus2D::sendMessage(NodeId from, NodeId to, unsigned bytes)
+{
+    ccp_assert(from < nodes() && to < nodes(), "node out of range");
+    ++totalMessages_;
+    if (from != to)
+        accountPath(from, to, bytes);
+    return hops(from, to);
+}
+
+std::uint64_t
+Torus2D::maxLinkBytes() const
+{
+    return linkBytes_.empty()
+               ? 0
+               : *std::max_element(linkBytes_.begin(), linkBytes_.end());
+}
+
+void
+Torus2D::clearTraffic()
+{
+    std::fill(linkBytes_.begin(), linkBytes_.end(), 0);
+    totalByteHops_ = 0;
+    totalMessages_ = 0;
+}
+
+} // namespace ccp::net

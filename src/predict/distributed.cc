@@ -1,0 +1,126 @@
+#include "predict/distributed.hh"
+
+#include "common/logging.hh"
+
+namespace ccp::predict {
+
+const char *
+predictorLocationName(PredictorLocation loc)
+{
+    switch (loc) {
+      case PredictorLocation::AtProcessors:
+        return "processors";
+      case PredictorLocation::AtDirectories:
+        return "directories";
+    }
+    ccp_panic("bad PredictorLocation");
+}
+
+DistributedPredictor::DistributedPredictor(const SchemeSpec &global,
+                                           PredictorLocation loc,
+                                           unsigned n_nodes)
+    : location_(loc), nNodes_(n_nodes), partScheme_(global)
+{
+    if (loc == PredictorLocation::AtProcessors) {
+        if (!global.index.distributableAtProcessors())
+            ccp_fatal("scheme without pid indexing cannot be "
+                      "distributed at the processors (Table 1)");
+        partScheme_.index.usePid = false;
+    } else {
+        if (!global.index.distributableAtDirectories())
+            ccp_fatal("scheme without dir indexing cannot be "
+                      "distributed at the directories (Table 1)");
+        partScheme_.index.useDir = false;
+    }
+
+    parts_.reserve(n_nodes);
+    for (unsigned i = 0; i < n_nodes; ++i)
+        parts_.push_back(partScheme_.makeTable(n_nodes));
+}
+
+NodeId
+DistributedPredictor::partOf(NodeId pid, NodeId dir) const
+{
+    NodeId where =
+        location_ == PredictorLocation::AtProcessors ? pid : dir;
+    ccp_assert(where < nNodes_, "routing outside the machine");
+    return where;
+}
+
+const PredictorTable &
+DistributedPredictor::part(NodeId where) const
+{
+    ccp_assert(where < nNodes_, "part index out of range");
+    return parts_[where];
+}
+
+std::uint64_t
+DistributedPredictor::sizeBits() const
+{
+    std::uint64_t total = 0;
+    for (const auto &p : parts_)
+        total += p.sizeBits();
+    return total;
+}
+
+SharingBitmap
+DistributedPredictor::predict(NodeId pid, Pc pc, NodeId dir, Addr block)
+{
+    return parts_[partOf(pid, dir)].predict(pid, pc, dir, block);
+}
+
+void
+DistributedPredictor::update(NodeId pid, Pc pc, NodeId dir, Addr block,
+                             SharingBitmap feedback)
+{
+    parts_[partOf(pid, dir)].update(pid, pc, dir, block, feedback);
+}
+
+void
+DistributedPredictor::clear()
+{
+    for (auto &p : parts_)
+        p.clear();
+}
+
+Confusion
+evaluateDistributed(const trace::SharingTrace &trace,
+                    DistributedPredictor &predictor, UpdateMode mode)
+{
+    predictor.clear();
+    const unsigned n = trace.nNodes();
+    Confusion conf;
+
+    std::vector<SharingBitmap> ordered_fb;
+    if (mode == UpdateMode::Ordered)
+        ordered_fb = orderedFeedback(trace);
+
+    EventSeq seq = 0;
+    for (const auto &ev : trace.events()) {
+        SharingBitmap pred;
+        switch (mode) {
+          case UpdateMode::Direct:
+            if (ev.hasPrevWriter)
+                predictor.update(ev.pid, ev.pc, ev.dir, ev.block,
+                                 ev.invalidated);
+            pred = predictor.predict(ev.pid, ev.pc, ev.dir, ev.block);
+            break;
+          case UpdateMode::Forwarded:
+            if (ev.hasPrevWriter)
+                predictor.update(ev.prevWriterPid, ev.prevWriterPc,
+                                 ev.dir, ev.block, ev.invalidated);
+            pred = predictor.predict(ev.pid, ev.pc, ev.dir, ev.block);
+            break;
+          case UpdateMode::Ordered:
+            pred = predictor.predict(ev.pid, ev.pc, ev.dir, ev.block);
+            predictor.update(ev.pid, ev.pc, ev.dir, ev.block,
+                             ordered_fb[seq]);
+            break;
+        }
+        conf.add(pred, ev.readers, n);
+        ++seq;
+    }
+    return conf;
+}
+
+} // namespace ccp::predict

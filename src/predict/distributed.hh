@@ -1,0 +1,97 @@
+/**
+ * @file
+ * DistributedPredictor: the physical distribution of a global
+ * predictor (paper section 3.1, Figure 1).
+ *
+ * The paper's key structural observation is that placing prediction
+ * tables at the processors or at the directories *is* pid or dir
+ * indexing of one conceptual global predictor: distributing the
+ * global table into N parts — one per processor (when pid indexes it)
+ * or one per directory (when dir indexes it) — yields exactly the
+ * same predictions.  This class implements the distributed
+ * arrangement: N per-location PredictorTables whose local index omits
+ * the location field, with every request routed to the owning part.
+ * The property tests prove bit-exact equivalence with the global
+ * abstraction, making Figure 1's claim executable.
+ */
+
+#ifndef CCP_PREDICT_DISTRIBUTED_HH
+#define CCP_PREDICT_DISTRIBUTED_HH
+
+#include <vector>
+
+#include "predict/evaluator.hh"
+#include "predict/table.hh"
+
+namespace ccp::predict {
+
+/** Where the parts of a distributed predictor live. */
+enum class PredictorLocation : std::uint8_t
+{
+    AtProcessors, ///< one part per node, selected by pid
+    AtDirectories, ///< one part per home node, selected by dir
+};
+
+const char *predictorLocationName(PredictorLocation loc);
+
+/**
+ * A global prediction scheme physically distributed across the
+ * machine.  Construction is fatal if Table 1 forbids the placement
+ * (the location's field must participate in the global index: a
+ * scheme without pid cannot live at the processors, one without dir
+ * cannot live at the directories).
+ */
+class DistributedPredictor
+{
+  public:
+    /**
+     * @param global  The global scheme to distribute.
+     * @param loc     Placement.
+     * @param n_nodes Machine size.
+     */
+    DistributedPredictor(const SchemeSpec &global, PredictorLocation loc,
+                         unsigned n_nodes);
+
+    PredictorLocation location() const { return location_; }
+    unsigned nNodes() const { return nNodes_; }
+
+    /** The scheme of each local part (location field removed). */
+    const SchemeSpec &partScheme() const { return partScheme_; }
+
+    /** Access one physical part (e.g. to inspect its size). */
+    const PredictorTable &part(NodeId where) const;
+
+    /** Total implementation cost, summed over the parts. */
+    std::uint64_t sizeBits() const;
+
+    /** Route a prediction to the owning part. */
+    SharingBitmap predict(NodeId pid, Pc pc, NodeId dir, Addr block);
+
+    /** Route feedback to the owning part. */
+    void update(NodeId pid, Pc pc, NodeId dir, Addr block,
+                SharingBitmap feedback);
+
+    /** Reset every part. */
+    void clear();
+
+  private:
+    NodeId partOf(NodeId pid, NodeId dir) const;
+
+    PredictorLocation location_;
+    unsigned nNodes_;
+    SchemeSpec partScheme_;
+    std::vector<PredictorTable> parts_;
+};
+
+/**
+ * Evaluate a distributed predictor over a trace (same pipelines as
+ * evaluateTrace).  Exists so tests and benches can compare the
+ * distributed arrangement against the global abstraction.
+ */
+Confusion evaluateDistributed(const trace::SharingTrace &trace,
+                              DistributedPredictor &predictor,
+                              UpdateMode mode);
+
+} // namespace ccp::predict
+
+#endif // CCP_PREDICT_DISTRIBUTED_HH

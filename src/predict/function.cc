@@ -1,0 +1,205 @@
+#include "predict/function.hh"
+
+#include "common/logging.hh"
+
+namespace ccp::predict {
+
+const char *
+functionKindName(FunctionKind kind)
+{
+    switch (kind) {
+      case FunctionKind::Union:
+        return "union";
+      case FunctionKind::Inter:
+        return "inter";
+      case FunctionKind::PAs:
+        return "pas";
+      case FunctionKind::OverlapLast:
+        return "overlap-last";
+    }
+    ccp_panic("bad FunctionKind");
+}
+
+WindowFunction::WindowFunction(FunctionKind kind, unsigned depth)
+    : kind_(kind), depth_(depth)
+{
+    ccp_assert(kind == FunctionKind::Union || kind == FunctionKind::Inter,
+               "WindowFunction is union or inter only");
+    ccp_assert(depth >= 1 && depth <= 32, "bad window depth ", depth);
+}
+
+std::uint64_t
+WindowFunction::entryBits(unsigned n_nodes) const
+{
+    // The paper accounts one sharing bitmap per history slot.
+    return std::uint64_t(depth_) * n_nodes;
+}
+
+SharingBitmap
+WindowFunction::predict(const std::uint64_t *state) const
+{
+    unsigned count = static_cast<unsigned>(state[0] & 0xffffffffu);
+    if (count == 0)
+        return SharingBitmap();
+
+    std::uint64_t acc = state[1];
+    if (kind_ == FunctionKind::Union) {
+        for (unsigned i = 1; i < count; ++i)
+            acc |= state[1 + i];
+    } else {
+        for (unsigned i = 1; i < count; ++i)
+            acc &= state[1 + i];
+    }
+    return SharingBitmap(acc);
+}
+
+void
+WindowFunction::update(std::uint64_t *state, SharingBitmap feedback) const
+{
+    unsigned count = static_cast<unsigned>(state[0] & 0xffffffffu);
+    unsigned pos = static_cast<unsigned>(state[0] >> 32);
+
+    state[1 + pos] = feedback.raw();
+    pos = (pos + 1) % depth_;
+    if (count < depth_)
+        ++count;
+    state[0] = (std::uint64_t(pos) << 32) | count;
+}
+
+PAsFunction::PAsFunction(unsigned depth, unsigned n_nodes)
+    : depth_(depth), nNodes_(n_nodes)
+{
+    ccp_assert(depth >= 1 && depth <= 8, "bad PAs depth ", depth);
+    ccp_assert(n_nodes >= 1 && n_nodes <= maxNodes, "bad node count");
+    historyWords_ = (std::size_t(nNodes_) * depth_ + 63) / 64;
+    std::size_t counter_bits = std::size_t(nNodes_) * (1u << depth_) * 2;
+    entryWords_ = historyWords_ + (counter_bits + 63) / 64;
+}
+
+std::uint64_t
+PAsFunction::entryBits(unsigned n_nodes) const
+{
+    // Per node: a depth-bit history register plus 2^depth 2-bit
+    // counters (the paper counts both).
+    return std::uint64_t(n_nodes) * (depth_ + 2ull * (1u << depth_));
+}
+
+unsigned
+PAsFunction::historyOf(const std::uint64_t *state, unsigned node) const
+{
+    std::size_t bit = std::size_t(node) * depth_;
+    std::size_t word = bit / 64, off = bit % 64;
+    std::uint64_t v = state[word] >> off;
+    if (off + depth_ > 64)
+        v |= state[word + 1] << (64 - off);
+    return static_cast<unsigned>(v & ((1u << depth_) - 1));
+}
+
+void
+PAsFunction::setHistory(std::uint64_t *state, unsigned node,
+                        unsigned value) const
+{
+    std::size_t bit = std::size_t(node) * depth_;
+    std::size_t word = bit / 64, off = bit % 64;
+    std::uint64_t mask = std::uint64_t((1u << depth_) - 1);
+
+    state[word] = (state[word] & ~(mask << off)) |
+                  (std::uint64_t(value) << off);
+    if (off + depth_ > 64) {
+        unsigned spill = static_cast<unsigned>(off + depth_ - 64);
+        std::uint64_t hi_mask = (std::uint64_t(1) << spill) - 1;
+        state[word + 1] = (state[word + 1] & ~hi_mask) |
+                          (std::uint64_t(value) >> (depth_ - spill));
+    }
+}
+
+unsigned
+PAsFunction::counterOf(const std::uint64_t *state, unsigned node,
+                       unsigned pattern) const
+{
+    std::size_t bit = (std::size_t(node) * (1u << depth_) + pattern) * 2;
+    std::size_t word = historyWords_ + bit / 64, off = bit % 64;
+    return static_cast<unsigned>((state[word] >> off) & 3);
+}
+
+void
+PAsFunction::setCounter(std::uint64_t *state, unsigned node,
+                        unsigned pattern, unsigned value) const
+{
+    std::size_t bit = (std::size_t(node) * (1u << depth_) + pattern) * 2;
+    std::size_t word = historyWords_ + bit / 64, off = bit % 64;
+    state[word] = (state[word] & ~(std::uint64_t(3) << off)) |
+                  (std::uint64_t(value & 3) << off);
+}
+
+SharingBitmap
+PAsFunction::predict(const std::uint64_t *state) const
+{
+    SharingBitmap pred;
+    for (unsigned n = 0; n < nNodes_; ++n) {
+        unsigned hist = historyOf(state, n);
+        if (counterOf(state, n, hist) >= 2)
+            pred.set(n);
+    }
+    return pred;
+}
+
+void
+PAsFunction::update(std::uint64_t *state, SharingBitmap feedback) const
+{
+    for (unsigned n = 0; n < nNodes_; ++n) {
+        bool read = feedback.test(n);
+        unsigned hist = historyOf(state, n);
+        unsigned ctr = counterOf(state, n, hist);
+        if (read && ctr < 3)
+            ++ctr;
+        else if (!read && ctr > 0)
+            --ctr;
+        setCounter(state, n, hist, ctr);
+        unsigned mask = (1u << depth_) - 1;
+        setHistory(state, n, ((hist << 1) | (read ? 1u : 0u)) & mask);
+    }
+}
+
+std::uint64_t
+OverlapLastFunction::entryBits(unsigned n_nodes) const
+{
+    return 2ull * n_nodes; // two stored bitmaps
+}
+
+SharingBitmap
+OverlapLastFunction::predict(const std::uint64_t *state) const
+{
+    unsigned count = static_cast<unsigned>(state[0]);
+    if (count < 2)
+        return SharingBitmap();
+    SharingBitmap last(state[1]), prev(state[2]);
+    return last.intersects(prev) ? last : SharingBitmap();
+}
+
+void
+OverlapLastFunction::update(std::uint64_t *state,
+                            SharingBitmap feedback) const
+{
+    state[2] = state[1];
+    state[1] = feedback.raw();
+    if (state[0] < 2)
+        ++state[0];
+}
+
+std::unique_ptr<PredictionFunction>
+makeFunction(FunctionKind kind, unsigned depth, unsigned n_nodes)
+{
+    switch (kind) {
+      case FunctionKind::Union:
+      case FunctionKind::Inter:
+        return std::make_unique<WindowFunction>(kind, depth);
+      case FunctionKind::PAs:
+        return std::make_unique<PAsFunction>(depth, n_nodes);
+      case FunctionKind::OverlapLast:
+        return std::make_unique<OverlapLastFunction>();
+    }
+    ccp_panic("bad FunctionKind");
+}
+
+} // namespace ccp::predict

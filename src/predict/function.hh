@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Prediction functions: the *prediction* axis of the taxonomy
+ * (section 3.2).
+ *
+ * A prediction function defines the per-entry state layout of the
+ * predictor table, how a sharing-bitmap prediction is produced from
+ * that state, and how a feedback bitmap updates it.  Implemented
+ * functions:
+ *
+ *  - WindowFunction (union / inter): a circular window of the last
+ *    `depth` feedback bitmaps; the prediction is their union or
+ *    intersection.  Depth 1 is exactly "last prediction" (Lai &
+ *    Falsafi); intersection of depth 2 is Kaxiras & Goodman's
+ *    intersection predictor.
+ *  - PAsFunction: Yeh & Patt style two-level adaptive prediction,
+ *    per potential reader: an N x depth set of history registers
+ *    selects per-node pattern tables of 2-bit saturating counters.
+ *
+ * Entry state is stored as a flat span of 64-bit words so the table
+ * stays dense and sweep evaluation stays fast.
+ */
+
+#ifndef CCP_PREDICT_FUNCTION_HH
+#define CCP_PREDICT_FUNCTION_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/bitmap.hh"
+#include "common/types.hh"
+
+namespace ccp::predict {
+
+/** The prediction-function families of the paper. */
+enum class FunctionKind : std::uint8_t
+{
+    Union,
+    Inter,
+    PAs,
+    /**
+     * Kaxiras & Goodman's "last" variant (paper section 3.5): predict
+     * the last sharing bitmap only if it overlaps the one before it —
+     * a cheap confidence filter.  The paper names it but leaves it
+     * unsimulated; we include it as an extension.
+     */
+    OverlapLast,
+};
+
+/** Parse/print the lowercase family names used in scheme notation. */
+const char *functionKindName(FunctionKind kind);
+
+/**
+ * Abstract per-entry behaviour of a predictor.
+ *
+ * Functions are stateless; all entry state lives in the table's word
+ * array, `entryWords()` words per entry, zero-initialized (an entry
+ * with no recorded history predicts the empty bitmap for union/inter
+ * and whatever its counters say — initially "not shared" — for PAs,
+ * appropriate given the low prevalence of sharing).
+ */
+class PredictionFunction
+{
+  public:
+    virtual ~PredictionFunction() = default;
+
+    virtual FunctionKind kind() const = 0;
+
+    /** History depth parameter of the scheme. */
+    virtual unsigned depth() const = 0;
+
+    /** 64-bit words of state per table entry. */
+    virtual std::size_t entryWords() const = 0;
+
+    /** Implementation cost of one entry in bits (paper accounting). */
+    virtual std::uint64_t entryBits(unsigned n_nodes) const = 0;
+
+    /** Produce a prediction from an entry's state. */
+    virtual SharingBitmap predict(const std::uint64_t *state) const = 0;
+
+    /** Fold a feedback bitmap into an entry's state. */
+    virtual void update(std::uint64_t *state,
+                        SharingBitmap feedback) const = 0;
+
+    /** Family name: "union", "inter", or "pas". */
+    std::string name() const { return functionKindName(kind()); }
+};
+
+/**
+ * Union/intersection over a window of the last `depth` feedback
+ * bitmaps (depth 1 == last prediction).
+ *
+ * State layout: word 0 packs (count, next-slot); words 1..depth are
+ * the bitmaps.
+ */
+class WindowFunction : public PredictionFunction
+{
+  public:
+    /** @param kind Union or Inter.  @param depth window size >= 1. */
+    WindowFunction(FunctionKind kind, unsigned depth);
+
+    FunctionKind kind() const override { return kind_; }
+    unsigned depth() const override { return depth_; }
+    std::size_t entryWords() const override { return depth_ + 1; }
+    std::uint64_t entryBits(unsigned n_nodes) const override;
+    SharingBitmap predict(const std::uint64_t *state) const override;
+    void update(std::uint64_t *state,
+                SharingBitmap feedback) const override;
+
+  private:
+    FunctionKind kind_;
+    unsigned depth_;
+};
+
+/**
+ * Two-level adaptive (PAs) prediction: per entry and per potential
+ * reader node, a `depth`-bit history register indexes a pattern table
+ * of 2-bit saturating counters; the per-node binary predictions
+ * aggregate into the predicted bitmap.
+ *
+ * State layout: `historyWords` words of packed per-node histories,
+ * then packed 2-bit counters.
+ */
+class PAsFunction : public PredictionFunction
+{
+  public:
+    /**
+     * @param depth   History register width in bits (1..8).
+     * @param n_nodes Number of potential readers (fixed per machine).
+     */
+    PAsFunction(unsigned depth, unsigned n_nodes);
+
+    FunctionKind kind() const override { return FunctionKind::PAs; }
+    unsigned depth() const override { return depth_; }
+    std::size_t entryWords() const override { return entryWords_; }
+    std::uint64_t entryBits(unsigned n_nodes) const override;
+    SharingBitmap predict(const std::uint64_t *state) const override;
+    void update(std::uint64_t *state,
+                SharingBitmap feedback) const override;
+
+  private:
+    unsigned historyOf(const std::uint64_t *state, unsigned node) const;
+    void setHistory(std::uint64_t *state, unsigned node,
+                    unsigned value) const;
+    unsigned counterOf(const std::uint64_t *state, unsigned node,
+                       unsigned pattern) const;
+    void setCounter(std::uint64_t *state, unsigned node,
+                    unsigned pattern, unsigned value) const;
+
+    unsigned depth_;
+    unsigned nNodes_;
+    std::size_t historyWords_;
+    std::size_t entryWords_;
+};
+
+/**
+ * Overlap-last prediction: keep the last two feedback bitmaps;
+ * predict the most recent one only when the two overlap (a one-bit
+ * confidence check that suppresses predictions on unstable history).
+ *
+ * State layout: word 0 packs a valid count; words 1..2 are the last
+ * and previous bitmaps.
+ */
+class OverlapLastFunction : public PredictionFunction
+{
+  public:
+    OverlapLastFunction() = default;
+
+    FunctionKind kind() const override
+    {
+        return FunctionKind::OverlapLast;
+    }
+    unsigned depth() const override { return 1; }
+    std::size_t entryWords() const override { return 3; }
+    std::uint64_t entryBits(unsigned n_nodes) const override;
+    SharingBitmap predict(const std::uint64_t *state) const override;
+    void update(std::uint64_t *state,
+                SharingBitmap feedback) const override;
+};
+
+/**
+ * Build a prediction function.
+ *
+ * @param kind    Family.
+ * @param depth   History depth (ignored by overlap-last).
+ * @param n_nodes Machine size (PAs state depends on it).
+ */
+std::unique_ptr<PredictionFunction>
+makeFunction(FunctionKind kind, unsigned depth, unsigned n_nodes);
+
+} // namespace ccp::predict
+
+#endif // CCP_PREDICT_FUNCTION_HH

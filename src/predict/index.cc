@@ -1,0 +1,97 @@
+#include "predict/index.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace ccp::predict {
+
+std::uint64_t
+IndexSpec::index(NodeId pid, Pc pc, NodeId dir, Addr block,
+                 unsigned node_bits) const
+{
+    std::uint64_t idx = 0;
+    unsigned shift = 0;
+
+    if (addrBits > 0) {
+        idx |= (block & ((std::uint64_t(1) << addrBits) - 1)) << shift;
+        shift += addrBits;
+    }
+    if (useDir) {
+        idx |= (std::uint64_t(dir) &
+                ((std::uint64_t(1) << node_bits) - 1))
+               << shift;
+        shift += node_bits;
+    }
+    if (pcBits > 0) {
+        // Stores are word-aligned; drop the two always-zero bits so
+        // truncation keeps the distinguishing bits.
+        idx |= ((pc >> 2) & ((std::uint64_t(1) << pcBits) - 1))
+               << shift;
+        shift += pcBits;
+    }
+    if (usePid) {
+        idx |= (std::uint64_t(pid) &
+                ((std::uint64_t(1) << node_bits) - 1))
+               << shift;
+        shift += node_bits;
+    }
+    ccp_assert(shift == indexBits(node_bits), "index packing mismatch");
+    return idx;
+}
+
+unsigned
+IndexSpec::tableOneCase() const
+{
+    return (usePid ? 8u : 0u) | (pcBits > 0 ? 4u : 0u) |
+           (useDir ? 2u : 0u) | (addrBits > 0 ? 1u : 0u);
+}
+
+std::string
+IndexSpec::fieldsName() const
+{
+    std::ostringstream os;
+    bool first = true;
+    auto sep = [&] {
+        if (!first)
+            os << '+';
+        first = false;
+    };
+    if (usePid) {
+        sep();
+        os << "pid";
+    }
+    if (pcBits > 0) {
+        sep();
+        os << "pc" << pcBits;
+    }
+    if (useDir) {
+        sep();
+        os << "dir";
+    }
+    if (addrBits > 0) {
+        sep();
+        os << "add" << addrBits;
+    }
+    return os.str();
+}
+
+IndexSpec
+addressIndex(unsigned addr_bits, bool use_dir)
+{
+    IndexSpec spec;
+    spec.useDir = use_dir;
+    spec.addrBits = addr_bits;
+    return spec;
+}
+
+IndexSpec
+instructionIndex(unsigned pc_bits, bool use_pid)
+{
+    IndexSpec spec;
+    spec.usePid = use_pid;
+    spec.pcBits = pc_bits;
+    return spec;
+}
+
+} // namespace ccp::predict

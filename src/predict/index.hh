@@ -1,0 +1,94 @@
+/**
+ * @file
+ * IndexSpec: the *access* axis of the paper's taxonomy (section 3.1).
+ *
+ * A prediction scheme indexes one conceptual global predictor with any
+ * combination of the information available when new data is written:
+ * the writer's node id (pid), the static store instruction (pc), the
+ * home node (dir), and the block address (addr).  pid and dir are used
+ * in full (all log2(N) bits) or not at all, so the global predictor
+ * can be distributed to the processors (pid) or directories (dir)
+ * without changing its behaviour; pc and addr may be truncated to any
+ * bit width to meet an implementation cost.
+ *
+ * The 16 classes of Table 1 correspond to which of the four fields
+ * participate at all.
+ */
+
+#ifndef CCP_PREDICT_INDEX_HH
+#define CCP_PREDICT_INDEX_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+#include "trace/event.hh"
+
+namespace ccp::predict {
+
+/** Which fields index the global predictor, and how wide. */
+struct IndexSpec
+{
+    bool usePid = false;
+    /** Low bits of (pc >> 2) used; 0 means pc does not participate. */
+    unsigned pcBits = 0;
+    bool useDir = false;
+    /** Low bits of the block number used; 0 means addr absent. */
+    unsigned addrBits = 0;
+
+    /** Total index width given log2(N) node bits. */
+    unsigned
+    indexBits(unsigned node_bits) const
+    {
+        return (usePid ? node_bits : 0) + pcBits +
+               (useDir ? node_bits : 0) + addrBits;
+    }
+
+    /** Compute the table index for an access tuple. */
+    std::uint64_t index(NodeId pid, Pc pc, NodeId dir, Addr block,
+                        unsigned node_bits) const;
+
+    /** Index for a coherence event's own (writer-side) tuple. */
+    std::uint64_t
+    indexOf(const trace::CoherenceEvent &ev, unsigned node_bits) const
+    {
+        return index(ev.pid, ev.pc, ev.dir, ev.block, node_bits);
+    }
+
+    /**
+     * Table 1 case number (0..15): bit 3 = pid, bit 2 = pc,
+     * bit 1 = dir, bit 0 = addr.
+     */
+    unsigned tableOneCase() const;
+
+    /** True if the scheme can be distributed at the processors. */
+    bool distributableAtProcessors() const { return usePid; }
+    /** True if the scheme can be distributed at the directories. */
+    bool distributableAtDirectories() const { return useDir; }
+    /** True if only a centralized implementation exists (Table 1). */
+    bool
+    centralizedOnly() const
+    {
+        return !usePid && !useDir;
+    }
+
+    /** True if the index uses writer identity (pid or pc). */
+    bool
+    usesWriterIdentity() const
+    {
+        return usePid || pcBits > 0;
+    }
+
+    /** The paper's field list, e.g. "pid+pc8+add6" (no function). */
+    std::string fieldsName() const;
+
+    bool operator==(const IndexSpec &) const = default;
+};
+
+/** Convenience builders for the common schemes. */
+IndexSpec addressIndex(unsigned addr_bits, bool use_dir = true);
+IndexSpec instructionIndex(unsigned pc_bits, bool use_pid = true);
+
+} // namespace ccp::predict
+
+#endif // CCP_PREDICT_INDEX_HH

@@ -1,0 +1,79 @@
+#include "predict/metrics.hh"
+
+namespace ccp::predict {
+
+void
+Confusion::add(const SharingBitmap &predicted,
+               const SharingBitmap &actual, unsigned n_nodes)
+{
+    SharingBitmap mask = SharingBitmap::all(n_nodes);
+    SharingBitmap p = predicted & mask;
+    SharingBitmap a = actual & mask;
+
+    unsigned tp_now = (p & a).popcount();
+    unsigned fp_now = p.minus(a).popcount();
+    unsigned fn_now = a.minus(p).popcount();
+
+    tp += tp_now;
+    fp += fp_now;
+    fn += fn_now;
+    tn += n_nodes - tp_now - fp_now - fn_now;
+}
+
+void
+Confusion::merge(const Confusion &other)
+{
+    tp += other.tp;
+    fp += other.fp;
+    tn += other.tn;
+    fn += other.fn;
+}
+
+namespace {
+
+double
+ratio(std::uint64_t num, std::uint64_t den, double when_empty)
+{
+    return den ? static_cast<double>(num) / static_cast<double>(den)
+               : when_empty;
+}
+
+} // namespace
+
+double
+Confusion::prevalence() const
+{
+    return ratio(tp + fn, decisions(), 0.0);
+}
+
+double
+Confusion::sensitivity() const
+{
+    return ratio(tp, tp + fn, 1.0);
+}
+
+double
+Confusion::pvp() const
+{
+    return ratio(tp, tp + fp, 1.0);
+}
+
+double
+Confusion::specificity() const
+{
+    return ratio(tn, tn + fp, 1.0);
+}
+
+double
+Confusion::pvn() const
+{
+    return ratio(tn, tn + fn, 1.0);
+}
+
+double
+Confusion::accuracy() const
+{
+    return ratio(tp + tn, decisions(), 1.0);
+}
+
+} // namespace ccp::predict

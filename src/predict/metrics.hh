@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Screening-test statistics for sharing prediction (paper section 4).
+ *
+ * Every coherence store miss yields N independent binary decisions —
+ * one per node — compared against the true reader bitmap.  The four
+ * cases form the confusion counts; the derived ratios are the
+ * epidemiological-screening terms the paper transplants:
+ *
+ *   prevalence  = (TP+FN) / all         — how much sharing exists
+ *   sensitivity = TP / (TP+FN)          — sharing found when present
+ *   PVP         = TP / (TP+FP)          — useful fraction of forwards
+ *
+ * plus specificity and PVN for completeness (the paper defines but
+ * does not use them).
+ */
+
+#ifndef CCP_PREDICT_METRICS_HH
+#define CCP_PREDICT_METRICS_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/bitmap.hh"
+
+namespace ccp::predict {
+
+/** Per-bit confusion counts over any number of decisions. */
+struct Confusion
+{
+    std::uint64_t tp = 0;
+    std::uint64_t fp = 0;
+    std::uint64_t tn = 0;
+    std::uint64_t fn = 0;
+
+    /** Score one event: @p predicted vs @p actual over @p n_nodes
+     *  bits. */
+    void add(const SharingBitmap &predicted, const SharingBitmap &actual,
+             unsigned n_nodes);
+
+    void merge(const Confusion &other);
+
+    std::uint64_t decisions() const { return tp + fp + tn + fn; }
+    std::uint64_t actualPositives() const { return tp + fn; }
+    std::uint64_t predictedPositives() const { return tp + fp; }
+
+    /** Base rate of true sharing; 0 if no decisions. */
+    double prevalence() const;
+    /** TP / (TP+FN); 1 if there was nothing to find. */
+    double sensitivity() const;
+    /** TP / (TP+FP), "prediction accuracy" of prior work; 1 if the
+     *  scheme never predicted sharing (no wasted traffic). */
+    double pvp() const;
+    /** TN / (TN+FP). */
+    double specificity() const;
+    /** TN / (TN+FN). */
+    double pvn() const;
+    /** (TP+TN) / all. */
+    double accuracy() const;
+
+    bool operator==(const Confusion &) const = default;
+};
+
+} // namespace ccp::predict
+
+#endif // CCP_PREDICT_METRICS_HH

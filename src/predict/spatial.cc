@@ -1,0 +1,84 @@
+#include "predict/spatial.hh"
+
+#include "common/logging.hh"
+
+namespace ccp::predict {
+
+StickySpatialPredictor::StickySpatialPredictor(
+    const StickySpatialParams &params, unsigned n_nodes)
+    : params_(params), nNodes_(n_nodes)
+{
+    ccp_assert(params.addrBits >= 1 && params.addrBits <= 24,
+               "bad sticky-spatial addr width");
+    last_.assign(std::size_t(1) << params.addrBits, 0);
+    misses_.assign(last_.size(), 0);
+}
+
+std::size_t
+StickySpatialPredictor::slotOf(Addr block) const
+{
+    return static_cast<std::size_t>(
+        block & ((Addr(1) << params_.addrBits) - 1));
+}
+
+std::uint64_t
+StickySpatialPredictor::sizeBits() const
+{
+    return last_.size() * (nNodes_ + 2);
+}
+
+SharingBitmap
+StickySpatialPredictor::predict(Addr block) const
+{
+    std::uint64_t acc = last_[slotOf(block)];
+    for (unsigned d = 1; d <= params_.spatialReach; ++d) {
+        acc |= last_[slotOf(block + d)];
+        acc |= last_[slotOf(block - d)];
+    }
+    return SharingBitmap(acc);
+}
+
+void
+StickySpatialPredictor::update(Addr block, SharingBitmap feedback)
+{
+    std::size_t slot = slotOf(block);
+    if (!params_.sticky) {
+        last_[slot] = feedback.raw();
+        return;
+    }
+    if (feedback.empty()) {
+        // Two consecutive empty observations clear a sticky entry.
+        if (++misses_[slot] >= 2) {
+            last_[slot] = 0;
+            misses_[slot] = 0;
+        }
+    } else {
+        last_[slot] |= feedback.raw();
+        misses_[slot] = 0;
+    }
+}
+
+void
+StickySpatialPredictor::clear()
+{
+    std::fill(last_.begin(), last_.end(), 0);
+    std::fill(misses_.begin(), misses_.end(), 0);
+}
+
+Confusion
+evaluateStickySpatial(const trace::SharingTrace &trace,
+                      StickySpatialPredictor &predictor)
+{
+    predictor.clear();
+    const unsigned n = trace.nNodes();
+    Confusion conf;
+    for (const auto &ev : trace.events()) {
+        if (ev.hasPrevWriter)
+            predictor.update(ev.block, ev.invalidated);
+        SharingBitmap pred = predictor.predict(ev.block);
+        conf.add(pred, ev.readers, n);
+    }
+    return conf;
+}
+
+} // namespace ccp::predict

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * StickySpatialPredictor: the one scheme family the paper's per-entry
+ * taxonomy cannot express (footnote 2): Bilir et al.'s Sticky-Spatial
+ * predictor from Multicast Snooping (ISCA 1999), where the bitmaps of
+ * *neighbouring* cache lines also contribute to a prediction.
+ *
+ * Implemented here as the paper suggests the taxonomy "can be
+ * expanded": a last-bitmap table indexed by truncated block address
+ * whose prediction is the union of the entry's own last bitmap with
+ * its spatial neighbours' (blocks +/- spatialReach), optionally made
+ * "sticky" by OR-ing each entry's own history so bits persist until
+ * the entry is retrained.  Spatial union raises sensitivity on
+ * region-structured sharing (halo rows, stripes) at a PVP cost —
+ * the same trade the multicast-snooping mask faces.
+ */
+
+#ifndef CCP_PREDICT_SPATIAL_HH
+#define CCP_PREDICT_SPATIAL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "predict/evaluator.hh"
+
+namespace ccp::predict {
+
+/** Knobs of the sticky-spatial scheme. */
+struct StickySpatialParams
+{
+    /** Low bits of the block number indexing the table. */
+    unsigned addrBits = 14;
+    /** Neighbour distance included in the spatial union. */
+    unsigned spatialReach = 1;
+    /**
+     * Sticky mode: each entry keeps an OR of its recent feedback
+     * (cleared when feedback is empty twice in a row) instead of just
+     * the last bitmap.
+     */
+    bool sticky = true;
+};
+
+/**
+ * The sticky-spatial predictor.  Not a PredictionFunction: its
+ * prediction reads *several* table entries, which the per-entry
+ * interface deliberately cannot do.
+ */
+class StickySpatialPredictor
+{
+  public:
+    StickySpatialPredictor(const StickySpatialParams &params,
+                           unsigned n_nodes);
+
+    const StickySpatialParams &params() const { return params_; }
+
+    /** Implementation cost in bits (one bitmap per entry plus the
+     *  two-miss clear counter). */
+    std::uint64_t sizeBits() const;
+
+    SharingBitmap predict(Addr block) const;
+    void update(Addr block, SharingBitmap feedback);
+    void clear();
+
+  private:
+    std::size_t slotOf(Addr block) const;
+
+    StickySpatialParams params_;
+    unsigned nNodes_;
+    std::vector<std::uint64_t> last_;
+    std::vector<std::uint8_t> misses_;
+};
+
+/** Evaluate sticky-spatial over a trace (direct update semantics:
+ *  feedback is applied before the prediction, like every practical
+ *  address-indexed scheme). */
+Confusion evaluateStickySpatial(const trace::SharingTrace &trace,
+                                StickySpatialPredictor &predictor);
+
+} // namespace ccp::predict
+
+#endif // CCP_PREDICT_SPATIAL_HH

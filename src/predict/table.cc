@@ -1,0 +1,80 @@
+#include "predict/table.hh"
+
+#include <bit>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace ccp::predict {
+
+unsigned
+nodeBitsFor(unsigned n_nodes)
+{
+    ccp_assert(n_nodes >= 1 && n_nodes <= maxNodes,
+               "bad node count ", n_nodes);
+    unsigned bits = 0;
+    while ((1u << bits) < n_nodes)
+        ++bits;
+    return bits;
+}
+
+namespace {
+
+/** Hard cap on index width so a mistyped sweep cannot eat all RAM. */
+constexpr unsigned maxIndexBits = 26;
+
+} // namespace
+
+PredictorTable::PredictorTable(
+    const IndexSpec &spec,
+    std::shared_ptr<const PredictionFunction> function, unsigned n_nodes)
+    : spec_(spec), function_(std::move(function)), nNodes_(n_nodes),
+      nodeBits_(nodeBitsFor(n_nodes))
+{
+    ccp_assert(function_ != nullptr, "table needs a function");
+    unsigned bits = spec_.indexBits(nodeBits_);
+    ccp_assert(bits <= maxIndexBits, "index too wide: ", bits, " bits");
+    entries_ = std::uint64_t(1) << bits;
+    entryWords_ = function_->entryWords();
+    state_.assign(entries_ * entryWords_, 0);
+}
+
+std::uint64_t
+PredictorTable::sizeBits() const
+{
+    return entries_ * function_->entryBits(nNodes_);
+}
+
+double
+PredictorTable::log2SizeBits() const
+{
+    return std::log2(static_cast<double>(sizeBits()));
+}
+
+std::uint64_t *
+PredictorTable::entryState(NodeId pid, Pc pc, NodeId dir, Addr block)
+{
+    std::uint64_t idx = spec_.index(pid, pc, dir, block, nodeBits_);
+    return state_.data() + idx * entryWords_;
+}
+
+SharingBitmap
+PredictorTable::predict(NodeId pid, Pc pc, NodeId dir, Addr block)
+{
+    return function_->predict(entryState(pid, pc, dir, block));
+}
+
+void
+PredictorTable::update(NodeId pid, Pc pc, NodeId dir, Addr block,
+                       SharingBitmap feedback)
+{
+    function_->update(entryState(pid, pc, dir, block), feedback);
+}
+
+void
+PredictorTable::clear()
+{
+    std::fill(state_.begin(), state_.end(), 0);
+}
+
+} // namespace ccp::predict

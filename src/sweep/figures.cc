@@ -1,0 +1,96 @@
+#include "sweep/figures.hh"
+
+#include <sstream>
+
+namespace ccp::sweep {
+
+using predict::FunctionKind;
+using predict::IndexSpec;
+using predict::UpdateMode;
+
+namespace {
+
+IndexSpec
+make(unsigned addr_bits, bool use_dir, unsigned pc_bits, bool use_pid)
+{
+    IndexSpec idx;
+    idx.addrBits = addr_bits;
+    idx.useDir = use_dir;
+    idx.pcBits = pc_bits;
+    idx.usePid = use_pid;
+    return idx;
+}
+
+} // namespace
+
+std::vector<IndexSpec>
+figureIndexSeries16()
+{
+    // The label columns of Figures 6/7, left to right
+    // (addr, dir, pc, pid).
+    return {
+        make(0, false, 0, false),  make(16, false, 0, false),
+        make(0, true, 0, false),   make(12, true, 0, false),
+        make(0, false, 16, false), make(8, false, 8, false),
+        make(0, true, 12, false),  make(6, true, 6, false),
+        make(0, false, 0, true),   make(12, false, 0, true),
+        make(0, true, 0, true),    make(8, true, 0, true),
+        make(0, false, 12, true),  make(6, false, 6, true),
+        make(0, true, 8, true),    make(4, true, 4, true),
+    };
+}
+
+std::vector<IndexSpec>
+figureIndexSeries12()
+{
+    // The label columns of Figure 8 (PAs, 12-bit max index).
+    return {
+        make(0, false, 0, false),  make(12, false, 0, false),
+        make(0, true, 0, false),   make(8, true, 0, false),
+        make(0, false, 12, false), make(6, false, 6, false),
+        make(0, true, 8, false),   make(4, true, 4, false),
+        make(0, false, 0, true),   make(8, false, 0, true),
+        make(0, true, 0, true),    make(4, true, 0, true),
+        make(0, false, 8, true),   make(4, false, 4, true),
+        make(0, true, 4, true),    make(2, true, 2, true),
+    };
+}
+
+std::string
+figureLabel(const IndexSpec &index)
+{
+    std::ostringstream os;
+    if (index.addrBits)
+        os << index.addrBits;
+    else
+        os << '-';
+    os << '/' << (index.useDir ? "Y" : "-") << '/';
+    if (index.pcBits)
+        os << index.pcBits;
+    else
+        os << '-';
+    os << '/' << (index.usePid ? "Y" : "-");
+    return os.str();
+}
+
+std::vector<FigurePoint>
+evaluateFigure(const std::vector<trace::SharingTrace> &traces,
+               const std::vector<IndexSpec> &series, FunctionKind kind,
+               unsigned depth, UpdateMode mode)
+{
+    std::vector<FigurePoint> points;
+    points.reserve(series.size());
+    for (const IndexSpec &idx : series) {
+        predict::SchemeSpec scheme{idx, kind, depth};
+        predict::SuiteResult res = evaluateSuite(traces, scheme, mode);
+        FigurePoint pt;
+        pt.index = idx;
+        pt.label = figureLabel(idx);
+        pt.sensitivity = res.avgSensitivity();
+        pt.pvp = res.avgPvp();
+        points.push_back(pt);
+    }
+    return points;
+}
+
+} // namespace ccp::sweep

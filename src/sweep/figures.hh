@@ -1,0 +1,54 @@
+/**
+ * @file
+ * The x-axis label series of the paper's Figures 6-8: sixteen indexing
+ * combinations under a maximum index width (16 bits for the
+ * union/intersection figures, 12 for PAs), evaluated for sensitivity
+ * and PVP under each update mechanism.
+ */
+
+#ifndef CCP_SWEEP_FIGURES_HH
+#define CCP_SWEEP_FIGURES_HH
+
+#include <string>
+#include <vector>
+
+#include "predict/evaluator.hh"
+#include "trace/trace.hh"
+
+namespace ccp::sweep {
+
+/** One x-axis position of a figure. */
+struct FigurePoint
+{
+    predict::IndexSpec index;
+    /** Compact label like "12/Y/-/-" for addr/dir/pc/pid. */
+    std::string label;
+    double sensitivity = 0.0;
+    double pvp = 0.0;
+};
+
+/**
+ * The sixteen indexing combinations of Figures 6 and 7 (16-bit max
+ * index: pid/dir four bits each when present).
+ */
+std::vector<predict::IndexSpec> figureIndexSeries16();
+
+/** The sixteen combinations of Figure 8 (12-bit max index). */
+std::vector<predict::IndexSpec> figureIndexSeries12();
+
+/**
+ * Evaluate one figure: the given function/depth over the label
+ * series, averaging sensitivity and PVP across the suite.
+ */
+std::vector<FigurePoint>
+evaluateFigure(const std::vector<trace::SharingTrace> &traces,
+               const std::vector<predict::IndexSpec> &series,
+               predict::FunctionKind kind, unsigned depth,
+               predict::UpdateMode mode);
+
+/** Render the addr/dir/pc/pid label of a series position. */
+std::string figureLabel(const predict::IndexSpec &index);
+
+} // namespace ccp::sweep
+
+#endif // CCP_SWEEP_FIGURES_HH

@@ -1,0 +1,145 @@
+#include "sweep/name.hh"
+
+#include <cctype>
+#include <sstream>
+
+namespace ccp::sweep {
+
+using predict::FunctionKind;
+using predict::SchemeSpec;
+using predict::UpdateMode;
+
+std::string
+formatScheme(const SchemeSpec &scheme)
+{
+    std::ostringstream os;
+    os << predict::functionKindName(scheme.kind) << '('
+       << scheme.index.fieldsName() << ')' << scheme.depth;
+    return os.str();
+}
+
+std::string
+formatScheme(const SchemeSpec &scheme, UpdateMode mode)
+{
+    return formatScheme(scheme) + "[" + predict::updateModeName(mode) +
+           "]";
+}
+
+namespace {
+
+/** Cursor-based mini parser. */
+class Cursor
+{
+  public:
+    explicit Cursor(const std::string &s) : s_(s) {}
+
+    bool done() const { return pos_ >= s_.size(); }
+    char peek() const { return done() ? '\0' : s_[pos_]; }
+
+    bool
+    eat(char c)
+    {
+        if (peek() != c)
+            return false;
+        ++pos_;
+        return true;
+    }
+
+    bool
+    eatWord(const std::string &w)
+    {
+        if (s_.compare(pos_, w.size(), w) != 0)
+            return false;
+        pos_ += w.size();
+        return true;
+    }
+
+    std::optional<unsigned>
+    eatNumber()
+    {
+        if (!std::isdigit(static_cast<unsigned char>(peek())))
+            return std::nullopt;
+        unsigned v = 0;
+        while (std::isdigit(static_cast<unsigned char>(peek()))) {
+            v = v * 10 + static_cast<unsigned>(s_[pos_] - '0');
+            ++pos_;
+        }
+        return v;
+    }
+
+  private:
+    const std::string &s_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+std::optional<ParsedScheme>
+parseScheme(const std::string &text)
+{
+    Cursor cur(text);
+    ParsedScheme out;
+
+    if (cur.eatWord("union"))
+        out.scheme.kind = FunctionKind::Union;
+    else if (cur.eatWord("inter"))
+        out.scheme.kind = FunctionKind::Inter;
+    else if (cur.eatWord("pas"))
+        out.scheme.kind = FunctionKind::PAs;
+    else if (cur.eatWord("overlap-last"))
+        out.scheme.kind = FunctionKind::OverlapLast;
+    else if (cur.eatWord("last"))
+        out.scheme.kind = FunctionKind::Union; // last == window depth 1
+    else
+        return std::nullopt;
+
+    if (!cur.eat('('))
+        return std::nullopt;
+
+    // Field list: pid, pcN, dir, addN (also accept memN and addrN as
+    // spelling variants used in the paper's Table 7).
+    while (!cur.eat(')')) {
+        if (cur.eatWord("pid")) {
+            out.scheme.index.usePid = true;
+        } else if (cur.eatWord("pc")) {
+            auto n = cur.eatNumber();
+            if (!n)
+                return std::nullopt;
+            out.scheme.index.pcBits = *n;
+        } else if (cur.eatWord("dir")) {
+            out.scheme.index.useDir = true;
+        } else if (cur.eatWord("addr") || cur.eatWord("add") ||
+                   cur.eatWord("mem")) {
+            auto n = cur.eatNumber();
+            if (!n)
+                return std::nullopt;
+            out.scheme.index.addrBits = *n;
+        } else {
+            return std::nullopt;
+        }
+        if (cur.peek() == '+' && !cur.eat('+'))
+            return std::nullopt;
+    }
+
+    auto depth = cur.eatNumber();
+    out.scheme.depth = depth.value_or(1);
+
+    if (cur.eat('[')) {
+        if (cur.eatWord("direct"))
+            out.mode = UpdateMode::Direct;
+        else if (cur.eatWord("forwarded") || cur.eatWord("forward"))
+            out.mode = UpdateMode::Forwarded;
+        else if (cur.eatWord("ordered"))
+            out.mode = UpdateMode::Ordered;
+        else
+            return std::nullopt;
+        if (!cur.eat(']'))
+            return std::nullopt;
+    }
+
+    if (!cur.done())
+        return std::nullopt;
+    return out;
+}
+
+} // namespace ccp::sweep

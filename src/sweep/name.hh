@@ -1,0 +1,40 @@
+/**
+ * @file
+ * The paper's scheme notation (section 3.5):
+ *
+ *   prediction-function(index)depth[update]
+ *
+ * e.g. "inter(pid+pc8+add6)4[direct]" or "union(dir+add14)4".  This
+ * module formats SchemeSpecs into that notation and parses it back.
+ */
+
+#ifndef CCP_SWEEP_NAME_HH
+#define CCP_SWEEP_NAME_HH
+
+#include <optional>
+#include <string>
+
+#include "predict/evaluator.hh"
+
+namespace ccp::sweep {
+
+/** Format a scheme, optionally with the update-mode suffix. */
+std::string formatScheme(const predict::SchemeSpec &scheme);
+std::string formatScheme(const predict::SchemeSpec &scheme,
+                         predict::UpdateMode mode);
+
+/**
+ * Parse the notation back into a scheme (and update mode, if the
+ * [update] suffix is present).  @return nullopt on malformed input.
+ */
+struct ParsedScheme
+{
+    predict::SchemeSpec scheme;
+    std::optional<predict::UpdateMode> mode;
+};
+
+std::optional<ParsedScheme> parseScheme(const std::string &text);
+
+} // namespace ccp::sweep
+
+#endif // CCP_SWEEP_NAME_HH

@@ -1,0 +1,65 @@
+#include "sweep/search.hh"
+
+#include <algorithm>
+
+namespace ccp::sweep {
+
+using predict::SchemeSpec;
+using predict::SuiteResult;
+using predict::UpdateMode;
+
+std::vector<RankedScheme>
+rankSchemes(const std::vector<trace::SharingTrace> &traces,
+            const std::vector<SchemeSpec> &schemes, UpdateMode mode,
+            RankBy by, std::size_t n,
+            const std::function<void(std::size_t, std::size_t)>
+                &progress)
+{
+    std::vector<RankedScheme> ranked;
+    ranked.reserve(schemes.size());
+
+    std::size_t done = 0;
+    for (const SchemeSpec &scheme : schemes) {
+        SuiteResult res = evaluateSuite(traces, scheme, mode);
+        double score = by == RankBy::Pvp ? res.avgPvp()
+                                         : res.avgSensitivity();
+        ranked.push_back({std::move(res), score});
+        if (progress)
+            progress(++done, schemes.size());
+    }
+
+    auto better = [&](const RankedScheme &a, const RankedScheme &b) {
+        if (a.score != b.score)
+            return a.score > b.score;
+        std::uint64_t sa = a.result.scheme.sizeBits(
+            traces.front().nNodes());
+        std::uint64_t sb = b.result.scheme.sizeBits(
+            traces.front().nNodes());
+        if (sa != sb)
+            return sa < sb;
+        double ta = by == RankBy::Pvp ? a.result.avgSensitivity()
+                                      : a.result.avgPvp();
+        double tb = by == RankBy::Pvp ? b.result.avgSensitivity()
+                                      : b.result.avgPvp();
+        return ta > tb;
+    };
+
+    std::size_t keep = std::min(n, ranked.size());
+    std::partial_sort(ranked.begin(), ranked.begin() + keep,
+                      ranked.end(), better);
+    ranked.resize(keep);
+    return ranked;
+}
+
+std::vector<SuiteResult>
+evaluateSchemes(const std::vector<trace::SharingTrace> &traces,
+                const std::vector<SchemeSpec> &schemes, UpdateMode mode)
+{
+    std::vector<SuiteResult> out;
+    out.reserve(schemes.size());
+    for (const SchemeSpec &scheme : schemes)
+        out.push_back(evaluateSuite(traces, scheme, mode));
+    return out;
+}
+
+} // namespace ccp::sweep

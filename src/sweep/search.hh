@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Top-N search over the design space (paper Tables 8-11): evaluate a
+ * set of schemes across a benchmark suite under one update mode and
+ * rank by average PVP or average sensitivity.
+ */
+
+#ifndef CCP_SWEEP_SEARCH_HH
+#define CCP_SWEEP_SEARCH_HH
+
+#include <functional>
+#include <vector>
+
+#include "predict/evaluator.hh"
+#include "trace/trace.hh"
+
+namespace ccp::sweep {
+
+/** Ranking criterion for the top-N tables. */
+enum class RankBy : std::uint8_t
+{
+    Pvp,
+    Sensitivity,
+};
+
+/** One ranked row: scheme + its suite result. */
+struct RankedScheme
+{
+    predict::SuiteResult result;
+    double score = 0.0;
+};
+
+/**
+ * Evaluate every scheme over the suite and return the top @p n by the
+ * given criterion (ties broken toward smaller tables, then toward the
+ * other metric).
+ *
+ * @param progress Optional callback invoked per scheme evaluated
+ *                 (done, total) — the full sweep takes a while.
+ */
+std::vector<RankedScheme>
+rankSchemes(const std::vector<trace::SharingTrace> &traces,
+            const std::vector<predict::SchemeSpec> &schemes,
+            predict::UpdateMode mode, RankBy by, std::size_t n,
+            const std::function<void(std::size_t, std::size_t)>
+                &progress = {});
+
+/** Evaluate one named list of schemes (no ranking), e.g. Table 7. */
+std::vector<predict::SuiteResult>
+evaluateSchemes(const std::vector<trace::SharingTrace> &traces,
+                const std::vector<predict::SchemeSpec> &schemes,
+                predict::UpdateMode mode);
+
+} // namespace ccp::sweep
+
+#endif // CCP_SWEEP_SEARCH_HH

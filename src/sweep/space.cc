@@ -1,0 +1,54 @@
+#include "sweep/space.hh"
+
+#include "predict/table.hh"
+
+namespace ccp::sweep {
+
+using predict::FunctionKind;
+using predict::IndexSpec;
+using predict::SchemeSpec;
+
+std::vector<SchemeSpec>
+enumerateSchemes(const SpaceSpec &spec)
+{
+    std::vector<SchemeSpec> out;
+    const unsigned node_bits = predict::nodeBitsFor(spec.nNodes);
+
+    std::vector<IndexSpec> indices;
+    for (bool use_pid : {false, true}) {
+        for (bool use_dir : {false, true}) {
+            for (unsigned pc_bits : spec.pcBitsGrid) {
+                for (unsigned addr_bits : spec.addrBitsGrid) {
+                    IndexSpec idx;
+                    idx.usePid = use_pid;
+                    idx.useDir = use_dir;
+                    idx.pcBits = pc_bits;
+                    idx.addrBits = addr_bits;
+                    if (idx.indexBits(node_bits) > spec.maxIndexBits)
+                        continue;
+                    indices.push_back(idx);
+                }
+            }
+        }
+    }
+
+    auto push = [&](FunctionKind kind, unsigned depth,
+                    const IndexSpec &idx) {
+        SchemeSpec scheme{idx, kind, depth};
+        if (scheme.sizeBits(spec.nNodes) <= spec.maxBits)
+            out.push_back(scheme);
+    };
+
+    for (const IndexSpec &idx : indices) {
+        for (unsigned depth : spec.windowDepths) {
+            push(FunctionKind::Union, depth, idx);
+            if (depth > 1) // inter(depth 1) == union(depth 1) == last
+                push(FunctionKind::Inter, depth, idx);
+        }
+        for (unsigned depth : spec.pasDepths)
+            push(FunctionKind::PAs, depth, idx);
+    }
+    return out;
+}
+
+} // namespace ccp::sweep

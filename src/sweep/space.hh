@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Enumeration of the affordable design space (paper section 5.4):
+ * every indexing combination over a bit-width grid, every prediction
+ * function and history depth, filtered by a total implementation-cost
+ * cap (the paper explores up to 2^24 bits machine-wide).
+ */
+
+#ifndef CCP_SWEEP_SPACE_HH
+#define CCP_SWEEP_SPACE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "predict/evaluator.hh"
+
+namespace ccp::sweep {
+
+/** Bounds of the enumerated space. */
+struct SpaceSpec
+{
+    unsigned nNodes = 16;
+    /** Cost cap in bits (paper: 2^24). */
+    std::uint64_t maxBits = std::uint64_t(1) << 24;
+    /** Cap on total index width (keeps tables allocatable). */
+    unsigned maxIndexBits = 20;
+    /** Grid of pc field widths to try (0 = absent). */
+    std::vector<unsigned> pcBitsGrid = {0, 2, 4, 6, 8, 10, 12, 14, 16};
+    /** Grid of addr field widths to try (0 = absent). */
+    std::vector<unsigned> addrBitsGrid = {0, 2, 4, 6, 8, 10, 12, 14, 16};
+    /** Window (union/inter) history depths. */
+    std::vector<unsigned> windowDepths = {1, 2, 3, 4};
+    /** PAs history depths; empty to exclude PAs from the sweep. */
+    std::vector<unsigned> pasDepths = {1, 2, 4};
+};
+
+/**
+ * Enumerate all schemes within the bounds.  Depth-1 intersection is
+ * canonicalized away (it is identical to depth-1 union, the "last"
+ * predictor).
+ */
+std::vector<predict::SchemeSpec> enumerateSchemes(const SpaceSpec &spec);
+
+} // namespace ccp::sweep
+
+#endif // CCP_SWEEP_SPACE_HH

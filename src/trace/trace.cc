@@ -1,0 +1,154 @@
+#include "trace/trace.hh"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "common/logging.hh"
+
+namespace ccp::trace {
+
+namespace {
+
+constexpr std::uint32_t traceMagic = 0x43435054; // "CCPT"
+constexpr std::uint32_t traceVersion = 2;
+
+template <typename T>
+void
+put(std::ostream &os, const T &v)
+{
+    os.write(reinterpret_cast<const char *>(&v), sizeof(T));
+}
+
+template <typename T>
+bool
+get(std::istream &is, T &v)
+{
+    is.read(reinterpret_cast<char *>(&v), sizeof(T));
+    return bool(is);
+}
+
+} // namespace
+
+EventSeq
+SharingTrace::append(const CoherenceEvent &ev)
+{
+    events_.push_back(ev);
+    return events_.size() - 1;
+}
+
+std::uint64_t
+SharingTrace::sharingEvents() const
+{
+    std::uint64_t total = 0;
+    for (const auto &ev : events_)
+        total += ev.readers.popcount();
+    return total;
+}
+
+double
+SharingTrace::prevalence() const
+{
+    auto d = decisions();
+    return d ? static_cast<double>(sharingEvents()) /
+                   static_cast<double>(d)
+             : 0.0;
+}
+
+bool
+SharingTrace::save(std::ostream &os) const
+{
+    put(os, traceMagic);
+    put(os, traceVersion);
+
+    std::uint32_t name_len = static_cast<std::uint32_t>(name_.size());
+    put(os, name_len);
+    os.write(name_.data(), name_len);
+
+    put(os, nNodes_);
+    put(os, meta_.maxStaticStoresPerNode);
+    put(os, meta_.maxPredictedStoresPerNode);
+    put(os, meta_.blocksTouched);
+    put(os, meta_.totalOps);
+
+    std::uint64_t count = events_.size();
+    put(os, count);
+    for (const auto &ev : events_) {
+        put(os, ev.pid);
+        put(os, ev.dir);
+        put(os, ev.pc);
+        put(os, ev.block);
+        put(os, ev.invalidated.raw());
+        put(os, ev.readers.raw());
+        put(os, ev.prevWriterPc);
+        put(os, ev.prevWriterPid);
+        std::uint8_t has_prev = ev.hasPrevWriter ? 1 : 0;
+        put(os, has_prev);
+        put(os, ev.prevEvent);
+    }
+    return bool(os);
+}
+
+bool
+SharingTrace::load(std::istream &is)
+{
+    std::uint32_t magic = 0, version = 0;
+    if (!get(is, magic) || magic != traceMagic)
+        return false;
+    if (!get(is, version) || version != traceVersion)
+        return false;
+
+    std::uint32_t name_len = 0;
+    if (!get(is, name_len) || name_len > (1u << 20))
+        return false;
+    name_.resize(name_len);
+    is.read(name_.data(), name_len);
+    if (!is)
+        return false;
+
+    if (!get(is, nNodes_))
+        return false;
+    if (!get(is, meta_.maxStaticStoresPerNode) ||
+        !get(is, meta_.maxPredictedStoresPerNode) ||
+        !get(is, meta_.blocksTouched) || !get(is, meta_.totalOps))
+        return false;
+
+    std::uint64_t count = 0;
+    if (!get(is, count))
+        return false;
+    events_.clear();
+    events_.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+        CoherenceEvent ev;
+        std::uint64_t inv_raw = 0, readers_raw = 0;
+        std::uint8_t has_prev = 0;
+        if (!get(is, ev.pid) || !get(is, ev.dir) || !get(is, ev.pc) ||
+            !get(is, ev.block) || !get(is, inv_raw) ||
+            !get(is, readers_raw) || !get(is, ev.prevWriterPc) ||
+            !get(is, ev.prevWriterPid) || !get(is, has_prev) ||
+            !get(is, ev.prevEvent))
+            return false;
+        ev.invalidated = SharingBitmap(inv_raw);
+        ev.readers = SharingBitmap(readers_raw);
+        ev.hasPrevWriter = has_prev != 0;
+        events_.push_back(ev);
+    }
+    return true;
+}
+
+bool
+SharingTrace::saveFile(const std::string &path) const
+{
+    std::ofstream os(path, std::ios::binary);
+    return os && save(os);
+}
+
+bool
+SharingTrace::loadFile(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    return is && load(is);
+}
+
+} // namespace ccp::trace

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * SharingTrace: an in-memory sequence of coherence events plus the
+ * run-level statistics the paper reports (Tables 5 and 6), with binary
+ * save/load so traces can be generated once and swept many times.
+ */
+
+#ifndef CCP_TRACE_TRACE_HH
+#define CCP_TRACE_TRACE_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "trace/event.hh"
+
+namespace ccp::trace {
+
+/**
+ * Run-level metadata mirroring the paper's Table 5 columns, filled by
+ * the machine while the trace is generated.
+ */
+struct TraceMeta
+{
+    /** Maximum distinct static (shared-data) stores at any node. */
+    std::uint64_t maxStaticStoresPerNode = 0;
+    /** Maximum distinct stores involved in predictions at any node. */
+    std::uint64_t maxPredictedStoresPerNode = 0;
+    /** Distinct cache blocks touched by any access. */
+    std::uint64_t blocksTouched = 0;
+    /** Total memory operations executed through the machine. */
+    std::uint64_t totalOps = 0;
+};
+
+/**
+ * The complete coherence-event record of one benchmark run.
+ *
+ * Events appear in global program order (the order the interleaved
+ * machine processed them).  After generation the trace is *finalized*:
+ * every event's outcome bitmap is complete, including readers observed
+ * up to the end of the run (the paper's "final state of the memory").
+ */
+class SharingTrace
+{
+  public:
+    SharingTrace() = default;
+    SharingTrace(std::string name, unsigned n_nodes)
+        : name_(std::move(name)), nNodes_(n_nodes)
+    {
+    }
+
+    const std::string &name() const { return name_; }
+    unsigned nNodes() const { return nNodes_; }
+
+    const std::vector<CoherenceEvent> &events() const { return events_; }
+    std::vector<CoherenceEvent> &events() { return events_; }
+
+    TraceMeta &meta() { return meta_; }
+    const TraceMeta &meta() const { return meta_; }
+
+    /** Append an event, returning its sequence number. */
+    EventSeq append(const CoherenceEvent &ev);
+
+    /** Number of coherence store misses. */
+    std::uint64_t storeMisses() const { return events_.size(); }
+
+    /**
+     * Total per-bit sharing decisions: one per node per event
+     * (Table 6's "Dynamic Sharing Decisions" = 16 x store misses).
+     */
+    std::uint64_t decisions() const
+    {
+        return events_.size() * nNodes_;
+    }
+
+    /** Total set reader bits (Table 6's "Dynamic Sharing Events"). */
+    std::uint64_t sharingEvents() const;
+
+    /** Fraction of decisions that are reads: sharingEvents/decisions. */
+    double prevalence() const;
+
+    /** Serialize to a binary stream.  @return false on I/O error. */
+    bool save(std::ostream &os) const;
+    /** Deserialize from a binary stream.  @return false on error. */
+    bool load(std::istream &is);
+
+    /** Convenience file-based wrappers. */
+    bool saveFile(const std::string &path) const;
+    bool loadFile(const std::string &path);
+
+  private:
+    std::string name_;
+    unsigned nNodes_ = 0;
+    TraceMeta meta_;
+    std::vector<CoherenceEvent> events_;
+};
+
+} // namespace ccp::trace
+
+#endif // CCP_TRACE_TRACE_HH

@@ -1,0 +1,237 @@
+/**
+ * @file
+ * barnes: Barnes-Hut hierarchical N-body simulation, 8K particles
+ * (SPLASH).
+ *
+ * Sharing-pattern model: bodies are Morton-sorted and partitioned
+ * contiguously.  Each step: (A) cooperative octree build — counters
+ * of shared ancestor cells are read-modify-written by every inserting
+ * owner, a migratory hot-spot whose intensity decays with depth;
+ * (B) bottom-up center-of-mass computation — each cell is written by
+ * its owner after reading its children; (C) force computation — the
+ * top tree levels are read by *all* nodes (wide sharing), deeper
+ * cells and neighbour body positions by the few owners nearby; and
+ * (D) position updates by the owners.  The wide top-of-tree reads
+ * push barnes to the suite's highest prevalence (paper: 15.10%).
+ */
+
+#include "workloads/kernels.hh"
+
+#include <algorithm>
+#include <array>
+#include <vector>
+
+namespace ccp::workloads {
+
+namespace {
+
+/** Body count (Table 3: 8K particles). */
+constexpr unsigned nBodies = 8192;
+/** Steps (before scaling). */
+constexpr unsigned steps = 10;
+/** Stable far-interaction partner nodes per body (slowly drifting). */
+constexpr unsigned farPartners = 3;
+/** Per-step probability a body re-rolls its far partners. */
+constexpr double partnerDrift = 0.05;
+/** Tree fanout per level (an octree). */
+constexpr unsigned fanout = 8;
+/** Tree depth: levels 0..4 with 1, 8, 64, 512, 4096 cells. */
+constexpr unsigned nLevels = 5;
+/** Half-width of the neighbour window read during force phase. */
+constexpr unsigned bodyWindow = 24;
+/** Neighbour body positions sampled per body in the force phase. */
+constexpr unsigned bodySamples = 10;
+/** Probability of updating each ancestor level during tree build. */
+constexpr double insertProb[nLevels] = {0.008, 0.03, 0.12, 0.5, 1.0};
+
+class BarnesKernel : public Workload
+{
+  public:
+    explicit BarnesKernel(const WorkloadParams &params)
+        : Workload(params)
+    {
+    }
+
+    std::string name() const override { return "barnes"; }
+
+  protected:
+    void generate() override;
+
+  private:
+    NodeId
+    ownerOfBody(unsigned b) const
+    {
+        return static_cast<NodeId>(
+            (std::uint64_t(b) * nNodes()) / nBodies);
+    }
+
+    unsigned
+    cellsAtLevel(unsigned level) const
+    {
+        unsigned n = 1;
+        for (unsigned l = 0; l < level; ++l)
+            n *= fanout;
+        return n;
+    }
+
+    /** The level-`level` ancestor cell index of body @p b. */
+    unsigned
+    ancestorOf(unsigned b, unsigned level) const
+    {
+        return b / (nBodies / cellsAtLevel(level));
+    }
+
+    Addr
+    cellAddr(unsigned level, unsigned idx) const
+    {
+        return cells_[level] + Addr(idx) * blockBytes;
+    }
+
+    Addr
+    posAddr(unsigned b) const
+    {
+        return pos_ + Addr(b) * blockBytes;
+    }
+
+    Addr
+    accAddr(unsigned b) const
+    {
+        return acc_ + Addr(b) * blockBytes;
+    }
+
+    std::vector<Addr> cells_;
+    Addr pos_ = 0;
+    Addr acc_ = 0;
+};
+
+void
+BarnesKernel::generate()
+{
+    const unsigned T = scaled(steps);
+    const Pc pc_init = pcOf("barnes.init");
+    const Pc pc_upd = pcOf("barnes.update_body");
+    const Pc pc_acc = pcOf("barnes.accumulate");
+    std::vector<Pc> pc_insert, pc_com;
+    for (unsigned l = 0; l < nLevels; ++l) {
+        pc_insert.push_back(pcOf("barnes.insert.L" + std::to_string(l)));
+        pc_com.push_back(pcOf("barnes.com.L" + std::to_string(l)));
+    }
+
+    cells_.clear();
+    for (unsigned l = 0; l < nLevels; ++l)
+        cells_.push_back(alloc(Addr(cellsAtLevel(l)) * blockBytes));
+    pos_ = alloc(Addr(nBodies) * blockBytes);
+    acc_ = alloc(Addr(nBodies) * blockBytes);
+
+    Rng body_rng = rng_.fork(4);
+
+    // Far-interaction partners: each body's position is also read by
+    // a small, slowly-drifting set of distant nodes every step (the
+    // cross-partition cell openings of the real tree walk).
+    std::vector<std::array<NodeId, farPartners>> partners(nBodies);
+    auto roll_partners = [&](unsigned b) {
+        for (unsigned k = 0; k < farPartners; ++k)
+            partners[b][k] = ownerOfBody(
+                static_cast<unsigned>(body_rng.below(nBodies)));
+    };
+    for (unsigned b = 0; b < nBodies; ++b)
+        roll_partners(b);
+
+    for (unsigned b = 0; b < nBodies; ++b) {
+        NodeId o = ownerOfBody(b);
+        write(o, posAddr(b), pc_init);
+        write(o, accAddr(b), pc_init);
+    }
+    for (unsigned l = 0; l < nLevels; ++l)
+        for (unsigned c = 0; c < cellsAtLevel(l); ++c)
+            write(ownerOfBody(c * (nBodies / cellsAtLevel(l))),
+                  cellAddr(l, c), pc_init);
+    barrier();
+
+    for (unsigned t = 0; t < T; ++t) {
+        // Phase A: tree build.  Every body bumps its leaf cell and,
+        // with decaying probability, the shared ancestors.
+        for (unsigned b = 0; b < nBodies; ++b) {
+            NodeId o = ownerOfBody(b);
+            for (unsigned l = nLevels; l-- > 0;) {
+                if (!body_rng.chance(insertProb[l]))
+                    continue;
+                rmw(o, cellAddr(l, ancestorOf(b, l)), pc_insert[l]);
+            }
+        }
+        barrier();
+
+        // Phase B: bottom-up centers of mass.
+        for (unsigned l = nLevels - 1; l-- > 0;) {
+            for (unsigned c = 0; c < cellsAtLevel(l); ++c) {
+                NodeId o =
+                    ownerOfBody(c * (nBodies / cellsAtLevel(l)));
+                for (unsigned ch = 0; ch < fanout; ++ch)
+                    read(o, cellAddr(l + 1, c * fanout + ch));
+                write(o, cellAddr(l, c), pc_com[l]);
+            }
+        }
+        barrier();
+
+        // Phase C: force computation.  The top two levels are read
+        // by everyone; deeper cells and neighbour bodies only by the
+        // owners nearby.  Done per owner over its whole body range.
+        for (unsigned b = 0; b < nBodies; ++b) {
+            NodeId o = ownerOfBody(b);
+            if (b % (nBodies / nNodes()) == 0) {
+                // Once per owner: the wide top-of-tree traversal.
+                read(o, cellAddr(0, 0));
+                for (unsigned c = 0; c < cellsAtLevel(1); ++c)
+                    read(o, cellAddr(1, c));
+                for (unsigned c = 0; c < cellsAtLevel(2); ++c)
+                    read(o, cellAddr(2, c));
+            }
+            // Nearby level-3 cells and leaves.
+            unsigned c3 = ancestorOf(b, 3);
+            for (int d = -1; d <= 1; ++d) {
+                int c = static_cast<int>(c3) + d;
+                if (c >= 0 && c < static_cast<int>(cellsAtLevel(3)))
+                    read(o, cellAddr(3, static_cast<unsigned>(c)));
+            }
+            read(o, cellAddr(4, ancestorOf(b, 4)));
+            // Far partners read this body's position (stable sets).
+            NodeId own = ownerOfBody(b);
+            for (unsigned k = 0; k < farPartners; ++k)
+                if (partners[b][k] != own)
+                    read(partners[b][k], posAddr(b));
+            maybeStrayRead(posAddr(b), own, 0.10);
+            if (body_rng.chance(partnerDrift))
+                roll_partners(b);
+            // Neighbour body positions inside the Morton window.
+            for (unsigned s = 0; s < bodySamples; ++s) {
+                std::int64_t nb = static_cast<std::int64_t>(b) +
+                                  body_rng.range(-std::int64_t(bodyWindow),
+                                                 std::int64_t(bodyWindow));
+                if (nb < 0 || nb >= static_cast<std::int64_t>(nBodies) ||
+                    nb == static_cast<std::int64_t>(b))
+                    continue;
+                read(o, posAddr(static_cast<unsigned>(nb)));
+            }
+            rmw(o, accAddr(b), pc_acc);
+        }
+        barrier();
+
+        // Phase D: position updates.
+        for (unsigned b = 0; b < nBodies; ++b) {
+            NodeId o = ownerOfBody(b);
+            read(o, accAddr(b));
+            rmw(o, posAddr(b), pc_upd);
+        }
+        barrier();
+    }
+}
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeBarnes(const WorkloadParams &params)
+{
+    return std::make_unique<BarnesKernel>(params);
+}
+
+} // namespace ccp::workloads

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * em3d: electromagnetic wave propagation on an irregular bipartite
+ * graph (9600 graph nodes, degree 5, 15% remote edges).
+ *
+ * Sharing-pattern model: E-node values are recomputed each iteration
+ * from H-neighbour values and vice versa (pure overwrite, as in the
+ * original kernel where the new value is a linear combination of the
+ * neighbours).  Remote edges are spatially clustered: a fraction of
+ * value blocks is "exported" to exactly one consumer peer — static
+ * producer-consumer sharing with one reader.  A second fraction of
+ * the graph lies in load-rebalancing zones whose writer alternates
+ * between two adjacent owners; those versions usually die unread,
+ * providing the zero-reader events that give em3d its very low
+ * prevalence (paper: 3.19%).
+ */
+
+#include "workloads/kernels.hh"
+
+#include <vector>
+
+namespace ccp::workloads {
+
+namespace {
+
+/** E- and H-plane sizes: 2 x 4800 = 9600 graph nodes (Table 3). */
+constexpr unsigned planeSize = 4800;
+/** Edges per graph node (Table 3: degree 5). */
+constexpr unsigned degree = 5;
+/** Fraction of value blocks consumed by a remote peer. */
+constexpr double exportFraction = 0.14;
+/** Fraction of value blocks in writer-alternating rebalance zones
+ *  (disjoint from the exported blocks; their versions die unread —
+ *  the co-writer produced the data redundantly during rebalancing). */
+constexpr double shiftFraction = 0.25;
+/** Iterations (before scaling). */
+constexpr unsigned iterations = 55;
+
+/** Per-plane connectivity and sharing roles. */
+struct Plane
+{
+    Addr values = 0;                    ///< one block per graph node
+    std::vector<unsigned> consumerOf;   ///< consumer node or ~0u
+    std::vector<bool> shifted;          ///< in a rebalance zone
+    std::vector<std::vector<unsigned>> edges; ///< neighbour indices
+};
+
+class Em3dKernel : public Workload
+{
+  public:
+    explicit Em3dKernel(const WorkloadParams &params) : Workload(params)
+    {
+    }
+
+    std::string name() const override { return "em3d"; }
+
+  protected:
+    void generate() override;
+
+  private:
+    NodeId
+    ownerOf(unsigned i) const
+    {
+        return static_cast<NodeId>(
+            (std::uint64_t(i) * nNodes()) / planeSize);
+    }
+
+    NodeId
+    writerOf(const Plane &plane, unsigned i, unsigned iter) const
+    {
+        NodeId o = ownerOf(i);
+        if (plane.shifted[i] && (iter & 1))
+            return (o + 1) % nNodes();
+        return o;
+    }
+
+    Addr
+    valueAddr(const Plane &plane, unsigned i) const
+    {
+        return plane.values + Addr(i) * blockBytes;
+    }
+
+    void buildRoles(Plane &plane, Rng &rng);
+    void buildEdges(Plane &plane, const Plane &opposite, Rng &rng);
+    void sweep(const Plane &from, const Plane &to, unsigned iter,
+               Pc site);
+
+    Plane e_, h_;
+};
+
+void
+Em3dKernel::buildRoles(Plane &plane, Rng &rng)
+{
+    plane.values = alloc(Addr(planeSize) * blockBytes);
+    plane.consumerOf.assign(planeSize, ~0u);
+    plane.shifted.assign(planeSize, false);
+    plane.edges.assign(planeSize, {});
+
+    for (unsigned i = 0; i < planeSize; ++i) {
+        NodeId o = ownerOf(i);
+        if (rng.chance(shiftFraction)) {
+            plane.shifted[i] = true;
+        } else if (rng.chance(exportFraction / (1 - shiftFraction))) {
+            // Remote consumer: one of the owner's two fixed peers
+            // (spatially clustered remote edges).  Exported and
+            // shifted roles are disjoint.
+            NodeId peer = rng.chance(0.5) ? (o + 1) % nNodes()
+                                          : (o + 3) % nNodes();
+            plane.consumerOf[i] = peer;
+        }
+    }
+}
+
+void
+Em3dKernel::buildEdges(Plane &plane, const Plane &opposite, Rng &rng)
+{
+    // Local neighbourhood edges around the mirror position in the
+    // opposite plane (these stay intra-node).  Rebalance-zone blocks
+    // of the opposite plane are not edge targets: their values are
+    // produced redundantly by both zone writers.
+    const unsigned per_node = planeSize / nNodes();
+    for (unsigned i = 0; i < planeSize; ++i) {
+        unsigned base = (i / per_node) * per_node;
+        for (unsigned d = 0; d < degree; ++d) {
+            unsigned j = i;
+            for (int tries = 0; tries < 16; ++tries) {
+                j = base +
+                    static_cast<unsigned>(rng.below(per_node));
+                if (!opposite.shifted[j])
+                    break;
+            }
+            plane.edges[i].push_back(j);
+        }
+    }
+}
+
+void
+Em3dKernel::sweep(const Plane &from, const Plane &to, unsigned iter,
+                  Pc site)
+{
+    // Each graph node of `to` is recomputed by its writer: read the
+    // `from`-plane neighbours (plus any blocks exported to this
+    // writer), then overwrite the value.
+    for (unsigned i = 0; i < planeSize; ++i) {
+        NodeId w = writerOf(to, i, iter);
+        for (unsigned j : to.edges[i])
+            read(w, valueAddr(from, j));
+        write(w, valueAddr(to, i), site);
+    }
+
+    // Consumer side of the clustered remote edges: every exported
+    // block of the `from` plane is read by its designated consumer
+    // peer in the same sweep that consumes that plane locally.
+    for (unsigned i = 0; i < planeSize; ++i) {
+        unsigned cons = from.consumerOf[i];
+        if (cons != ~0u) {
+            read(cons, valueAddr(from, i));
+            maybeStrayRead(valueAddr(from, i), cons, 0.10);
+        }
+    }
+}
+
+void
+Em3dKernel::generate()
+{
+    Rng build_rng = rng_.fork(1);
+    buildRoles(e_, build_rng);
+    buildRoles(h_, build_rng);
+    buildEdges(e_, h_, build_rng);
+    buildEdges(h_, e_, build_rng);
+
+    const unsigned T = scaled(iterations);
+    const Pc pc_init = pcOf("em3d.init");
+    const Pc pc_e = pcOf("em3d.compute_e");
+    const Pc pc_h = pcOf("em3d.compute_h");
+
+    // First-touch initialization by the owners.
+    for (unsigned i = 0; i < planeSize; ++i) {
+        write(ownerOf(i), valueAddr(e_, i), pc_init);
+        write(ownerOf(i), valueAddr(h_, i), pc_init);
+    }
+    barrier();
+
+    for (unsigned t = 0; t < T; ++t) {
+        sweep(h_, e_, t, pc_e);
+        barrier();
+        sweep(e_, h_, t, pc_h);
+        barrier();
+    }
+}
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeEm3d(const WorkloadParams &params)
+{
+    return std::make_unique<Em3dKernel>(params);
+}
+
+} // namespace ccp::workloads

@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Factories for the seven benchmark kernels (Table 3 of the paper).
+ * Internal to the workloads module; users go through registry.hh.
+ */
+
+#ifndef CCP_WORKLOADS_KERNELS_HH
+#define CCP_WORKLOADS_KERNELS_HH
+
+#include <memory>
+
+#include "workloads/workload.hh"
+
+namespace ccp::workloads {
+
+std::unique_ptr<Workload> makeBarnes(const WorkloadParams &params);
+std::unique_ptr<Workload> makeEm3d(const WorkloadParams &params);
+std::unique_ptr<Workload> makeGauss(const WorkloadParams &params);
+std::unique_ptr<Workload> makeMp3d(const WorkloadParams &params);
+std::unique_ptr<Workload> makeOcean(const WorkloadParams &params);
+std::unique_ptr<Workload> makeUnstruct(const WorkloadParams &params);
+std::unique_ptr<Workload> makeWater(const WorkloadParams &params);
+
+} // namespace ccp::workloads
+
+#endif // CCP_WORKLOADS_KERNELS_HH

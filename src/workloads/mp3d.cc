@@ -1,0 +1,182 @@
+/**
+ * @file
+ * mp3d: rarefied-fluid-flow Monte Carlo simulation, 50K molecules
+ * (SPLASH).
+ *
+ * Sharing-pattern model: the molecule records are the textbook
+ * migratory data structure.  Space is divided into one slab per
+ * processor; each step the current slab owner read-modify-writes the
+ * molecule record, and molecules drift between slabs, handing their
+ * records (and the half-block they false-share with a neighbouring
+ * molecule — mp3d's famously unpadded 32-byte records) to another
+ * writer.  Boundary molecules also collide with the neighbouring
+ * slab's cell counters.  Almost every version has exactly one future
+ * reader (its next writer), giving the paper's 9.02% prevalence.
+ */
+
+#include "workloads/kernels.hh"
+
+#include <vector>
+
+namespace ccp::workloads {
+
+namespace {
+
+/** Molecule count (Table 3: 50K molecules). */
+constexpr unsigned nMolecules = 50000;
+/** Simulation steps (before scaling). */
+constexpr unsigned steps = 12;
+/** Molecule record size: two records false-share each block. */
+constexpr unsigned moleculeBytes = 32;
+/** Probability a molecule drifts to an adjacent slab each step. */
+constexpr double moveProb = 0.20;
+/** Probability the two molecules of a block move jointly (they were
+ *  loaded together and fly on similar trajectories). */
+constexpr double pairCorrelation = 0.7;
+/** Per-step probability a pair's flight direction flips. */
+constexpr double directionFlip = 0.05;
+/** 1/boundaryMod of molecules sit in the slab-boundary layer and are
+ *  probed by the next slab's owner every step (collision pairing); a
+ *  subset is probed from both sides. */
+constexpr unsigned boundaryMod = 8;
+constexpr unsigned boundaryLayers = 3;
+/** Collision-cell blocks per slab. */
+constexpr unsigned cellsPerSlab = 32;
+/** Probability a step includes a collision-cell update. */
+constexpr double collideProb = 0.30;
+/** Probability of touching the global reservoir statistics. */
+constexpr double globalProb = 0.002;
+
+class Mp3dKernel : public Workload
+{
+  public:
+    explicit Mp3dKernel(const WorkloadParams &params) : Workload(params)
+    {
+    }
+
+    std::string name() const override { return "mp3d"; }
+
+  protected:
+    void generate() override;
+
+  private:
+    Addr
+    moleculeAddr(unsigned m) const
+    {
+        return molecules_ + Addr(m) * moleculeBytes;
+    }
+
+    Addr
+    cellAddr(NodeId slab, unsigned cell) const
+    {
+        return cells_ + (Addr(slab) * cellsPerSlab + cell) * blockBytes;
+    }
+
+    Addr molecules_ = 0;
+    Addr cells_ = 0;
+    Addr reservoir_ = 0;
+};
+
+void
+Mp3dKernel::generate()
+{
+    const unsigned T = scaled(steps);
+    const Pc pc_init = pcOf("mp3d.init");
+    const Pc pc_move = pcOf("mp3d.move");
+    const Pc pc_collide = pcOf("mp3d.collide");
+    const Pc pc_bcollide = pcOf("mp3d.boundary_collide");
+    const Pc pc_stats = pcOf("mp3d.reservoir");
+
+    molecules_ = alloc(Addr(nMolecules) * moleculeBytes);
+    cells_ = alloc(Addr(nNodes()) * cellsPerSlab * blockBytes);
+    reservoir_ = alloc(blockBytes);
+
+    Rng step_rng = rng_.fork(2);
+
+    // Initial slab assignment: uniform, so records of the same block
+    // usually start (and drift) under nearby owners.
+    std::vector<NodeId> slab(nMolecules);
+    std::vector<int> dir(nMolecules / 2);
+    for (auto &d : dir)
+        d = step_rng.chance(0.5) ? 1 : -1;
+    for (unsigned m = 0; m < nMolecules; ++m) {
+        slab[m] = static_cast<NodeId>(
+            (std::uint64_t(m) * nNodes()) / nMolecules);
+        write(slab[m], moleculeAddr(m), pc_init);
+    }
+    for (NodeId s = 0; s < nNodes(); ++s)
+        for (unsigned c = 0; c < cellsPerSlab; ++c)
+            write(s, cellAddr(s, c), pc_init);
+    barrier();
+
+    for (unsigned t = 0; t < T; ++t) {
+        for (unsigned m = 0; m < nMolecules; ++m) {
+            NodeId o = slab[m];
+            rmw(o, moleculeAddr(m), pc_move);
+
+            // Boundary-layer molecules are probed by the adjacent
+            // slab owner(s) for collision pairing: stable remote
+            // readers, the predictable component of mp3d's sharing.
+            if (m % boundaryMod < boundaryLayers) {
+                read((o + 1) % nNodes(), moleculeAddr(m));
+                if (m % boundaryMod == 0)
+                    read((o + nNodes() - 1) % nNodes(),
+                         moleculeAddr(m));
+                maybeStrayRead(moleculeAddr(m), o, 0.08);
+            }
+
+            if (step_rng.chance(collideProb)) {
+                if (m % boundaryMod < boundaryLayers) {
+                    // Collide against a cell of the neighbouring slab:
+                    // reads and updates remote counters.
+                    NodeId nb = (o + 1) % nNodes();
+                    unsigned c = static_cast<unsigned>(
+                        step_rng.below(cellsPerSlab / 4));
+                    rmw(o, cellAddr(nb, c), pc_bcollide);
+                } else {
+                    unsigned c = static_cast<unsigned>(
+                        step_rng.below(cellsPerSlab));
+                    rmw(o, cellAddr(o, c), pc_collide);
+                }
+            }
+
+            if (step_rng.chance(globalProb))
+                rmw(o, reservoir_, pc_stats);
+        }
+
+        // Movement pass: straight-line flight through the slab-
+        // partitioned space.  Directions persist across steps, and
+        // record-sharing pairs usually move together.
+        for (unsigned pair = 0; pair < nMolecules / 2; ++pair) {
+            if (step_rng.chance(directionFlip))
+                dir[pair] = -dir[pair];
+            unsigned m0 = 2 * pair, m1 = 2 * pair + 1;
+            auto advance = [&](unsigned m) {
+                slab[m] = static_cast<NodeId>(
+                    (slab[m] + nNodes() + dir[pair]) % nNodes());
+            };
+            if (step_rng.chance(pairCorrelation)) {
+                if (step_rng.chance(moveProb)) {
+                    advance(m0);
+                    advance(m1);
+                }
+            } else {
+                if (step_rng.chance(moveProb))
+                    advance(m0);
+                if (step_rng.chance(moveProb))
+                    advance(m1);
+            }
+        }
+        barrier();
+    }
+}
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeMp3d(const WorkloadParams &params)
+{
+    return std::make_unique<Mp3dKernel>(params);
+}
+
+} // namespace ccp::workloads

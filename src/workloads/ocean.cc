@@ -1,0 +1,162 @@
+/**
+ * @file
+ * ocean: 258x258 grid ocean-current simulation (SPLASH).
+ *
+ * Sharing-pattern model (see DESIGN.md): the solver sweeps a family of
+ * 258x258 grids with a 5-point stencil.  Rows are distributed
+ * block-cyclically; each sweep a node first reads the halo rows owned
+ * by its neighbours (producer-consumer, 1 remote reader per boundary
+ * block) and then updates its own rows.  The aggregate grid family
+ * slightly exceeds the per-node L2 capacity, so interior blocks are
+ * written through capacity write-misses whose previous versions died
+ * unread — the source of ocean's very low prevalence (paper: 2.14%).
+ * A per-iteration convergence reduction adds the small wide-sharing
+ * component (one flag block read by all nodes).
+ */
+
+#include "workloads/kernels.hh"
+
+#include <vector>
+
+namespace ccp::workloads {
+
+namespace {
+
+/** Grid edge length including the fixed border. */
+constexpr unsigned gridN = 258;
+/** Number of grid arrays swept per iteration (multigrid family). */
+constexpr unsigned nArrays = 17;
+/** Rows per ownership stripe of the block-cyclic distribution. */
+constexpr unsigned rowCycle = 6;
+/** Solver iterations (before scaling). */
+constexpr unsigned iterations = 6;
+
+class OceanKernel : public Workload
+{
+  public:
+    explicit OceanKernel(const WorkloadParams &params)
+        : Workload(params)
+    {
+    }
+
+    std::string name() const override { return "ocean"; }
+
+  protected:
+    void generate() override;
+
+  private:
+    NodeId
+    ownerOfRow(unsigned row) const
+    {
+        // Row 0 and row gridN-1 are border rows; fold them into the
+        // adjacent stripes.
+        unsigned r = row == 0 ? 1 : row;
+        return ((r - 1) / rowCycle) % nNodes();
+    }
+
+    Addr
+    cell(unsigned array, unsigned row, unsigned col) const
+    {
+        return grids_[array] +
+               (Addr(row) * gridN + col) * sizeof(double);
+    }
+
+    /** Emit @p op once per cache block of row @p row of @p array. */
+    template <typename EmitFn>
+    void
+    forEachRowBlock(unsigned array, unsigned row, EmitFn emit)
+    {
+        Addr first = blockOf(cell(array, row, 0));
+        Addr last = blockOf(cell(array, row, gridN - 1));
+        for (Addr b = first; b <= last; ++b)
+            emit(blockBase(b));
+    }
+
+    std::vector<Addr> grids_;
+};
+
+void
+OceanKernel::generate()
+{
+    const unsigned T = scaled(iterations);
+    const Pc pc_init = pcOf("ocean.init");
+    const Pc pc_partial = pcOf("ocean.residual");
+    const Pc pc_flag = pcOf("ocean.converged");
+
+    grids_.clear();
+    for (unsigned a = 0; a < nArrays; ++a)
+        grids_.push_back(alloc(Addr(gridN) * gridN * sizeof(double)));
+
+    // Reduction scratch: one partial block per node plus a flag block.
+    Addr partials = alloc(Addr(nNodes()) * blockBytes);
+    Addr flag = alloc(blockBytes);
+
+    // Initialization: every owner writes its rows (first touch pins
+    // the home node to the owner, as RSIM's placement did).
+    for (unsigned a = 0; a < nArrays; ++a) {
+        for (unsigned r = 0; r < gridN; ++r) {
+            NodeId o = ownerOfRow(r == gridN - 1 ? gridN - 2 : r);
+            forEachRowBlock(a, r,
+                            [&](Addr addr) { write(o, addr, pc_init); });
+        }
+    }
+    barrier();
+
+    for (unsigned t = 0; t < T; ++t) {
+        for (unsigned a = 0; a < nArrays; ++a) {
+            const Pc pc_sweep =
+                pcOf("ocean.sweep" + std::to_string(a % 8) + "." +
+                     std::to_string(t % 2));
+
+            // Halo phase: read the neighbour-owned rows adjacent to
+            // each ownership stripe (previous iteration's values).
+            for (unsigned r = 1; r + 1 < gridN; ++r) {
+                NodeId o = ownerOfRow(r);
+                for (unsigned rr : {r - 1, r + 1}) {
+                    if (ownerOfRow(rr) == o)
+                        continue;
+                    forEachRowBlock(a, rr, [&](Addr addr) {
+                        read(o, addr);
+                        maybeStrayRead(addr, o, 0.10);
+                    });
+                }
+            }
+            barrier();
+
+            // Compute phase: 5-point update of every owned cell;
+            // block-granularity emission (remaining accesses to the
+            // same block are guaranteed L1 hits).
+            for (unsigned r = 1; r + 1 < gridN; ++r) {
+                NodeId o = ownerOfRow(r);
+                forEachRowBlock(a, r, [&](Addr addr) {
+                    read(o, addr);
+                    write(o, addr, pc_sweep);
+                });
+            }
+            barrier();
+        }
+
+        // Convergence reduction: partial residuals -> node 0 ->
+        // broadcast flag.
+        for (NodeId n = 0; n < nNodes(); ++n)
+            rmw(n, partials + Addr(n) * blockBytes, pc_partial);
+        barrier();
+        for (NodeId n = 0; n < nNodes(); ++n)
+            read(0, partials + Addr(n) * blockBytes);
+        write(0, flag, pc_flag);
+        barrier();
+        for (NodeId n = 1; n < nNodes(); ++n)
+            read(n, flag);
+        barrier();
+    }
+}
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeOcean(const WorkloadParams &params)
+{
+    return std::make_unique<OceanKernel>(params);
+}
+
+} // namespace ccp::workloads

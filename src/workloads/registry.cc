@@ -1,0 +1,60 @@
+#include "workloads/registry.hh"
+
+#include "common/logging.hh"
+#include "workloads/kernels.hh"
+
+namespace ccp::workloads {
+
+const std::vector<std::string> &
+workloadNames()
+{
+    static const std::vector<std::string> names = {
+        "barnes", "em3d", "gauss", "mp3d", "ocean", "unstruct", "water",
+    };
+    return names;
+}
+
+std::unique_ptr<Workload>
+makeWorkload(const std::string &name, const WorkloadParams &params)
+{
+    if (name == "barnes")
+        return makeBarnes(params);
+    if (name == "em3d")
+        return makeEm3d(params);
+    if (name == "gauss")
+        return makeGauss(params);
+    if (name == "mp3d")
+        return makeMp3d(params);
+    if (name == "ocean")
+        return makeOcean(params);
+    if (name == "unstruct")
+        return makeUnstruct(params);
+    if (name == "water")
+        return makeWater(params);
+    ccp_fatal("unknown workload '", name, "'");
+}
+
+trace::SharingTrace
+generateTrace(const std::string &name, const WorkloadParams &params,
+              const mem::MachineConfig &config)
+{
+    ccp_assert(config.nNodes == params.nNodes,
+               "machine/workload node-count mismatch");
+    sim::Machine machine(config, name, params.seed ^ 0xfeedbeef);
+    auto workload = makeWorkload(name, params);
+    workload->run(machine);
+    return machine.finish();
+}
+
+std::vector<trace::SharingTrace>
+generateSuite(const WorkloadParams &params,
+              const mem::MachineConfig &config)
+{
+    std::vector<trace::SharingTrace> traces;
+    traces.reserve(workloadNames().size());
+    for (const auto &name : workloadNames())
+        traces.push_back(generateTrace(name, params, config));
+    return traces;
+}
+
+} // namespace ccp::workloads

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Workload registry: name-based construction of the benchmark kernels
+ * and one-call trace generation.
+ */
+
+#ifndef CCP_WORKLOADS_REGISTRY_HH
+#define CCP_WORKLOADS_REGISTRY_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mem/protocol.hh"
+#include "trace/trace.hh"
+#include "workloads/workload.hh"
+
+namespace ccp::workloads {
+
+/** Names of all benchmarks, in the paper's Table 3 order. */
+const std::vector<std::string> &workloadNames();
+
+/** Build a kernel by name; fatal on unknown names. */
+std::unique_ptr<Workload> makeWorkload(const std::string &name,
+                                       const WorkloadParams &params);
+
+/**
+ * Run one benchmark end to end on a fresh machine and return its
+ * finalized coherence trace.
+ *
+ * @param name    Benchmark name.
+ * @param params  Workload knobs (node count must match @p config).
+ * @param config  Machine geometry; paper defaults if omitted.
+ */
+trace::SharingTrace
+generateTrace(const std::string &name, const WorkloadParams &params,
+              const mem::MachineConfig &config = mem::MachineConfig());
+
+/** Generate the full seven-benchmark suite. */
+std::vector<trace::SharingTrace>
+generateSuite(const WorkloadParams &params,
+              const mem::MachineConfig &config = mem::MachineConfig());
+
+} // namespace ccp::workloads
+
+#endif // CCP_WORKLOADS_REGISTRY_HH

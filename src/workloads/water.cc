@@ -1,0 +1,170 @@
+/**
+ * @file
+ * water: molecular dynamics of 512 water molecules (SPLASH).
+ *
+ * Sharing-pattern model: each step, owners publish their molecules'
+ * atom positions (two blocks per molecule, read by the ~half-window
+ * of owners that compute pairwise interactions — a medium-width
+ * broadcast), and the pairwise force phase accumulates into the
+ * partner molecule's force blocks under locks — the classic migratory
+ * read-modify-write chain where every version has exactly one future
+ * reader.  The mixture lands in the band of the paper's 12.13%
+ * prevalence.
+ */
+
+#include "workloads/kernels.hh"
+
+namespace ccp::workloads {
+
+namespace {
+
+/** Molecule count (Table 3: 512 molecules). */
+constexpr unsigned nMolecules = 512;
+/** Steps (before scaling). */
+constexpr unsigned steps = 16;
+/** Pairwise interaction half-window (n/2 as in the original). */
+constexpr unsigned window = nMolecules / 2;
+/** Probability a (source-owner, target) batch has pairs in cutoff. */
+constexpr double batchLiveProb = 0.95;
+/** Blocks per molecule for positions and forces.  The molecule is
+ *  one contiguous record (positions, then forces, then private
+ *  integration state) — the original's ~360-byte VAR struct. */
+constexpr unsigned posBlocks = 2;
+constexpr unsigned forceBlocks = 2;
+constexpr unsigned privBlocks = 2;
+constexpr unsigned moleculeBlocks = posBlocks + forceBlocks + privBlocks;
+
+class WaterKernel : public Workload
+{
+  public:
+    explicit WaterKernel(const WorkloadParams &params) : Workload(params)
+    {
+    }
+
+    std::string name() const override { return "water"; }
+
+  protected:
+    void generate() override;
+
+  private:
+    NodeId
+    ownerOf(unsigned m) const
+    {
+        return static_cast<NodeId>(
+            (std::uint64_t(m) * nNodes()) / nMolecules);
+    }
+
+    Addr
+    posAddr(unsigned m, unsigned b) const
+    {
+        return var_ + (Addr(m) * moleculeBlocks + b) * blockBytes;
+    }
+
+    Addr
+    forceAddr(unsigned m, unsigned b) const
+    {
+        return var_ +
+               (Addr(m) * moleculeBlocks + posBlocks + b) * blockBytes;
+    }
+
+    Addr
+    privAddr(unsigned m, unsigned b) const
+    {
+        return var_ + (Addr(m) * moleculeBlocks + posBlocks +
+                       forceBlocks + b) *
+                          blockBytes;
+    }
+
+    Addr var_ = 0;
+};
+
+void
+WaterKernel::generate()
+{
+    const unsigned T = scaled(steps);
+    const Pc pc_init = pcOf("water.init");
+    const Pc pc_pos = pcOf("water.predict_positions");
+    const Pc pc_acc = pcOf("water.accumulate_force");
+    const Pc pc_zero = pcOf("water.zero_force");
+    const Pc pc_priv = pcOf("water.correct_private");
+
+    var_ = alloc(Addr(nMolecules) * moleculeBlocks * blockBytes);
+
+    Rng pair_rng = rng_.fork(3);
+
+    for (unsigned m = 0; m < nMolecules; ++m) {
+        NodeId o = ownerOf(m);
+        for (unsigned b = 0; b < posBlocks; ++b)
+            write(o, posAddr(m, b), pc_init);
+        for (unsigned b = 0; b < forceBlocks; ++b)
+            write(o, forceAddr(m, b), pc_init);
+        for (unsigned b = 0; b < privBlocks; ++b)
+            write(o, privAddr(m, b), pc_init);
+    }
+    barrier();
+
+    for (unsigned t = 0; t < T; ++t) {
+        // Predict phase: each owner integrates and republishes its
+        // molecules' positions.
+        for (unsigned m = 0; m < nMolecules; ++m) {
+            NodeId o = ownerOf(m);
+            for (unsigned b = 0; b < privBlocks; ++b)
+                rmw(o, privAddr(m, b), pc_priv);
+            for (unsigned b = 0; b < posBlocks; ++b)
+                rmw(o, posAddr(m, b), pc_pos);
+        }
+        barrier();
+
+        // Pairwise force phase.  Owner p computes interactions of its
+        // own molecules i against every j in the half-window; like
+        // the original it accumulates into force(j) under the
+        // molecule lock, but all of p's contributions to one j are
+        // batched into a single locked update (one read of pos(j),
+        // one RMW per force block).  Each force block therefore
+        // migrates through the fixed set of ~half the owners each
+        // step.
+        for (unsigned j = 0; j < nMolecules; ++j) {
+            NodeId owner_j = ownerOf(j);
+            NodeId prev = ~0u;
+            for (unsigned d = 1; d <= window; ++d) {
+                unsigned i = (j + nMolecules - d) % nMolecules;
+                NodeId p = ownerOf(i);
+                if (p == prev || p == owner_j)
+                    continue;
+                prev = p;
+                if (!pair_rng.chance(batchLiveProb))
+                    continue;
+                for (unsigned b = 0; b < posBlocks; ++b) {
+                    read(p, posAddr(j, b));
+                    maybeStrayRead(posAddr(j, b), owner_j, 0.04);
+                }
+                for (unsigned b = 0; b < forceBlocks; ++b)
+                    rmw(p, forceAddr(j, b), pc_acc);
+            }
+        }
+        barrier();
+
+        // Update phase: owners consume the accumulated forces and
+        // reset them for the next step.
+        for (unsigned m = 0; m < nMolecules; ++m) {
+            NodeId o = ownerOf(m);
+            for (unsigned b = 0; b < forceBlocks; ++b) {
+                read(o, forceAddr(m, b));
+                write(o, forceAddr(m, b), pc_zero);
+            }
+            for (unsigned b = 0; b < privBlocks; ++b)
+                rmw(o, privAddr(m, b), pc_priv);
+        }
+        barrier();
+    }
+}
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeWater(const WorkloadParams &params)
+{
+    return std::make_unique<WaterKernel>(params);
+}
+
+} // namespace ccp::workloads

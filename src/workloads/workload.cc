@@ -1,0 +1,111 @@
+#include "workloads/workload.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace ccp::workloads {
+
+namespace {
+
+/** Base of the simulated shared heap. */
+constexpr Addr heapBase = 0x1000'0000;
+/** Base pc of the synthetic static store sites (word aligned). */
+constexpr Pc pcBase = 0x0040'0000;
+
+} // namespace
+
+Workload::Workload(const WorkloadParams &params)
+    : params_(params), rng_(params.seed),
+      strayRng_(rng_.fork(0x57a7)), nextPc_(pcBase),
+      heapTop_(heapBase)
+{
+    ccp_assert(params_.nNodes >= 2 && params_.nNodes <= maxNodes,
+               "workloads need 2..", maxNodes, " nodes");
+    ccp_assert(params_.scale > 0.0, "scale must be positive");
+}
+
+void
+Workload::run(sim::Machine &machine)
+{
+    ccp_assert(machine.nNodes() == params_.nNodes,
+               "machine/workload node-count mismatch");
+    machine_ = &machine;
+    ops_.assign(params_.nNodes, {});
+    generate();
+    barrier(); // flush any trailing ops
+    machine_ = nullptr;
+}
+
+void
+Workload::read(NodeId node, Addr addr)
+{
+    ops_[node].push_back({addr, 0, false});
+}
+
+void
+Workload::write(NodeId node, Addr addr, Pc site)
+{
+    ops_[node].push_back({addr, site, true});
+}
+
+void
+Workload::rmw(NodeId node, Addr addr, Pc site)
+{
+    ops_[node].push_back({addr, 0, false});
+    ops_[node].push_back({addr, site, true});
+}
+
+void
+Workload::maybeStrayRead(Addr addr, NodeId exclude, double prob)
+{
+    if (!strayRng_.chance(prob))
+        return;
+    NodeId node = static_cast<NodeId>(strayRng_.below(params_.nNodes));
+    if (node == exclude)
+        node = static_cast<NodeId>((node + 1) % params_.nNodes);
+    ops_[node].push_back({addr, 0, false});
+}
+
+void
+Workload::barrier()
+{
+    ccp_assert(machine_ != nullptr, "barrier outside run()");
+    machine_->runPhase(ops_);
+}
+
+Pc
+Workload::pcOf(const std::string &site)
+{
+    auto [it, inserted] = sites_.try_emplace(site, nextPc_);
+    if (inserted)
+        nextPc_ += 4;
+    return it->second;
+}
+
+Addr
+Workload::alloc(std::uint64_t bytes)
+{
+    // Round the heap top up to a block boundary, then allocate.
+    heapTop_ = (heapTop_ + blockBytes - 1) & ~Addr(blockBytes - 1);
+    Addr base = heapTop_;
+    heapTop_ += bytes;
+    return base;
+}
+
+Addr
+Workload::allocUnaligned(std::uint64_t bytes, unsigned skew_bytes)
+{
+    Addr base = alloc(bytes + skew_bytes) + skew_bytes;
+    return base;
+}
+
+unsigned
+Workload::scaled(unsigned iterations) const
+{
+    double v = std::max(1.0, std::round(iterations * params_.scale));
+    return static_cast<unsigned>(v);
+}
+
+} // namespace ccp::workloads

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Workload framework: SPMD kernel programs for the simulated machine.
+ *
+ * Each workload models one benchmark of the paper's Table 3 as a
+ * barrier-phased parallel kernel.  The kernels are *sharing-pattern
+ * faithful* reimplementations (see DESIGN.md): they reproduce the
+ * producer-consumer, migratory, broadcast and false-sharing structure
+ * of the original programs through the real cache/directory substrate,
+ * rather than replaying canned traces.
+ *
+ * A kernel derives from Workload, allocates its shared data with
+ * alloc()/allocUnaligned(), mints static store sites with pcOf(), and
+ * emits memory operations with read()/write()/rmw() between barrier()
+ * calls.  Determinism: everything derives from the seed in
+ * WorkloadParams.
+ */
+
+#ifndef CCP_WORKLOADS_WORKLOAD_HH
+#define CCP_WORKLOADS_WORKLOAD_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+#include "sim/machine.hh"
+
+namespace ccp::workloads {
+
+/** Knobs common to every workload. */
+struct WorkloadParams
+{
+    unsigned nNodes = 16;
+    std::uint64_t seed = 0x5eed;
+    /**
+     * Linear scale on the iteration counts (not the data sizes, which
+     * follow Table 3).  1.0 reproduces the calibrated defaults; use
+     * smaller values for quick tests.
+     */
+    double scale = 1.0;
+};
+
+/**
+ * Base class for kernels.  The generate() hook runs the program:
+ * emitting ops and calling barrier() to delimit phases.
+ */
+class Workload
+{
+  public:
+    explicit Workload(const WorkloadParams &params);
+    virtual ~Workload() = default;
+
+    Workload(const Workload &) = delete;
+    Workload &operator=(const Workload &) = delete;
+
+    /** Benchmark name (Table 3 spelling). */
+    virtual std::string name() const = 0;
+
+    /** Execute the kernel on @p machine, appending to its trace. */
+    void run(sim::Machine &machine);
+
+  protected:
+    /** Emit the whole program; called once by run(). */
+    virtual void generate() = 0;
+
+    /** Emit a load by @p node. */
+    void read(NodeId node, Addr addr);
+    /** Emit a store by @p node from static store site @p site. */
+    void write(NodeId node, Addr addr, Pc site);
+    /** Emit a read-modify-write (lock-protected accumulate etc.). */
+    void rmw(NodeId node, Addr addr, Pc site);
+
+    /**
+     * With probability @p prob, emit a read of @p addr by a random
+     * node other than @p exclude.  Models the heavy-tailed reader
+     * noise of real traces — false sharing with co-located data,
+     * speculative prefetches, profiling reads — which last-bitmap
+     * predictors mispredict and intersection predictors filter out.
+     */
+    void maybeStrayRead(Addr addr, NodeId exclude, double prob);
+
+    /** Flush the pending phase through the machine (a barrier). */
+    void barrier();
+
+    /** Mint (or look up) the pc of a named static store site. */
+    Pc pcOf(const std::string &site);
+
+    /** Allocate @p bytes of shared data, block-aligned. */
+    Addr alloc(std::uint64_t bytes);
+
+    /**
+     * Allocate with a deliberate misalignment of @p skew_bytes so
+     * consecutive objects false-share cache blocks, as real SPLASH
+     * data structures do.
+     */
+    Addr allocUnaligned(std::uint64_t bytes, unsigned skew_bytes);
+
+    /** Iterations after applying the scale knob (min 1). */
+    unsigned scaled(unsigned iterations) const;
+
+    /** Number of scaled iterations in flight; for kernels' loops. */
+    unsigned nNodes() const { return params_.nNodes; }
+
+    WorkloadParams params_;
+    Rng rng_;
+    Rng strayRng_;
+
+  private:
+    sim::Machine *machine_ = nullptr;
+    sim::PhaseOps ops_;
+    std::unordered_map<std::string, Pc> sites_;
+    Pc nextPc_;
+    Addr heapTop_;
+};
+
+} // namespace ccp::workloads
+
+#endif // CCP_WORKLOADS_WORKLOAD_HH

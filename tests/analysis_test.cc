@@ -1,0 +1,231 @@
+/**
+ * @file
+ * Tests for the sharing-pattern analysis: classification of synthetic
+ * per-pattern traces and the invalidation-degree histogram.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "analysis/patterns.hh"
+#include "workloads/registry.hh"
+
+namespace {
+
+using namespace ccp;
+using analysis::analyzeTrace;
+using analysis::SharingPattern;
+using analysis::TraceAnalysis;
+using trace::CoherenceEvent;
+using trace::SharingTrace;
+
+/** Append a self-consistent event chain to a trace. */
+class ChainBuilder
+{
+  public:
+    explicit ChainBuilder(SharingTrace &tr) : tr_(tr) {}
+
+    void
+    event(NodeId pid, Addr block, std::uint64_t readers)
+    {
+        CoherenceEvent ev;
+        ev.pid = pid;
+        ev.pc = 0x400;
+        ev.dir = 0;
+        ev.block = block;
+        ev.readers = SharingBitmap(readers);
+        auto it = last_.find(block);
+        if (it != last_.end()) {
+            ev.invalidated = it->second.readers.minus(
+                SharingBitmap::single(pid));
+            ev.prevWriterPid = it->second.pid;
+            ev.prevWriterPc = it->second.pc;
+            ev.hasPrevWriter = true;
+            ev.prevEvent = seq_[block];
+        }
+        seq_[block] = tr_.append(ev);
+        last_[block] = ev;
+    }
+
+  private:
+    SharingTrace &tr_;
+    std::unordered_map<Addr, CoherenceEvent> last_;
+    std::unordered_map<Addr, EventSeq> seq_;
+};
+
+TEST(Patterns, UnsharedBlock)
+{
+    SharingTrace tr("t", 16);
+    ChainBuilder b(tr);
+    for (int i = 0; i < 5; ++i)
+        b.event(0, 1, 0); // written, never read
+    auto a = analyzeTrace(tr);
+    EXPECT_EQ(a.blocks[size_t(SharingPattern::Unshared)], 1u);
+    EXPECT_EQ(a.totalBlocks(), 1u);
+    EXPECT_EQ(a.totalEvents(), 5u);
+}
+
+TEST(Patterns, ProducerConsumerBlock)
+{
+    SharingTrace tr("t", 16);
+    ChainBuilder b(tr);
+    for (int i = 0; i < 10; ++i)
+        b.event(0, 1, 0b0110); // stable reader set {1,2}
+    auto a = analyzeTrace(tr);
+    EXPECT_EQ(a.blocks[size_t(SharingPattern::ProducerConsumer)], 1u);
+    EXPECT_DOUBLE_EQ(a.eventFraction(SharingPattern::ProducerConsumer),
+                     1.0);
+}
+
+TEST(Patterns, MigratoryBlock)
+{
+    SharingTrace tr("t", 16);
+    ChainBuilder b(tr);
+    // Ownership chases the single reader around the machine.
+    for (int i = 0; i < 12; ++i) {
+        NodeId writer = static_cast<NodeId>(i % 16);
+        NodeId next = static_cast<NodeId>((i + 1) % 16);
+        b.event(writer, 1, 1ull << next);
+    }
+    auto a = analyzeTrace(tr);
+    EXPECT_EQ(a.blocks[size_t(SharingPattern::Migratory)], 1u);
+}
+
+TEST(Patterns, WideSharedBlock)
+{
+    SharingTrace tr("t", 16);
+    ChainBuilder b(tr);
+    for (int i = 0; i < 6; ++i)
+        b.event(0, 1, 0xfffe); // 15 readers
+    auto a = analyzeTrace(tr);
+    EXPECT_EQ(a.blocks[size_t(SharingPattern::WideShared)], 1u);
+}
+
+TEST(Patterns, IrregularBlock)
+{
+    SharingTrace tr("t", 16);
+    ChainBuilder b(tr);
+    // Readers change wildly (disjoint pairs), writers alternate: not
+    // migratory (2 readers), not stable, not wide.
+    std::uint64_t sets[] = {0b0110, 0b11000, 0b1100000, 0b110000000};
+    for (int i = 0; i < 12; ++i)
+        b.event(static_cast<NodeId>(i % 2), 1, sets[i % 4]);
+    auto a = analyzeTrace(tr);
+    EXPECT_EQ(a.blocks[size_t(SharingPattern::Irregular)], 1u);
+}
+
+TEST(Patterns, ColdSingleEventBlockIsUnshared)
+{
+    SharingTrace tr("t", 16);
+    ChainBuilder b(tr);
+    b.event(0, 1, 0b10);
+    auto a = analyzeTrace(tr);
+    EXPECT_EQ(a.blocks[size_t(SharingPattern::Unshared)], 1u);
+}
+
+TEST(Patterns, MixedBlocksAreCountedSeparately)
+{
+    SharingTrace tr("t", 16);
+    ChainBuilder b(tr);
+    for (int i = 0; i < 8; ++i) {
+        b.event(0, 1, 0b0110);  // producer-consumer
+        b.event(0, 2, 0);       // unshared
+        b.event(0, 3, 0xfffe);  // wide
+    }
+    auto a = analyzeTrace(tr);
+    EXPECT_EQ(a.totalBlocks(), 3u);
+    EXPECT_EQ(a.blocks[size_t(SharingPattern::ProducerConsumer)], 1u);
+    EXPECT_EQ(a.blocks[size_t(SharingPattern::Unshared)], 1u);
+    EXPECT_EQ(a.blocks[size_t(SharingPattern::WideShared)], 1u);
+}
+
+TEST(Patterns, InvalidationDegreeHistogram)
+{
+    SharingTrace tr("t", 16);
+    ChainBuilder b(tr);
+    b.event(0, 1, 0);
+    b.event(0, 2, 0b10);
+    b.event(0, 3, 0b110);
+    b.event(0, 4, 0b110);
+    auto a = analyzeTrace(tr);
+    EXPECT_EQ(a.invalidationDegree.bucket(0), 1u);
+    EXPECT_EQ(a.invalidationDegree.bucket(1), 1u);
+    EXPECT_EQ(a.invalidationDegree.bucket(2), 2u);
+    EXPECT_DOUBLE_EQ(a.readersPerEvent.mean(), 5.0 / 4.0);
+}
+
+TEST(Patterns, ReadersPerEventMatchesPrevalence)
+{
+    SharingTrace tr("t", 16);
+    ChainBuilder b(tr);
+    for (int i = 0; i < 50; ++i)
+        b.event(0, i % 5, (i % 3) == 0 ? 0b10 : 0);
+    auto a = analyzeTrace(tr);
+    EXPECT_DOUBLE_EQ(a.readersPerEvent.mean(),
+                     16.0 * tr.prevalence());
+}
+
+TEST(Patterns, CustomRulesChangeClassification)
+{
+    SharingTrace tr("t", 16);
+    ChainBuilder b(tr);
+    for (int i = 0; i < 10; ++i)
+        b.event(0, 1, 0b111100); // 4 readers = 25% of machine
+    analysis::PatternRules strict;
+    strict.wideFraction = 0.5; // demand 8+ readers for "wide"
+    auto a_loose = analyzeTrace(tr);
+    auto a_strict = analyzeTrace(tr, strict);
+    EXPECT_EQ(a_loose.blocks[size_t(SharingPattern::WideShared)], 1u);
+    EXPECT_EQ(a_strict.blocks[size_t(SharingPattern::WideShared)], 0u);
+    EXPECT_EQ(
+        a_strict.blocks[size_t(SharingPattern::ProducerConsumer)], 1u);
+}
+
+// ---------------------------------------------------------------------
+// On the real kernels: the designed-in dominant pattern must surface.
+
+TEST(PatternsOnKernels, Mp3dIsMigratoryHeavy)
+{
+    workloads::WorkloadParams p;
+    p.scale = 0.1;
+    auto tr = workloads::generateTrace("mp3d", p);
+    auto a = analyzeTrace(tr);
+    double migratory = a.eventFraction(SharingPattern::Migratory) +
+                       a.eventFraction(SharingPattern::Irregular);
+    EXPECT_GT(migratory,
+              a.eventFraction(SharingPattern::WideShared));
+    EXPECT_GT(migratory, 0.3);
+}
+
+TEST(PatternsOnKernels, Em3dIsProducerConsumerPlusUnshared)
+{
+    workloads::WorkloadParams p;
+    p.scale = 0.1;
+    auto tr = workloads::generateTrace("em3d", p);
+    auto a = analyzeTrace(tr);
+    EXPECT_GT(a.eventFraction(SharingPattern::ProducerConsumer) +
+                  a.eventFraction(SharingPattern::Unshared),
+              0.6);
+    EXPECT_LT(a.eventFraction(SharingPattern::WideShared), 0.1);
+}
+
+TEST(PatternsOnKernels, OceanIsMostlyUnshared)
+{
+    workloads::WorkloadParams p;
+    p.scale = 0.1;
+    auto tr = workloads::generateTrace("ocean", p);
+    auto a = analyzeTrace(tr);
+    EXPECT_GT(a.eventFraction(SharingPattern::Unshared), 0.4);
+}
+
+TEST(PatternsOnKernels, BarnesHasAWideComponent)
+{
+    workloads::WorkloadParams p;
+    p.scale = 0.1;
+    auto tr = workloads::generateTrace("barnes", p);
+    auto a = analyzeTrace(tr);
+    EXPECT_GT(a.blocks[size_t(SharingPattern::WideShared)], 10u);
+}
+
+} // namespace

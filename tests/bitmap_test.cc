@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Unit and property tests for SharingBitmap.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/bitmap.hh"
+#include "common/rng.hh"
+
+namespace {
+
+using ccp::Rng;
+using ccp::SharingBitmap;
+
+TEST(Bitmap, DefaultIsEmpty)
+{
+    SharingBitmap b;
+    EXPECT_TRUE(b.empty());
+    EXPECT_EQ(b.popcount(), 0u);
+    EXPECT_EQ(b.raw(), 0u);
+}
+
+TEST(Bitmap, SetResetTest)
+{
+    SharingBitmap b;
+    b.set(3);
+    b.set(15);
+    EXPECT_TRUE(b.test(3));
+    EXPECT_TRUE(b.test(15));
+    EXPECT_FALSE(b.test(4));
+    EXPECT_EQ(b.popcount(), 2u);
+
+    b.reset(3);
+    EXPECT_FALSE(b.test(3));
+    EXPECT_EQ(b.popcount(), 1u);
+}
+
+TEST(Bitmap, AssignWritesEitherValue)
+{
+    SharingBitmap b;
+    b.assign(7, true);
+    EXPECT_TRUE(b.test(7));
+    b.assign(7, false);
+    EXPECT_FALSE(b.test(7));
+}
+
+TEST(Bitmap, SingleFactory)
+{
+    for (unsigned n = 0; n < 64; ++n) {
+        SharingBitmap b = SharingBitmap::single(n);
+        EXPECT_EQ(b.popcount(), 1u);
+        EXPECT_TRUE(b.test(n));
+    }
+}
+
+TEST(Bitmap, AllFactory)
+{
+    EXPECT_EQ(SharingBitmap::all(16).popcount(), 16u);
+    EXPECT_EQ(SharingBitmap::all(64).popcount(), 64u);
+    EXPECT_EQ(SharingBitmap::all(1).raw(), 1u);
+    EXPECT_TRUE(SharingBitmap::all(0).empty());
+}
+
+TEST(Bitmap, HighestNodeBoundary)
+{
+    SharingBitmap b;
+    b.set(63);
+    EXPECT_TRUE(b.test(63));
+    EXPECT_EQ(b.popcount(), 1u);
+}
+
+TEST(Bitmap, SetOutOfRangeDies)
+{
+    SharingBitmap b;
+    EXPECT_DEATH(b.set(64), "out of range");
+}
+
+TEST(Bitmap, UnionIntersectionXor)
+{
+    SharingBitmap a(0b1100), b(0b1010);
+    EXPECT_EQ((a | b).raw(), 0b1110u);
+    EXPECT_EQ((a & b).raw(), 0b1000u);
+    EXPECT_EQ((a ^ b).raw(), 0b0110u);
+    EXPECT_EQ(a.minus(b).raw(), 0b0100u);
+}
+
+TEST(Bitmap, SubsetAndIntersects)
+{
+    SharingBitmap a(0b0110), b(0b1110), c(0b0001);
+    EXPECT_TRUE(a.subsetOf(b));
+    EXPECT_FALSE(b.subsetOf(a));
+    EXPECT_TRUE(a.subsetOf(a));
+    EXPECT_TRUE(c.subsetOf(b | c));
+    EXPECT_TRUE(a.intersects(b));
+    EXPECT_FALSE(a.intersects(c));
+    EXPECT_TRUE(SharingBitmap().subsetOf(a));
+    EXPECT_FALSE(SharingBitmap().intersects(a));
+}
+
+TEST(Bitmap, CompoundAssignment)
+{
+    SharingBitmap a(0b0101);
+    a |= SharingBitmap(0b0010);
+    EXPECT_EQ(a.raw(), 0b0111u);
+    a &= SharingBitmap(0b0110);
+    EXPECT_EQ(a.raw(), 0b0110u);
+}
+
+TEST(Bitmap, ToString)
+{
+    SharingBitmap b;
+    b.set(1);
+    b.set(14);
+    EXPECT_EQ(b.toString(16), "0100000000000010");
+    EXPECT_EQ(SharingBitmap().toString(4), "0000");
+}
+
+/** Algebraic properties over random bitmaps. */
+class BitmapPropertyTest : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(BitmapPropertyTest, SetAlgebra)
+{
+    Rng rng(GetParam());
+    for (int i = 0; i < 200; ++i) {
+        SharingBitmap a(rng()), b(rng()), c(rng());
+
+        // Intersection distributes over union.
+        EXPECT_EQ((a & (b | c)).raw(), ((a & b) | (a & c)).raw());
+        // De Morgan via minus: a \ (b | c) == (a \ b) & (a \ c).
+        EXPECT_EQ(a.minus(b | c).raw(),
+                  (a.minus(b) & a.minus(c)).raw());
+        // Intersection is a subset of both operands; union a superset.
+        EXPECT_TRUE((a & b).subsetOf(a));
+        EXPECT_TRUE((a & b).subsetOf(b));
+        EXPECT_TRUE(a.subsetOf(a | b));
+        // popcount is additive over disjoint parts.
+        EXPECT_EQ((a & b).popcount() + a.minus(b).popcount(),
+                  a.popcount());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BitmapPropertyTest,
+                         ::testing::Values(1, 2, 3, 42, 0xdeadbeef));
+
+} // namespace

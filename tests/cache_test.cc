@@ -1,0 +1,254 @@
+/**
+ * @file
+ * Tests for the set-associative cache and the two-level NodeCache.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/cache.hh"
+
+namespace {
+
+using namespace ccp;
+using mem::CacheGeometry;
+using mem::CacheLine;
+using mem::CacheState;
+using mem::NodeCache;
+using mem::SetAssocCache;
+
+/** A tiny 4-set, 2-way cache (512 bytes) for precise eviction tests. */
+constexpr CacheGeometry tiny{512, 2};
+
+TEST(SetAssocCache, GeometryDerivation)
+{
+    SetAssocCache c(tiny);
+    EXPECT_EQ(c.geometry().lines(), 8u);
+    EXPECT_EQ(c.geometry().sets(), 4u);
+}
+
+TEST(SetAssocCache, MissThenHit)
+{
+    SetAssocCache c(tiny);
+    EXPECT_EQ(c.find(5), nullptr);
+    c.insert(5, CacheState::Shared, 1);
+    ASSERT_NE(c.find(5), nullptr);
+    EXPECT_EQ(c.find(5)->state, CacheState::Shared);
+    EXPECT_EQ(c.find(5)->version, 1u);
+}
+
+TEST(SetAssocCache, InsertWithoutConflictEvictsNothing)
+{
+    SetAssocCache c(tiny);
+    EXPECT_FALSE(c.insert(0, CacheState::Shared, 1).has_value());
+    EXPECT_FALSE(c.insert(4, CacheState::Shared, 1).has_value());
+    EXPECT_EQ(c.validLines(), 2u);
+}
+
+TEST(SetAssocCache, LruEviction)
+{
+    SetAssocCache c(tiny);
+    // Blocks 0, 4, 8 all map to set 0 of a 4-set cache (2 ways).
+    c.insert(0, CacheState::Shared, 1);
+    c.insert(4, CacheState::Shared, 1);
+    auto victim = c.insert(8, CacheState::Shared, 1);
+    ASSERT_TRUE(victim.has_value());
+    EXPECT_EQ(victim->block, 0u); // 0 was least recently used
+    EXPECT_EQ(c.find(0), nullptr);
+    EXPECT_NE(c.find(4), nullptr);
+    EXPECT_NE(c.find(8), nullptr);
+}
+
+TEST(SetAssocCache, TouchProtectsFromEviction)
+{
+    SetAssocCache c(tiny);
+    c.insert(0, CacheState::Shared, 1);
+    c.insert(4, CacheState::Shared, 1);
+    c.touch(0); // now 4 is LRU
+    auto victim = c.insert(8, CacheState::Shared, 1);
+    ASSERT_TRUE(victim.has_value());
+    EXPECT_EQ(victim->block, 4u);
+}
+
+TEST(SetAssocCache, ReinsertUpdatesInPlace)
+{
+    SetAssocCache c(tiny);
+    c.insert(0, CacheState::Shared, 1);
+    auto victim = c.insert(0, CacheState::Modified, 2);
+    EXPECT_FALSE(victim.has_value());
+    EXPECT_EQ(c.find(0)->state, CacheState::Modified);
+    EXPECT_EQ(c.find(0)->version, 2u);
+    EXPECT_EQ(c.validLines(), 1u);
+}
+
+TEST(SetAssocCache, InvalidateReturnsOldLine)
+{
+    SetAssocCache c(tiny);
+    c.insert(3, CacheState::Modified, 7);
+    auto old = c.invalidate(3);
+    ASSERT_TRUE(old.has_value());
+    EXPECT_EQ(old->state, CacheState::Modified);
+    EXPECT_EQ(old->version, 7u);
+    EXPECT_EQ(c.find(3), nullptr);
+    EXPECT_FALSE(c.invalidate(3).has_value());
+}
+
+TEST(SetAssocCache, InvalidWaysReusedBeforeEviction)
+{
+    SetAssocCache c(tiny);
+    c.insert(0, CacheState::Shared, 1);
+    c.insert(4, CacheState::Shared, 1);
+    c.invalidate(0);
+    auto victim = c.insert(8, CacheState::Shared, 1);
+    EXPECT_FALSE(victim.has_value());
+    EXPECT_NE(c.find(4), nullptr);
+}
+
+TEST(SetAssocCache, FlushClearsEverything)
+{
+    SetAssocCache c(tiny);
+    c.insert(1, CacheState::Shared, 1);
+    c.insert(2, CacheState::Modified, 1);
+    c.flush();
+    EXPECT_EQ(c.validLines(), 0u);
+    EXPECT_EQ(c.find(1), nullptr);
+}
+
+TEST(SetAssocCache, DirectMappedConflicts)
+{
+    SetAssocCache c({256, 1}); // 4 sets, 1 way
+    c.insert(0, CacheState::Shared, 1);
+    auto victim = c.insert(4, CacheState::Shared, 1);
+    ASSERT_TRUE(victim.has_value());
+    EXPECT_EQ(victim->block, 0u);
+}
+
+// ---------------------------------------------------------------------
+// NodeCache (two-level, inclusive).
+
+/** Small two-level hierarchy: 512B DM L1, 2KB 2-way L2. */
+NodeCache
+smallNode()
+{
+    return NodeCache({512, 1}, {2048, 2});
+}
+
+TEST(NodeCache, FillMakesStateVisible)
+{
+    NodeCache nc = smallNode();
+    EXPECT_EQ(nc.state(10), CacheState::Invalid);
+    nc.fill(10, CacheState::Shared, 3);
+    EXPECT_EQ(nc.state(10), CacheState::Shared);
+    EXPECT_EQ(nc.version(10), 3u);
+}
+
+TEST(NodeCache, AccessCountsL1AndL2Hits)
+{
+    NodeCache nc = smallNode();
+    nc.fill(10, CacheState::Shared, 1);
+    EXPECT_TRUE(nc.access(10)); // L1 hit right after fill
+    EXPECT_EQ(nc.stats().l1Hits, 1u);
+
+    // Conflict 10 out of the (8-line) L1 but not the L2: blocks 10
+    // and 18 share an L1 set; L2 has 16 sets so no L2 conflict.
+    nc.fill(18, CacheState::Shared, 1);
+    EXPECT_FALSE(nc.access(10)); // L1 miss, L2 hit
+    EXPECT_EQ(nc.stats().l2Hits, 1u);
+    EXPECT_TRUE(nc.access(10)); // refilled into L1
+}
+
+TEST(NodeCache, UpgradeToModified)
+{
+    NodeCache nc = smallNode();
+    nc.fill(5, CacheState::Shared, 1);
+    nc.upgrade(5, 2);
+    EXPECT_EQ(nc.state(5), CacheState::Modified);
+    EXPECT_EQ(nc.version(5), 2u);
+    EXPECT_EQ(nc.stats().upgrades, 1u);
+}
+
+TEST(NodeCache, UpgradeNonSharedDies)
+{
+    NodeCache nc = smallNode();
+    EXPECT_DEATH(nc.upgrade(5, 1), "non-shared");
+    nc.fill(5, CacheState::Modified, 1);
+    EXPECT_DEATH(nc.upgrade(5, 2), "non-shared");
+}
+
+TEST(NodeCache, DowngradeKeepsData)
+{
+    NodeCache nc = smallNode();
+    nc.fill(5, CacheState::Modified, 4);
+    nc.downgrade(5);
+    EXPECT_EQ(nc.state(5), CacheState::Shared);
+    EXPECT_EQ(nc.version(5), 4u);
+}
+
+TEST(NodeCache, InvalidateReportsPriorLine)
+{
+    NodeCache nc = smallNode();
+    nc.fill(5, CacheState::Modified, 1);
+    auto old = nc.invalidate(5);
+    ASSERT_TRUE(old.has_value());
+    EXPECT_EQ(old->state, CacheState::Modified);
+    EXPECT_EQ(nc.state(5), CacheState::Invalid);
+    EXPECT_FALSE(nc.invalidate(5).has_value());
+}
+
+TEST(NodeCache, ForwardedFillTracksAccessBit)
+{
+    NodeCache nc = smallNode();
+    nc.fill(5, CacheState::Shared, 1, /*forwarded=*/true);
+    // The first touch consumes the forwarded bit exactly once.
+    EXPECT_TRUE(nc.consumeForwardedTouch(5));
+    EXPECT_FALSE(nc.consumeForwardedTouch(5));
+    // A demand fill never reports a forwarded touch.
+    nc.fill(6, CacheState::Shared, 1);
+    EXPECT_FALSE(nc.consumeForwardedTouch(6));
+    // Invalidation reports the flags.
+    nc.fill(7, CacheState::Shared, 1, /*forwarded=*/true);
+    auto line = nc.invalidate(7);
+    ASSERT_TRUE(line.has_value());
+    EXPECT_TRUE(line->forwarded);
+    EXPECT_FALSE(line->accessed);
+}
+
+TEST(NodeCache, UpgradeClearsTheForwardedFlag)
+{
+    NodeCache nc = smallNode();
+    nc.fill(5, CacheState::Shared, 1, /*forwarded=*/true);
+    nc.upgrade(5, 2);
+    auto line = nc.invalidate(5);
+    ASSERT_TRUE(line.has_value());
+    EXPECT_FALSE(line->forwarded);
+}
+
+TEST(NodeCache, L2EvictionBackInvalidatesL1)
+{
+    // L2: 2KB 2-way = 16 sets.  Blocks 0, 16, 32 share L2 set 0.
+    NodeCache nc = smallNode();
+    nc.fill(0, CacheState::Modified, 1);
+    nc.fill(16, CacheState::Shared, 1);
+    auto victim = nc.fill(32, CacheState::Shared, 1);
+    ASSERT_TRUE(victim.has_value());
+    EXPECT_EQ(victim->block, 0u);
+    EXPECT_EQ(victim->state, CacheState::Modified);
+    // Inclusion: the block must be gone at both levels.
+    EXPECT_EQ(nc.state(0), CacheState::Invalid);
+    EXPECT_FALSE(nc.access(0));
+    EXPECT_EQ(nc.stats().l2Evictions, 1u);
+    EXPECT_EQ(nc.stats().writebacks, 1u);
+}
+
+TEST(NodeCache, PaperGeometryDefaults)
+{
+    NodeCache nc; // 16KB DM L1, 512KB 4-way L2
+    // Fill more than the L1 (256 lines) but less than the L2.
+    for (Addr b = 0; b < 1024; ++b)
+        nc.fill(b, CacheState::Shared, 1);
+    // Everything still resides in the L2.
+    for (Addr b = 0; b < 1024; ++b)
+        EXPECT_NE(nc.state(b), CacheState::Invalid) << b;
+    EXPECT_EQ(nc.stats().l2Evictions, 0u);
+}
+
+} // namespace

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Tests for the directory slice and home-node placement policies.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/directory.hh"
+
+namespace {
+
+using namespace ccp;
+using mem::DirectoryEntry;
+using mem::DirectorySlice;
+using mem::DirState;
+using mem::MemoryMap;
+using mem::PlacementPolicy;
+
+TEST(DirectorySlice, EntriesMaterializeOnFirstUse)
+{
+    DirectorySlice slice;
+    EXPECT_EQ(slice.size(), 0u);
+    EXPECT_EQ(slice.find(42), nullptr);
+
+    DirectoryEntry &e = slice.entry(42);
+    EXPECT_EQ(e.state, DirState::Uncached);
+    EXPECT_TRUE(e.sharers.empty());
+    EXPECT_EQ(slice.size(), 1u);
+    EXPECT_EQ(slice.find(42), &slice.entry(42));
+}
+
+TEST(DirectorySlice, DefaultEntryHasNoHistory)
+{
+    DirectorySlice slice;
+    const DirectoryEntry &e = slice.entry(7);
+    EXPECT_FALSE(e.hasLastWriter);
+    EXPECT_EQ(e.version, 0u);
+    EXPECT_EQ(e.pendingEvent, trace::noEvent);
+    EXPECT_TRUE(e.readersSinceExclusive.empty());
+}
+
+TEST(DirectorySlice, IterationCoversAllEntries)
+{
+    DirectorySlice slice;
+    slice.entry(1).version = 10;
+    slice.entry(2).version = 20;
+    unsigned count = 0;
+    std::uint64_t total = 0;
+    for (const auto &[block, entry] : slice) {
+        ++count;
+        total += entry.version;
+        EXPECT_TRUE(block == 1 || block == 2);
+    }
+    EXPECT_EQ(count, 2u);
+    EXPECT_EQ(total, 30u);
+}
+
+TEST(MemoryMap, InterleavedIsRoundRobin)
+{
+    MemoryMap map(16, PlacementPolicy::Interleaved);
+    for (Addr block = 0; block < 64; ++block)
+        EXPECT_EQ(map.homeOf(block, /*toucher=*/5), block % 16);
+    // Nothing is pinned under interleaving.
+    EXPECT_EQ(map.assignedBlocks(), 0u);
+}
+
+TEST(MemoryMap, InterleavedIgnoresToucher)
+{
+    MemoryMap map(8, PlacementPolicy::Interleaved);
+    EXPECT_EQ(map.homeOf(9, 0), map.homeOf(9, 7));
+}
+
+TEST(MemoryMap, FirstTouchPinsTheFirstRequester)
+{
+    MemoryMap map(16, PlacementPolicy::FirstTouch);
+    EXPECT_EQ(map.homeOf(100, 3), 3u);
+    // Sticky: later touchers do not move the home.
+    EXPECT_EQ(map.homeOf(100, 9), 3u);
+    EXPECT_EQ(map.homeOf(100, 3), 3u);
+    EXPECT_EQ(map.assignedBlocks(), 1u);
+}
+
+TEST(MemoryMap, FirstTouchAssignsIndependentBlocks)
+{
+    MemoryMap map(4, PlacementPolicy::FirstTouch);
+    for (NodeId n = 0; n < 4; ++n)
+        EXPECT_EQ(map.homeOf(n, n), n);
+    EXPECT_EQ(map.assignedBlocks(), 4u);
+}
+
+TEST(MemoryMap, DefaultPolicyIsFirstTouch)
+{
+    MemoryMap map(16);
+    EXPECT_EQ(map.policy(), PlacementPolicy::FirstTouch);
+}
+
+} // namespace

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Tests for DistributedPredictor: the paper's Figure 1 claim that
+ * physically distributing a global predictor at the processors (pid
+ * indexing) or directories (dir indexing) is behaviour-preserving.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "common/rng.hh"
+#include "predict/distributed.hh"
+#include "sweep/name.hh"
+
+namespace {
+
+using namespace ccp;
+using predict::DistributedPredictor;
+using predict::evaluateDistributed;
+using predict::evaluateTrace;
+using predict::FunctionKind;
+using predict::IndexSpec;
+using predict::PredictorLocation;
+using predict::SchemeSpec;
+using predict::UpdateMode;
+using trace::CoherenceEvent;
+using trace::SharingTrace;
+
+SharingTrace
+randomTrace(std::uint64_t seed, int n_events = 3000)
+{
+    Rng rng(seed);
+    SharingTrace tr("rand", 16);
+    std::unordered_map<Addr, CoherenceEvent> last;
+    for (int i = 0; i < n_events; ++i) {
+        CoherenceEvent ev;
+        ev.pid = static_cast<NodeId>(rng.below(16));
+        ev.pc = 0x400 + 4 * rng.below(32);
+        ev.dir = static_cast<NodeId>(rng.below(16));
+        ev.block = rng.below(256);
+        std::uint64_t readers = rng() & 0xffff & ~(1ull << ev.pid);
+        ev.readers = SharingBitmap(readers);
+        auto it = last.find(ev.block);
+        if (it != last.end()) {
+            ev.invalidated = it->second.readers.minus(
+                SharingBitmap::single(ev.pid));
+            ev.prevWriterPid = it->second.pid;
+            ev.prevWriterPc = it->second.pc;
+            ev.hasPrevWriter = true;
+        }
+        last[ev.block] = ev;
+        tr.append(ev);
+    }
+    return tr;
+}
+
+SchemeSpec
+scheme(FunctionKind kind, unsigned depth, IndexSpec idx)
+{
+    return SchemeSpec{idx, kind, depth};
+}
+
+TEST(Distributed, RequiresTheLocationField)
+{
+    SchemeSpec no_pid = scheme(FunctionKind::Union, 1,
+                               IndexSpec{false, 0, true, 4});
+    EXPECT_EXIT(DistributedPredictor(no_pid,
+                                     PredictorLocation::AtProcessors,
+                                     16),
+                ::testing::ExitedWithCode(1), "Table 1");
+
+    SchemeSpec no_dir = scheme(FunctionKind::Union, 1,
+                               IndexSpec{true, 4, false, 0});
+    EXPECT_EXIT(DistributedPredictor(no_dir,
+                                     PredictorLocation::AtDirectories,
+                                     16),
+                ::testing::ExitedWithCode(1), "Table 1");
+}
+
+TEST(Distributed, PartSchemeDropsTheLocationField)
+{
+    SchemeSpec global = scheme(FunctionKind::Inter, 2,
+                               IndexSpec{true, 4, true, 6});
+    DistributedPredictor at_proc(global,
+                                 PredictorLocation::AtProcessors, 16);
+    EXPECT_FALSE(at_proc.partScheme().index.usePid);
+    EXPECT_TRUE(at_proc.partScheme().index.useDir);
+
+    DistributedPredictor at_dir(global,
+                                PredictorLocation::AtDirectories, 16);
+    EXPECT_TRUE(at_dir.partScheme().index.usePid);
+    EXPECT_FALSE(at_dir.partScheme().index.useDir);
+}
+
+TEST(Distributed, TotalCostEqualsGlobalCost)
+{
+    SchemeSpec global = scheme(FunctionKind::Union, 2,
+                               IndexSpec{true, 2, true, 4});
+    for (auto loc : {PredictorLocation::AtProcessors,
+                     PredictorLocation::AtDirectories}) {
+        DistributedPredictor dist(global, loc, 16);
+        EXPECT_EQ(dist.sizeBits(), global.sizeBits(16));
+        // N parts, each 1/N of the global table.
+        EXPECT_EQ(dist.part(0).sizeBits(), global.sizeBits(16) / 16);
+    }
+}
+
+/** The headline property: global == distributed, bit for bit. */
+class DistributedEquivalenceTest
+    : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(DistributedEquivalenceTest, MatchesGlobalPredictorExactly)
+{
+    auto tr = randomTrace(GetParam());
+
+    std::vector<SchemeSpec> schemes = {
+        scheme(FunctionKind::Union, 1, IndexSpec{true, 0, false, 0}),
+        scheme(FunctionKind::Union, 2, IndexSpec{true, 4, true, 4}),
+        scheme(FunctionKind::Inter, 4, IndexSpec{true, 2, false, 6}),
+        scheme(FunctionKind::PAs, 2, IndexSpec{true, 0, true, 2}),
+        scheme(FunctionKind::OverlapLast, 1,
+               IndexSpec{true, 4, false, 2}),
+    };
+
+    for (const auto &sch : schemes) {
+        for (auto mode : {UpdateMode::Direct, UpdateMode::Forwarded,
+                          UpdateMode::Ordered}) {
+            auto global = evaluateTrace(tr, sch, mode);
+
+            DistributedPredictor at_proc(
+                sch, PredictorLocation::AtProcessors, 16);
+            EXPECT_EQ(evaluateDistributed(tr, at_proc, mode), global)
+                << sweep::formatScheme(sch) << " at processors";
+
+            if (sch.index.useDir) {
+                DistributedPredictor at_dir(
+                    sch, PredictorLocation::AtDirectories, 16);
+                EXPECT_EQ(evaluateDistributed(tr, at_dir, mode),
+                          global)
+                    << sweep::formatScheme(sch) << " at directories";
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DistributedEquivalenceTest,
+                         ::testing::Values(1, 2, 3));
+
+TEST(Distributed, RoutingIsolatesParts)
+{
+    SchemeSpec global = scheme(FunctionKind::Union, 1,
+                               IndexSpec{true, 0, false, 0});
+    DistributedPredictor dist(global, PredictorLocation::AtProcessors,
+                              16);
+    dist.update(3, 0, 0, 0, SharingBitmap(0b1000));
+    EXPECT_EQ(dist.predict(3, 0, 0, 0).raw(), 0b1000u);
+    // Other nodes' parts are untouched.
+    for (NodeId pid = 0; pid < 16; ++pid) {
+        if (pid != 3)
+            EXPECT_TRUE(dist.predict(pid, 0, 0, 0).empty());
+    }
+}
+
+TEST(Distributed, LocationNames)
+{
+    EXPECT_STREQ(predict::predictorLocationName(
+                     PredictorLocation::AtProcessors),
+                 "processors");
+    EXPECT_STREQ(predict::predictorLocationName(
+                     PredictorLocation::AtDirectories),
+                 "directories");
+}
+
+} // namespace

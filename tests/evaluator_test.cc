@@ -1,0 +1,382 @@
+/**
+ * @file
+ * Tests for the evaluator's three update pipelines, including the
+ * paper's worked scenarios (Figures 2-4) and the equivalence property
+ * of pure address-based schemes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hh"
+#include "predict/evaluator.hh"
+
+namespace {
+
+using namespace ccp;
+using predict::Confusion;
+using predict::evaluateSuite;
+using predict::evaluateTrace;
+using predict::FunctionKind;
+using predict::IndexSpec;
+using predict::SchemeSpec;
+using predict::UpdateMode;
+using trace::CoherenceEvent;
+using trace::SharingTrace;
+
+/** Builder that wires invalidation/last-writer chains automatically. */
+class TraceBuilder
+{
+  public:
+    explicit TraceBuilder(unsigned n_nodes = 16)
+        : trace_("built", n_nodes)
+    {
+    }
+
+    /** Append a write event; @p readers is the eventual outcome. */
+    TraceBuilder &
+    writeEvent(NodeId pid, Pc pc, Addr block, std::uint64_t readers)
+    {
+        CoherenceEvent ev;
+        ev.pid = pid;
+        ev.pc = pc;
+        ev.dir = static_cast<NodeId>(block % trace_.nNodes());
+        ev.block = block;
+        ev.readers = SharingBitmap(readers);
+
+        auto it = lastOnBlock_.find(block);
+        if (it != lastOnBlock_.end()) {
+            const CoherenceEvent &prev = trace_.events()[it->second];
+            ev.invalidated = prev.readers;
+            ev.prevWriterPid = prev.pid;
+            ev.prevWriterPc = prev.pc;
+            ev.hasPrevWriter = true;
+            ev.prevEvent = it->second;
+        }
+        lastOnBlock_[block] = trace_.append(ev);
+        return *this;
+    }
+
+    SharingTrace take() { return std::move(trace_); }
+
+  private:
+    SharingTrace trace_;
+    std::unordered_map<Addr, EventSeq> lastOnBlock_;
+};
+
+SchemeSpec
+scheme(FunctionKind kind, unsigned depth, IndexSpec idx)
+{
+    return SchemeSpec{idx, kind, depth};
+}
+
+IndexSpec
+addrOnly(unsigned bits)
+{
+    IndexSpec idx;
+    idx.addrBits = bits;
+    return idx;
+}
+
+IndexSpec
+pcOnly(unsigned bits)
+{
+    IndexSpec idx;
+    idx.pcBits = bits;
+    return idx;
+}
+
+TEST(Evaluator, StableProducerConsumerLearnsAfterOneEvent)
+{
+    // Figure 2: one writer repeatedly invalidates its own readers.
+    TraceBuilder b;
+    for (int i = 0; i < 4; ++i)
+        b.writeEvent(0, 0x400, 7, 0b0100);
+    auto tr = b.take();
+
+    Confusion c = evaluateTrace(
+        tr, scheme(FunctionKind::Union, 1, addrOnly(8)),
+        UpdateMode::Direct);
+    // Event 0 is a cold miss (FN for node 2); events 1-3 are TPs.
+    EXPECT_EQ(c.tp, 3u);
+    EXPECT_EQ(c.fn, 1u);
+    EXPECT_EQ(c.fp, 0u);
+    EXPECT_EQ(c.decisions(), 4u * 16u);
+}
+
+TEST(Evaluator, AlternatingWritersConfuseDirectButNotForwarded)
+{
+    // Figure 3: writers A (node 0) and B (node 1) alternate on one
+    // block; A's readers are {2}, B's readers are {3}.  Under
+    // instruction indexing, direct update feeds A's entry with B's
+    // history and vice versa; forwarded update attributes correctly.
+    TraceBuilder b;
+    for (int i = 0; i < 10; ++i) {
+        b.writeEvent(0, 0x400, 7, 0b0100); // A -> reader 2
+        b.writeEvent(1, 0x500, 7, 0b1000); // B -> reader 3
+    }
+    auto tr = b.take();
+    auto sch = scheme(FunctionKind::Union, 1, pcOnly(8));
+
+    Confusion direct = evaluateTrace(tr, sch, UpdateMode::Direct);
+    Confusion fwd = evaluateTrace(tr, sch, UpdateMode::Forwarded);
+
+    // Direct: every warmed-up prediction uses the *other* writer's
+    // readers: all false.
+    EXPECT_EQ(direct.tp, 0u);
+    EXPECT_GT(direct.fp, 0u);
+    // Forwarded: after one round both entries are correct.
+    EXPECT_EQ(fwd.tp, 18u);
+    EXPECT_EQ(fwd.fp, 0u);
+    EXPECT_EQ(fwd.fn, 2u); // the two cold events
+}
+
+TEST(Evaluator, OrderedBeatsForwardedAcrossBlocks)
+{
+    // Figure 4: writer A writes X then Y before X's invalidation
+    // feedback exists.  Ordered update lets Y's prediction see X's
+    // outcome; forwarded update cannot.
+    TraceBuilder b;
+    b.writeEvent(0, 0x400, /*X=*/1, 0b0010);
+    b.writeEvent(0, 0x400, /*Y=*/2, 0b0010);
+    auto tr = b.take();
+    auto sch = scheme(FunctionKind::Union, 1, pcOnly(8));
+
+    Confusion fwd = evaluateTrace(tr, sch, UpdateMode::Forwarded);
+    Confusion ord = evaluateTrace(tr, sch, UpdateMode::Ordered);
+
+    EXPECT_EQ(fwd.tp, 0u); // no feedback ever arrived
+    EXPECT_EQ(fwd.fn, 2u);
+    EXPECT_EQ(ord.tp, 1u); // Y's prediction knew X's readers
+    EXPECT_EQ(ord.fn, 1u);
+}
+
+TEST(Evaluator, InterDemandsStabilityUnionDoesNot)
+{
+    // Readers alternate between {2} and {2,3}: intersection predicts
+    // only the stable reader 2; union predicts both.
+    TraceBuilder b;
+    for (int i = 0; i < 10; ++i)
+        b.writeEvent(0, 0x400, 7, i % 2 ? 0b1100 : 0b0100);
+    auto tr = b.take();
+
+    Confusion inter = evaluateTrace(
+        tr, scheme(FunctionKind::Inter, 2, addrOnly(8)),
+        UpdateMode::Direct);
+    Confusion uni = evaluateTrace(
+        tr, scheme(FunctionKind::Union, 2, addrOnly(8)),
+        UpdateMode::Direct);
+
+    // Union finds every sharing event after warmup but wastes half
+    // its extra predictions; inter never wastes but misses node 3.
+    EXPECT_EQ(inter.fp, 0u);
+    EXPECT_LT(inter.sensitivity(), uni.sensitivity());
+    EXPECT_GT(inter.pvp(), uni.pvp());
+}
+
+TEST(Evaluator, UnionDominatesInterInPredictedPositives)
+{
+    // Property: on any trace, union(d) predicts a superset of
+    // inter(d) per event, so TP and FP are both >=.
+    Rng rng(99);
+    TraceBuilder b;
+    for (int i = 0; i < 400; ++i)
+        b.writeEvent(static_cast<NodeId>(rng.below(16)),
+                     0x400 + 4 * rng.below(8), rng.below(32),
+                     rng() & 0xffff);
+    auto tr = b.take();
+
+    for (auto mode : {UpdateMode::Direct, UpdateMode::Forwarded,
+                      UpdateMode::Ordered}) {
+        Confusion uni = evaluateTrace(
+            tr, scheme(FunctionKind::Union, 3, addrOnly(5)), mode);
+        Confusion inter = evaluateTrace(
+            tr, scheme(FunctionKind::Inter, 3, addrOnly(5)), mode);
+        EXPECT_GE(uni.tp, inter.tp);
+        EXPECT_GE(uni.fp, inter.fp);
+    }
+}
+
+TEST(Evaluator, AddressSchemesImmuneToUpdateMode)
+{
+    // Paper section 3.4: for pure address-based schemes (full-width
+    // dir/addr indexing) direct == forwarded == ordered.
+    Rng rng(7);
+    TraceBuilder b;
+    for (int i = 0; i < 1000; ++i)
+        b.writeEvent(static_cast<NodeId>(rng.below(16)),
+                     0x400 + 4 * rng.below(64), rng.below(64),
+                     rng() & 0xffff);
+    auto tr = b.take();
+
+    for (auto kind : {FunctionKind::Union, FunctionKind::Inter,
+                      FunctionKind::PAs}) {
+        for (unsigned depth : {1u, 2u, 4u}) {
+            if (kind == FunctionKind::Inter && depth == 1)
+                continue;
+            auto sch = scheme(kind, depth, addrOnly(6));
+            Confusion d = evaluateTrace(tr, sch, UpdateMode::Direct);
+            Confusion f = evaluateTrace(tr, sch, UpdateMode::Forwarded);
+            Confusion o = evaluateTrace(tr, sch, UpdateMode::Ordered);
+            EXPECT_EQ(d, f) << "kind/depth " << int(kind) << "/"
+                            << depth;
+            EXPECT_EQ(d, o) << "kind/depth " << int(kind) << "/"
+                            << depth;
+        }
+    }
+}
+
+TEST(Evaluator, LastEqualsDepthOneWindows)
+{
+    Rng rng(13);
+    TraceBuilder b;
+    for (int i = 0; i < 500; ++i)
+        b.writeEvent(static_cast<NodeId>(rng.below(16)),
+                     0x400 + 4 * rng.below(16), rng.below(16),
+                     rng() & 0xffff);
+    auto tr = b.take();
+
+    IndexSpec idx{true, 4, false, 0};
+    Confusion u1 = evaluateTrace(tr, scheme(FunctionKind::Union, 1, idx),
+                                 UpdateMode::Direct);
+    Confusion i1 = evaluateTrace(tr, scheme(FunctionKind::Inter, 1, idx),
+                                 UpdateMode::Direct);
+    EXPECT_EQ(u1, i1);
+}
+
+TEST(Evaluator, OrderedIsDeterministicAndRepeatable)
+{
+    Rng rng(21);
+    TraceBuilder b;
+    for (int i = 0; i < 300; ++i)
+        b.writeEvent(static_cast<NodeId>(rng.below(16)), 0x400,
+                     rng.below(8), rng() & 0xffff);
+    auto tr = b.take();
+    auto sch = scheme(FunctionKind::PAs, 2, addrOnly(3));
+    Confusion a = evaluateTrace(tr, sch, UpdateMode::Ordered);
+    Confusion c = evaluateTrace(tr, sch, UpdateMode::Ordered);
+    EXPECT_EQ(a, c);
+}
+
+TEST(Evaluator, SuiteAveragesPerTraceMetrics)
+{
+    // Two traces with very different prevalence: the suite average is
+    // the arithmetic mean of the per-trace ratios (paper section 5.4),
+    // not the pooled ratio.
+    TraceBuilder b1;
+    for (int i = 0; i < 10; ++i)
+        b1.writeEvent(0, 0x400, 1, 0b0010);
+    TraceBuilder b2;
+    for (int i = 0; i < 1000; ++i)
+        b2.writeEvent(0, 0x400, 1, 0xfffe);
+
+    std::vector<SharingTrace> suite;
+    suite.push_back(b1.take());
+    suite.push_back(b2.take());
+
+    auto res = evaluateSuite(
+        suite, scheme(FunctionKind::Union, 1, addrOnly(8)),
+        UpdateMode::Direct);
+    ASSERT_EQ(res.perTrace.size(), 2u);
+    double expect_prev = (res.perTrace[0].confusion.prevalence() +
+                          res.perTrace[1].confusion.prevalence()) /
+                         2.0;
+    EXPECT_DOUBLE_EQ(res.avgPrevalence(), expect_prev);
+    // Pooled prevalence is dominated by the big trace and differs.
+    EXPECT_NE(res.pooled.prevalence(), res.avgPrevalence());
+}
+
+TEST(Evaluator, SchemeSizeBitsAgreesWithTable)
+{
+    auto sch = scheme(FunctionKind::Inter, 4, addrOnly(6));
+    EXPECT_EQ(sch.sizeBits(16), sch.makeTable(16).sizeBits());
+}
+
+TEST(Evaluator, UpdateModeNames)
+{
+    EXPECT_STREQ(predict::updateModeName(UpdateMode::Direct), "direct");
+    EXPECT_STREQ(predict::updateModeName(UpdateMode::Forwarded),
+                 "forwarded");
+    EXPECT_STREQ(predict::updateModeName(UpdateMode::Ordered),
+                 "ordered");
+}
+
+} // namespace
+
+namespace {
+
+using predict::orderedFeedback;
+
+TEST(OrderedFeedback, DeliversTheSuccessorsInvalidationSet)
+{
+    TraceBuilder b;
+    b.writeEvent(0, 0x400, 1, 0b0110); // e0: readers {1,2}
+    b.writeEvent(1, 0x404, 1, 0b0100); // e1 by node 1 (an old reader)
+    b.writeEvent(2, 0x408, 1, 0);      // e2
+    auto tr = b.take();
+
+    auto fb = orderedFeedback(tr);
+    ASSERT_EQ(fb.size(), 3u);
+    // e0's feedback is what e1 observed as invalidated (the builder
+    // chains readers verbatim).
+    EXPECT_EQ(fb[0].raw(), tr.events()[1].invalidated.raw());
+    EXPECT_EQ(fb[1].raw(), tr.events()[2].invalidated.raw());
+    // The final version never dies: full reader set.
+    EXPECT_EQ(fb[2].raw(), tr.events()[2].readers.raw());
+}
+
+TEST(OrderedFeedback, IndependentBlocksChainIndependently)
+{
+    TraceBuilder b;
+    b.writeEvent(0, 0x400, /*block*/ 1, 0b0010);
+    b.writeEvent(0, 0x400, /*block*/ 2, 0b0100);
+    b.writeEvent(0, 0x400, /*block*/ 1, 0b1000);
+    auto tr = b.take();
+    auto fb = orderedFeedback(tr);
+    EXPECT_EQ(fb[0].raw(), tr.events()[2].invalidated.raw());
+    EXPECT_EQ(fb[1].raw(), 0b0100u); // block 2 never rewritten
+    EXPECT_EQ(fb[2].raw(), 0b1000u); // block 1's last version
+}
+
+TEST(Evaluator, OverlapLastFiltersUnstableEntries)
+{
+    // Alternating disjoint reader sets: last predicts (and misses)
+    // every time; overlap-last abstains entirely.
+    TraceBuilder b;
+    for (int i = 0; i < 20; ++i)
+        b.writeEvent(0, 0x400, 7, i % 2 ? 0b0010 : 0b0100);
+    auto tr = b.take();
+
+    IndexSpec idx = addrOnly(8);
+    Confusion last = evaluateTrace(
+        tr, scheme(FunctionKind::Union, 1, idx), UpdateMode::Direct);
+    Confusion overlap = evaluateTrace(
+        tr, scheme(FunctionKind::OverlapLast, 1, idx),
+        UpdateMode::Direct);
+
+    EXPECT_GT(last.fp, 0u);
+    EXPECT_EQ(overlap.fp, 0u);
+    EXPECT_GE(overlap.pvp(), last.pvp());
+}
+
+TEST(Evaluator, OverlapLastMatchesLastOnStableSharing)
+{
+    TraceBuilder b;
+    for (int i = 0; i < 20; ++i)
+        b.writeEvent(0, 0x400, 7, 0b0110);
+    auto tr = b.take();
+    IndexSpec idx = addrOnly(8);
+    Confusion last = evaluateTrace(
+        tr, scheme(FunctionKind::Union, 1, idx), UpdateMode::Direct);
+    Confusion overlap = evaluateTrace(
+        tr, scheme(FunctionKind::OverlapLast, 1, idx),
+        UpdateMode::Direct);
+    // One extra cold event for overlap-last (it needs two
+    // observations before its first prediction): two reader bits.
+    EXPECT_EQ(overlap.tp + 2, last.tp);
+    EXPECT_EQ(overlap.fp, last.fp);
+}
+
+} // namespace

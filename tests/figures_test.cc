@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Tests for the figure label series (Figures 6-8 x-axes).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "common/rng.hh"
+#include "sweep/figures.hh"
+
+namespace {
+
+using namespace ccp;
+using predict::FunctionKind;
+using predict::IndexSpec;
+using predict::UpdateMode;
+using sweep::evaluateFigure;
+using sweep::figureIndexSeries12;
+using sweep::figureIndexSeries16;
+using sweep::figureLabel;
+
+TEST(Figures, SixteenPositionsEach)
+{
+    EXPECT_EQ(figureIndexSeries16().size(), 16u);
+    EXPECT_EQ(figureIndexSeries12().size(), 16u);
+}
+
+TEST(Figures, SeriesRespectsMaxIndexWidth)
+{
+    for (const auto &idx : figureIndexSeries16())
+        EXPECT_LE(idx.indexBits(4), 16u) << figureLabel(idx);
+    for (const auto &idx : figureIndexSeries12())
+        EXPECT_LE(idx.indexBits(4), 12u) << figureLabel(idx);
+}
+
+TEST(Figures, SeriesCoversAllSixteenTableOneClasses)
+{
+    // Each series walks through every combination of present/absent
+    // fields exactly once (Table 1's sixteen cases).
+    for (auto series : {figureIndexSeries16(), figureIndexSeries12()}) {
+        std::set<unsigned> cases;
+        for (const auto &idx : series)
+            cases.insert(idx.tableOneCase());
+        EXPECT_EQ(cases.size(), 16u);
+    }
+}
+
+TEST(Figures, FirstPositionIsUnindexed)
+{
+    EXPECT_EQ(figureIndexSeries16().front(), IndexSpec{});
+    EXPECT_EQ(figureIndexSeries12().front(), IndexSpec{});
+}
+
+TEST(Figures, LabelRendering)
+{
+    IndexSpec idx{true, 8, true, 0};
+    EXPECT_EQ(figureLabel(idx), "-/Y/8/Y");
+    EXPECT_EQ(figureLabel(IndexSpec{}), "-/-/-/-");
+    IndexSpec a{false, 0, false, 12};
+    EXPECT_EQ(figureLabel(a), "12/-/-/-");
+}
+
+TEST(Figures, EvaluateProducesPointPerPosition)
+{
+    // A small synthetic trace; per-position values must be metrics in
+    // [0,1] and labels must match the series.
+    trace::SharingTrace tr("t", 16);
+    Rng rng(3);
+    trace::CoherenceEvent prev[16];
+    bool seen[16] = {};
+    for (int i = 0; i < 400; ++i) {
+        unsigned k = static_cast<unsigned>(rng.below(16));
+        trace::CoherenceEvent ev;
+        ev.pid = k;
+        ev.pc = 0x400 + 4 * k;
+        ev.block = k;
+        ev.dir = k;
+        ev.readers = SharingBitmap::single((k + 1) % 16);
+        if (seen[k]) {
+            ev.invalidated = prev[k].readers;
+            ev.prevWriterPid = prev[k].pid;
+            ev.prevWriterPc = prev[k].pc;
+            ev.hasPrevWriter = true;
+        }
+        seen[k] = true;
+        prev[k] = ev;
+        tr.append(ev);
+    }
+    std::vector<trace::SharingTrace> suite;
+    suite.push_back(std::move(tr));
+
+    auto points = evaluateFigure(suite, figureIndexSeries16(),
+                                 FunctionKind::Union, 2,
+                                 UpdateMode::Direct);
+    ASSERT_EQ(points.size(), 16u);
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        EXPECT_EQ(points[i].label,
+                  figureLabel(figureIndexSeries16()[i]));
+        EXPECT_GE(points[i].sensitivity, 0.0);
+        EXPECT_LE(points[i].sensitivity, 1.0);
+        EXPECT_GE(points[i].pvp, 0.0);
+        EXPECT_LE(points[i].pvp, 1.0);
+    }
+    // On this perfectly-stable trace, any writer-identifying index
+    // must beat the unindexed predictor.
+    EXPECT_GT(points[8].pvp, points[0].pvp); // pid-only vs none
+}
+
+} // namespace

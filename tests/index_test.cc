@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Tests for IndexSpec: packing, truncation, Table 1 classification.
+ */
+
+#include <gtest/gtest.h>
+
+#include "predict/index.hh"
+#include "predict/table.hh"
+
+namespace {
+
+using namespace ccp;
+using predict::addressIndex;
+using predict::IndexSpec;
+using predict::instructionIndex;
+
+TEST(IndexSpec, WidthAccounting)
+{
+    IndexSpec none;
+    EXPECT_EQ(none.indexBits(4), 0u);
+
+    IndexSpec full{true, 8, true, 6};
+    EXPECT_EQ(full.indexBits(4), 4u + 8u + 4u + 6u);
+    EXPECT_EQ(full.indexBits(2), 2u + 8u + 2u + 6u);
+}
+
+TEST(IndexSpec, NoFieldsAlwaysIndexZero)
+{
+    IndexSpec none;
+    EXPECT_EQ(none.index(3, 0x4444, 7, 12345, 4), 0u);
+}
+
+TEST(IndexSpec, PidOnlySelectsByNode)
+{
+    IndexSpec idx{true, 0, false, 0};
+    for (NodeId pid = 0; pid < 16; ++pid)
+        EXPECT_EQ(idx.index(pid, 0x999, 3, 777, 4), pid);
+}
+
+TEST(IndexSpec, AddrTruncationKeepsLowBits)
+{
+    IndexSpec idx = addressIndex(4, false);
+    EXPECT_EQ(idx.index(0, 0, 0, 0b10110101, 4), 0b0101u);
+}
+
+TEST(IndexSpec, PcTruncationDropsWordAlignment)
+{
+    // Two stores 4 bytes apart must land in different entries even
+    // with a narrow pc field.
+    IndexSpec idx = instructionIndex(2, false);
+    auto a = idx.index(0, 0x400, 0, 0, 4);
+    auto b = idx.index(0, 0x404, 0, 0, 4);
+    EXPECT_NE(a, b);
+    EXPECT_LT(a, 4u);
+    EXPECT_LT(b, 4u);
+}
+
+TEST(IndexSpec, FieldsArePackedIndependently)
+{
+    IndexSpec idx{true, 4, true, 4};
+    auto base = idx.index(0, 0, 0, 0, 4);
+    EXPECT_EQ(base, 0u);
+    // Changing one input field must change exactly its bit range.
+    EXPECT_EQ(idx.index(0, 0, 0, 5, 4), 5u);
+    EXPECT_EQ(idx.index(0, 0, 3, 0, 4), 3u << 4);
+    EXPECT_EQ(idx.index(0, 4 * 9, 0, 0, 4), 9u << 8);
+    EXPECT_EQ(idx.index(11, 0, 0, 0, 4), 11u << 12);
+}
+
+TEST(IndexSpec, AliasingUnderTruncation)
+{
+    IndexSpec idx = addressIndex(2, false);
+    EXPECT_EQ(idx.index(0, 0, 0, 4, 4), idx.index(0, 0, 0, 8, 4));
+    EXPECT_NE(idx.index(0, 0, 0, 4, 4), idx.index(0, 0, 0, 5, 4));
+}
+
+TEST(IndexSpec, TableOneCases)
+{
+    EXPECT_EQ(IndexSpec{}.tableOneCase(), 0u);
+    EXPECT_EQ(addressIndex(8, false).tableOneCase(), 1u);
+    EXPECT_EQ(addressIndex(8, true).tableOneCase(), 3u);
+    EXPECT_EQ(instructionIndex(8, false).tableOneCase(), 4u);
+    EXPECT_EQ(instructionIndex(8, true).tableOneCase(), 12u);
+    IndexSpec all{true, 8, true, 8};
+    EXPECT_EQ(all.tableOneCase(), 15u);
+}
+
+TEST(IndexSpec, DistributabilityFollowsTableOne)
+{
+    // Cases 0,1,4,5: centralized only.
+    EXPECT_TRUE(IndexSpec{}.centralizedOnly());
+    EXPECT_TRUE(instructionIndex(8, false).centralizedOnly());
+    // dir without pid: distributable at the directories.
+    IndexSpec at_dir = addressIndex(8, true);
+    EXPECT_TRUE(at_dir.distributableAtDirectories());
+    EXPECT_FALSE(at_dir.distributableAtProcessors());
+    // pid without dir: at the processors.
+    IndexSpec at_proc = instructionIndex(8, true);
+    EXPECT_TRUE(at_proc.distributableAtProcessors());
+    EXPECT_FALSE(at_proc.distributableAtDirectories());
+}
+
+TEST(IndexSpec, WriterIdentityDetection)
+{
+    EXPECT_FALSE(addressIndex(8, true).usesWriterIdentity());
+    EXPECT_FALSE(IndexSpec{}.usesWriterIdentity());
+    EXPECT_TRUE(instructionIndex(8, false).usesWriterIdentity());
+    EXPECT_TRUE((IndexSpec{true, 0, true, 8}).usesWriterIdentity());
+}
+
+TEST(IndexSpec, FieldsNameNotation)
+{
+    EXPECT_EQ(IndexSpec{}.fieldsName(), "");
+    EXPECT_EQ(addressIndex(8, true).fieldsName(), "dir+add8");
+    EXPECT_EQ(instructionIndex(8, true).fieldsName(), "pid+pc8");
+    IndexSpec full{true, 2, true, 6};
+    EXPECT_EQ(full.fieldsName(), "pid+pc2+dir+add6");
+}
+
+TEST(IndexSpec, NodeBitsForMachineSizes)
+{
+    EXPECT_EQ(predict::nodeBitsFor(1), 0u);
+    EXPECT_EQ(predict::nodeBitsFor(2), 1u);
+    EXPECT_EQ(predict::nodeBitsFor(16), 4u);
+    EXPECT_EQ(predict::nodeBitsFor(17), 5u);
+    EXPECT_EQ(predict::nodeBitsFor(64), 6u);
+}
+
+TEST(IndexSpec, EventConvenienceOverload)
+{
+    trace::CoherenceEvent ev;
+    ev.pid = 5;
+    ev.pc = 0x420;
+    ev.dir = 9;
+    ev.block = 0x3f;
+    IndexSpec idx{true, 4, true, 4};
+    EXPECT_EQ(idx.indexOf(ev, 4),
+              idx.index(5, 0x420, 9, 0x3f, 4));
+}
+
+} // namespace

@@ -1,0 +1,225 @@
+/**
+ * @file
+ * End-to-end integration tests: workload -> machine -> trace ->
+ * predictor evaluation, asserting the qualitative shapes the paper
+ * reports (prevalence ordering, union/inter trade-off, history-depth
+ * trends).  Runs the suite once at reduced scale and shares it across
+ * tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+
+#include "predict/evaluator.hh"
+#include "sweep/name.hh"
+#include "workloads/registry.hh"
+
+namespace {
+
+using namespace ccp;
+using predict::Confusion;
+using predict::evaluateSuite;
+using predict::FunctionKind;
+using predict::SchemeSpec;
+using predict::UpdateMode;
+
+class IntegrationTest : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        workloads::WorkloadParams params;
+        params.seed = 2026;
+        params.scale = 0.25;
+        suite_ = new std::vector<trace::SharingTrace>(
+            workloads::generateSuite(params));
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete suite_;
+        suite_ = nullptr;
+    }
+
+    static const std::vector<trace::SharingTrace> &
+    suite()
+    {
+        return *suite_;
+    }
+
+    static double
+    prevalenceOf(const std::string &name)
+    {
+        for (const auto &tr : suite())
+            if (tr.name() == name)
+                return tr.prevalence();
+        ADD_FAILURE() << "no trace " << name;
+        return 0.0;
+    }
+
+    static predict::SuiteResult
+    eval(const std::string &scheme_text, UpdateMode mode)
+    {
+        auto parsed = sweep::parseScheme(scheme_text);
+        EXPECT_TRUE(parsed.has_value()) << scheme_text;
+        return evaluateSuite(suite(), parsed->scheme, mode);
+    }
+
+  private:
+    static std::vector<trace::SharingTrace> *suite_;
+};
+
+std::vector<trace::SharingTrace> *IntegrationTest::suite_ = nullptr;
+
+TEST_F(IntegrationTest, SuiteHasSevenBenchmarks)
+{
+    EXPECT_EQ(suite().size(), 7u);
+    for (const auto &tr : suite())
+        EXPECT_GT(tr.storeMisses(), 1000u) << tr.name();
+}
+
+TEST_F(IntegrationTest, PrevalenceIsLowEverywhere)
+{
+    // Table 6's key observation: sharing prevalence is a few percent,
+    // nothing like the ~65% taken-bias of branches.
+    for (const auto &tr : suite()) {
+        EXPECT_GT(tr.prevalence(), 0.005) << tr.name();
+        EXPECT_LT(tr.prevalence(), 0.30) << tr.name();
+    }
+}
+
+TEST_F(IntegrationTest, PrevalenceOrderingMatchesTableSix)
+{
+    // ocean and em3d are the sparse ones; barnes/unstruct/water lead.
+    double ocean = prevalenceOf("ocean");
+    double em3d = prevalenceOf("em3d");
+    for (const auto &name : {"barnes", "gauss", "mp3d", "unstruct",
+                             "water"}) {
+        EXPECT_LT(ocean, prevalenceOf(name)) << name;
+        EXPECT_LT(em3d, prevalenceOf(name)) << name;
+    }
+    EXPECT_GT(prevalenceOf("barnes"), prevalenceOf("mp3d"));
+    EXPECT_GT(prevalenceOf("unstruct"), prevalenceOf("mp3d"));
+}
+
+TEST_F(IntegrationTest, BaselineLastIsMiddling)
+{
+    auto res = eval("last()1", UpdateMode::Direct);
+    // Paper Table 7: sensitivity 0.57, PVP 0.66.  Loose bands: the
+    // baseline must be clearly useful but clearly imperfect.
+    EXPECT_GT(res.avgSensitivity(), 0.25);
+    EXPECT_LT(res.avgSensitivity(), 0.85);
+    EXPECT_GT(res.avgPvp(), 0.35);
+    EXPECT_LT(res.avgPvp(), 0.95);
+}
+
+TEST_F(IntegrationTest, IntersectionTradesSensitivityForPvp)
+{
+    // Paper Table 7: inter(pid+pc8)2 has higher PVP and lower
+    // sensitivity than last(pid+pc8)1.
+    auto last = eval("last(pid+pc8)1", UpdateMode::Direct);
+    auto inter = eval("inter(pid+pc8)2", UpdateMode::Direct);
+    EXPECT_GT(inter.avgPvp(), last.avgPvp());
+    EXPECT_LT(inter.avgSensitivity(), last.avgSensitivity());
+}
+
+TEST_F(IntegrationTest, DeepInterRaisesPvpDeepUnionRaisesSensitivity)
+{
+    // Section 5.4.3's depth trends.
+    auto inter2 = eval("inter(pid+add6)2", UpdateMode::Direct);
+    auto inter4 = eval("inter(pid+add6)4", UpdateMode::Direct);
+    EXPECT_GE(inter4.avgPvp(), inter2.avgPvp() - 0.01);
+    EXPECT_LE(inter4.avgSensitivity(), inter2.avgSensitivity() + 0.01);
+
+    auto union2 = eval("union(dir+add8)2", UpdateMode::Direct);
+    auto union4 = eval("union(dir+add8)4", UpdateMode::Direct);
+    EXPECT_GE(union4.avgSensitivity(), union2.avgSensitivity() - 0.01);
+    EXPECT_LE(union4.avgPvp(), union2.avgPvp() + 0.01);
+}
+
+TEST_F(IntegrationTest, DeepIntersectionIsThePvpChampion)
+{
+    // Tables 8/9: deep-history intersection schemes with pid reach
+    // PVP above the baseline, at much lower sensitivity.  (We use a
+    // wider addr field than the paper's cheapest champion: our
+    // synthetic AoS layouts alias more heavily at 6 addr bits.)
+    auto top = eval("inter(pid+add12)4", UpdateMode::Direct);
+    auto base = eval("last()1", UpdateMode::Direct);
+    EXPECT_GT(top.avgPvp(), base.avgPvp() + 0.05);
+    EXPECT_LT(top.avgSensitivity(), base.avgSensitivity());
+}
+
+TEST_F(IntegrationTest, DeepUnionIsTheSensitivityChampion)
+{
+    auto top = eval("union(dir+add14)4", UpdateMode::Direct);
+    auto base = eval("last()1", UpdateMode::Direct);
+    EXPECT_GT(top.avgSensitivity(), base.avgSensitivity());
+    EXPECT_LT(top.avgPvp(), base.avgPvp());
+}
+
+TEST_F(IntegrationTest, OrderedUpdateIsAnUpperBoundForWindows)
+{
+    // Ordered update feeds each entry perfectly ordered history; for
+    // the same scheme it should not lose to forwarded update by any
+    // meaningful margin (it is the paper's practical upper bound).
+    for (const char *text : {"last(pid+pc8)1", "union(pid+dir+add4)4"}) {
+        auto fwd = eval(text, UpdateMode::Forwarded);
+        auto ord = eval(text, UpdateMode::Ordered);
+        EXPECT_GT(ord.avgSensitivity() + ord.avgPvp(),
+                  fwd.avgSensitivity() + fwd.avgPvp() - 0.05)
+            << text;
+    }
+}
+
+TEST_F(IntegrationTest, DirectAndForwardedAgreeOnAddressSchemes)
+{
+    auto d = eval("union(dir+add16)2", UpdateMode::Direct);
+    auto f = eval("union(dir+add16)2", UpdateMode::Forwarded);
+    for (std::size_t i = 0; i < d.perTrace.size(); ++i)
+        EXPECT_EQ(d.perTrace[i].confusion, f.perTrace[i].confusion)
+            << d.perTrace[i].traceName;
+}
+
+TEST_F(IntegrationTest, PidIndexingHelpsInstructionSchemes)
+{
+    // Section 5.4.2: pc without pid mixes different nodes' store
+    // history and is an "all-around bad performer".
+    auto with_pid = eval("union(pid+pc8)2", UpdateMode::Direct);
+    auto without = eval("union(pc8)2", UpdateMode::Direct);
+    EXPECT_GT(with_pid.avgPvp() + with_pid.avgSensitivity(),
+              without.avgPvp() + without.avgSensitivity());
+}
+
+TEST_F(IntegrationTest, TraceRoundTripPreservesEvaluation)
+{
+    const auto &tr = suite().front();
+    std::stringstream ss;
+    ASSERT_TRUE(tr.save(ss));
+    trace::SharingTrace back;
+    ASSERT_TRUE(back.load(ss));
+
+    auto parsed = sweep::parseScheme("union(pid+dir+add4)2");
+    ASSERT_TRUE(parsed.has_value());
+    Confusion a = predict::evaluateTrace(tr, parsed->scheme,
+                                         UpdateMode::Forwarded);
+    Confusion b = predict::evaluateTrace(back, parsed->scheme,
+                                         UpdateMode::Forwarded);
+    EXPECT_EQ(a, b);
+}
+
+TEST_F(IntegrationTest, PredictedStoresAreFewerThanStaticStores)
+{
+    // Table 5's structure: only a subset of static stores ever causes
+    // coherence events.
+    for (const auto &tr : suite()) {
+        EXPECT_LE(tr.meta().maxPredictedStoresPerNode,
+                  tr.meta().maxStaticStoresPerNode)
+            << tr.name();
+    }
+}
+
+} // namespace

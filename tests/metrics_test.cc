@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Tests for the screening-test statistics (paper section 4).
+ */
+
+#include <gtest/gtest.h>
+
+#include "predict/metrics.hh"
+
+namespace {
+
+using ccp::SharingBitmap;
+using ccp::predict::Confusion;
+
+TEST(Confusion, EmptyDefaults)
+{
+    Confusion c;
+    EXPECT_EQ(c.decisions(), 0u);
+    EXPECT_EQ(c.prevalence(), 0.0);
+    // Vacuous perfection: nothing predicted, nothing missed.
+    EXPECT_EQ(c.sensitivity(), 1.0);
+    EXPECT_EQ(c.pvp(), 1.0);
+}
+
+TEST(Confusion, FourQuadrants)
+{
+    Confusion c;
+    // predicted {0,1}, actual {1,2} over 4 nodes:
+    // node 0: FP, node 1: TP, node 2: FN, node 3: TN.
+    c.add(SharingBitmap(0b0011), SharingBitmap(0b0110), 4);
+    EXPECT_EQ(c.tp, 1u);
+    EXPECT_EQ(c.fp, 1u);
+    EXPECT_EQ(c.fn, 1u);
+    EXPECT_EQ(c.tn, 1u);
+    EXPECT_EQ(c.decisions(), 4u);
+}
+
+TEST(Confusion, PerfectPrediction)
+{
+    Confusion c;
+    c.add(SharingBitmap(0b0110), SharingBitmap(0b0110), 16);
+    EXPECT_EQ(c.tp, 2u);
+    EXPECT_EQ(c.fp, 0u);
+    EXPECT_EQ(c.fn, 0u);
+    EXPECT_EQ(c.tn, 14u);
+    EXPECT_DOUBLE_EQ(c.sensitivity(), 1.0);
+    EXPECT_DOUBLE_EQ(c.pvp(), 1.0);
+    EXPECT_DOUBLE_EQ(c.accuracy(), 1.0);
+}
+
+TEST(Confusion, BitsAboveMachineWidthIgnored)
+{
+    Confusion c;
+    c.add(SharingBitmap(0xf0f0), SharingBitmap(0xffff), 4);
+    // Only the low 4 bits participate.
+    EXPECT_EQ(c.decisions(), 4u);
+    EXPECT_EQ(c.tp, 0u);
+    EXPECT_EQ(c.fn, 4u);
+}
+
+TEST(Confusion, DefinitionsMatchTableTwo)
+{
+    Confusion c{/*tp=*/30, /*fp=*/10, /*tn=*/50, /*fn=*/10};
+    EXPECT_DOUBLE_EQ(c.prevalence(), 40.0 / 100.0);
+    EXPECT_DOUBLE_EQ(c.sensitivity(), 30.0 / 40.0);
+    EXPECT_DOUBLE_EQ(c.pvp(), 30.0 / 40.0);
+    EXPECT_DOUBLE_EQ(c.specificity(), 50.0 / 60.0);
+    EXPECT_DOUBLE_EQ(c.pvn(), 50.0 / 60.0);
+    EXPECT_DOUBLE_EQ(c.accuracy(), 80.0 / 100.0);
+}
+
+TEST(Confusion, MergeIsAdditive)
+{
+    Confusion a{1, 2, 3, 4}, b{10, 20, 30, 40};
+    a.merge(b);
+    EXPECT_EQ(a, (Confusion{11, 22, 33, 44}));
+}
+
+TEST(Confusion, AccumulatesAcrossEvents)
+{
+    Confusion c;
+    for (int i = 0; i < 100; ++i)
+        c.add(SharingBitmap(0b1), SharingBitmap(0b1), 16);
+    EXPECT_EQ(c.tp, 100u);
+    EXPECT_EQ(c.tn, 1500u);
+    EXPECT_DOUBLE_EQ(c.prevalence(), 100.0 / 1600.0);
+}
+
+TEST(Confusion, NeverPredictingSharingHasUndefinedButSafePvp)
+{
+    Confusion c;
+    c.add(SharingBitmap(0), SharingBitmap(0b1), 16);
+    // No positives predicted: PVP defined as 1 (no wasted traffic),
+    // sensitivity 0 (all opportunities missed).
+    EXPECT_DOUBLE_EQ(c.pvp(), 1.0);
+    EXPECT_DOUBLE_EQ(c.sensitivity(), 0.0);
+}
+
+TEST(Confusion, AlwaysPredictingEveryoneMaximizesSensitivity)
+{
+    Confusion c;
+    c.add(SharingBitmap::all(16), SharingBitmap(0b10), 16);
+    EXPECT_DOUBLE_EQ(c.sensitivity(), 1.0);
+    // ...at terrible PVP, which equals prevalence in that limit.
+    EXPECT_DOUBLE_EQ(c.pvp(), c.prevalence());
+}
+
+} // namespace

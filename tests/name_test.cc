@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Tests for the scheme-notation formatter and parser.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sweep/name.hh"
+
+namespace {
+
+using namespace ccp;
+using predict::FunctionKind;
+using predict::IndexSpec;
+using predict::SchemeSpec;
+using predict::UpdateMode;
+using sweep::formatScheme;
+using sweep::parseScheme;
+
+SchemeSpec
+spec(FunctionKind kind, unsigned depth, bool pid, unsigned pc, bool dir,
+     unsigned addr)
+{
+    return SchemeSpec{IndexSpec{pid, pc, dir, addr}, kind, depth};
+}
+
+TEST(Name, FormatsPaperExamples)
+{
+    EXPECT_EQ(formatScheme(
+                  spec(FunctionKind::Union, 2, true, 0, true, 4)),
+              "union(pid+dir+add4)2");
+    EXPECT_EQ(formatScheme(
+                  spec(FunctionKind::Inter, 4, true, 6, false, 6)),
+              "inter(pid+pc6+add6)4");
+    EXPECT_EQ(formatScheme(
+                  spec(FunctionKind::Union, 1, false, 0, true, 8)),
+              "union(dir+add8)1");
+    EXPECT_EQ(formatScheme(spec(FunctionKind::PAs, 2, true, 0, false, 0)),
+              "pas(pid)2");
+}
+
+TEST(Name, FormatWithUpdateSuffix)
+{
+    EXPECT_EQ(formatScheme(
+                  spec(FunctionKind::Union, 2, true, 0, true, 4),
+                  UpdateMode::Direct),
+              "union(pid+dir+add4)2[direct]");
+    EXPECT_EQ(formatScheme(spec(FunctionKind::Inter, 2, true, 8, false, 0),
+                           UpdateMode::Forwarded),
+              "inter(pid+pc8)2[forwarded]");
+}
+
+TEST(Name, ParsesItsOwnOutput)
+{
+    std::vector<SchemeSpec> cases = {
+        spec(FunctionKind::Union, 1, false, 0, false, 0),
+        spec(FunctionKind::Union, 4, false, 0, true, 14),
+        spec(FunctionKind::Inter, 2, true, 8, false, 0),
+        spec(FunctionKind::Inter, 4, true, 6, true, 4),
+        spec(FunctionKind::PAs, 2, true, 4, true, 4),
+    };
+    for (const auto &s : cases) {
+        auto parsed = parseScheme(formatScheme(s));
+        ASSERT_TRUE(parsed.has_value()) << formatScheme(s);
+        EXPECT_EQ(parsed->scheme, s) << formatScheme(s);
+        EXPECT_FALSE(parsed->mode.has_value());
+    }
+}
+
+TEST(Name, ParsesUpdateSuffix)
+{
+    auto p = parseScheme("inter(pid+pc8)2[forwarded]");
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(p->mode, UpdateMode::Forwarded);
+    auto q = parseScheme("union(dir+add2)4[ordered]");
+    ASSERT_TRUE(q.has_value());
+    EXPECT_EQ(q->mode, UpdateMode::Ordered);
+}
+
+TEST(Name, ParsesPaperTableSevenSpellings)
+{
+    // "last(pid+pc8)1" (Kaxiras) and "last(pid+mem8)" (Lai) both
+    // normalize to depth-1 unions.
+    auto kax = parseScheme("last(pid+pc8)1");
+    ASSERT_TRUE(kax.has_value());
+    EXPECT_EQ(kax->scheme.kind, FunctionKind::Union);
+    EXPECT_EQ(kax->scheme.depth, 1u);
+    EXPECT_EQ(kax->scheme.index.pcBits, 8u);
+
+    auto lai = parseScheme("last(pid+mem8)");
+    ASSERT_TRUE(lai.has_value());
+    EXPECT_EQ(lai->scheme.depth, 1u); // missing depth defaults to 1
+    EXPECT_EQ(lai->scheme.index.addrBits, 8u);
+
+    auto baseline = parseScheme("last()1");
+    ASSERT_TRUE(baseline.has_value());
+    EXPECT_EQ(baseline->scheme.index, IndexSpec{});
+}
+
+TEST(Name, ParsesAddrSpelling)
+{
+    auto p = parseScheme("union(addr16)4");
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(p->scheme.index.addrBits, 16u);
+}
+
+TEST(Name, RejectsMalformedInput)
+{
+    EXPECT_FALSE(parseScheme("").has_value());
+    EXPECT_FALSE(parseScheme("foo(pid)1").has_value());
+    EXPECT_FALSE(parseScheme("union(pid").has_value());
+    EXPECT_FALSE(parseScheme("union(pc)1").has_value());    // pc needs bits
+    EXPECT_FALSE(parseScheme("union(bogus8)1").has_value());
+    EXPECT_FALSE(parseScheme("union(pid)1[maybe]").has_value());
+    EXPECT_FALSE(parseScheme("union(pid)1 trailing").has_value());
+    EXPECT_FALSE(parseScheme("union(pid)1[direct").has_value());
+}
+
+} // namespace
+
+namespace {
+
+TEST(Name, OverlapLastRoundTrip)
+{
+    auto s = spec(FunctionKind::OverlapLast, 1, true, 8, false, 0);
+    EXPECT_EQ(formatScheme(s), "overlap-last(pid+pc8)1");
+    auto parsed = parseScheme("overlap-last(pid+pc8)1[direct]");
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->scheme.kind, FunctionKind::OverlapLast);
+    EXPECT_EQ(parsed->mode, UpdateMode::Direct);
+}
+
+} // namespace

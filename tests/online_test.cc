@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Tests for the closed-loop online forwarder: forwarded copies turn
+ * remote read misses into hits, the writer yields permission, wasted
+ * forwards and pollution are accounted, and the access-bit mechanism
+ * keeps feedback truthful despite speculative sharer pollution.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "forward/online.hh"
+#include "sweep/name.hh"
+#include "workloads/registry.hh"
+
+namespace {
+
+using namespace ccp;
+using forward::OnlineForwarder;
+using mem::CoherenceController;
+using mem::MachineConfig;
+using trace::SharingTrace;
+
+MachineConfig
+smallConfig()
+{
+    MachineConfig cfg;
+    cfg.nNodes = 4;
+    cfg.l1 = {512, 1};
+    cfg.l2 = {4096, 2};
+    cfg.torusWidth = 2;
+    return cfg;
+}
+
+predict::SchemeSpec
+lastAddr()
+{
+    return sweep::parseScheme("last(add8)1")->scheme;
+}
+
+struct Rig
+{
+    Rig() : trace("online", 4), ctl(smallConfig(), &trace),
+            fwd(lastAddr(), 4)
+    {
+        fwd.attach(ctl);
+    }
+
+    SharingTrace trace;
+    CoherenceController ctl;
+    OnlineForwarder fwd;
+};
+
+TEST(Online, StablePatternConvertsMissesToForwardHits)
+{
+    Rig rig;
+    Addr a = blockBase(10);
+    // Train: writer 0 produces, reader 2 consumes, repeatedly.
+    for (int i = 0; i < 10; ++i) {
+        rig.ctl.write(0, a, 0x400);
+        rig.ctl.read(2, a);
+        rig.ctl.checkInvariants();
+    }
+    // After the second write the predictor knows {2}: subsequent
+    // reads by 2 hit on forwarded copies.
+    EXPECT_GE(rig.ctl.stats().forwardsSent, 8u);
+    EXPECT_GE(rig.ctl.stats().forwardHits, 8u);
+    EXPECT_EQ(rig.ctl.stats().wastedForwards, 0u);
+    // Reader 2's misses stop after warmup.
+    EXPECT_LE(rig.ctl.cacheStats(2).misses, 2u);
+}
+
+TEST(Online, WriterYieldsPermissionAfterForwarding)
+{
+    Rig rig;
+    Addr a = blockBase(10);
+    rig.ctl.write(0, a, 0x400);
+    rig.ctl.read(2, a);
+    rig.ctl.write(0, a, 0x400); // trains entry; forwards to {2}
+    // The writer's copy is now Shared (it yielded permission), so
+    // its next store is a write fault, not a silent hit.
+    auto faults_before = rig.ctl.stats().writeFaults;
+    rig.ctl.write(0, a, 0x400);
+    EXPECT_GT(rig.ctl.stats().writeFaults, faults_before);
+    rig.ctl.checkInvariants();
+}
+
+TEST(Online, WrongPredictionsAreCountedWasted)
+{
+    Rig rig;
+    Addr a = blockBase(10);
+    rig.ctl.write(0, a, 0x400);
+    rig.ctl.read(2, a); // version 1 read by 2
+    // Retrain toward {2}, but from now on only node 3 reads.
+    for (int i = 0; i < 5; ++i) {
+        rig.ctl.write(0, a, 0x400); // forwards to stale readers
+        rig.ctl.read(3, a);
+        rig.ctl.checkInvariants();
+    }
+    EXPECT_GT(rig.ctl.stats().wastedForwards, 0u);
+}
+
+TEST(Online, AccessBitsKeepFeedbackTruthful)
+{
+    Rig rig;
+    Addr a = blockBase(10);
+    rig.ctl.write(0, a, 0x400);
+    rig.ctl.read(2, a);
+    rig.ctl.write(0, a, 0x400); // forwards to {2}
+    // 2 never touches the forwarded copy; 3 demand-reads instead.
+    rig.ctl.read(3, a);
+    rig.ctl.write(0, a, 0x400);
+    // The feedback of that last event must contain the true reader 3
+    // but NOT the polluted sharer 2.
+    const auto &ev = rig.trace.events().back();
+    EXPECT_TRUE(ev.invalidated.test(3));
+    EXPECT_FALSE(ev.invalidated.test(2));
+}
+
+TEST(Online, ForwardedTouchMakesTheReaderATrueReader)
+{
+    Rig rig;
+    Addr a = blockBase(10);
+    rig.ctl.write(0, a, 0x400);
+    rig.ctl.read(2, a);
+    rig.ctl.write(0, a, 0x400); // forwards to {2}
+    rig.ctl.read(2, a);         // hits the forwarded copy
+    rig.ctl.write(0, a, 0x400);
+    // 2 read version 2 through the forward: it must appear both in
+    // the outcome of event 2 and in the feedback of event 3.
+    EXPECT_TRUE(rig.trace.events()[1].readers.test(2));
+    EXPECT_TRUE(rig.trace.events()[2].invalidated.test(2));
+}
+
+TEST(Online, WholeWorkloadRunsKeepInvariants)
+{
+    // A full kernel with forwarding enabled: the protocol must stay
+    // coherent and the trace well-formed.
+    workloads::WorkloadParams params;
+    params.scale = 0.05;
+    mem::MachineConfig cfg; // 16 nodes, paper caches
+    sim::Machine machine(cfg, "mp3d", 123);
+    OnlineForwarder fwd(sweep::parseScheme("union(pid+add8)2")->scheme,
+                        16);
+    fwd.attach(machine.controller());
+    auto wl = workloads::makeWorkload("mp3d", params);
+    wl->run(machine);
+    machine.controller().checkInvariants();
+    EXPECT_GT(machine.controller().stats().forwardsSent, 100u);
+    EXPECT_GT(machine.controller().stats().forwardHits, 5u);
+    auto tr = machine.finish();
+    for (const auto &ev : tr.events())
+        ASSERT_FALSE(ev.invalidated.test(ev.pid));
+}
+
+TEST(Online, ForwardingReducesLatencyOnFriendlyPatterns)
+{
+    // em3d's static producer-consumer pattern is the paper's ideal
+    // use case: online forwarding must cut modelled latency.
+    workloads::WorkloadParams params;
+    params.scale = 0.05;
+    mem::MachineConfig cfg;
+
+    sim::Machine plain(cfg, "em3d", 9);
+    workloads::makeWorkload("em3d", params)->run(plain);
+    Cycles base = plain.controller().stats().latency;
+
+    sim::Machine assisted(cfg, "em3d", 9);
+    OnlineForwarder fwd(sweep::parseScheme("last(add12)1")->scheme, 16);
+    fwd.attach(assisted.controller());
+    workloads::makeWorkload("em3d", params)->run(assisted);
+    Cycles with_fwd = assisted.controller().stats().latency;
+
+    EXPECT_LT(with_fwd, base);
+}
+
+} // namespace

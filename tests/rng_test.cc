@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Tests for the deterministic xoshiro256** generator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "common/rng.hh"
+
+namespace {
+
+using ccp::Rng;
+
+TEST(Rng, DeterministicForSeed)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a() == b();
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng rng(7);
+    for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+        for (int i = 0; i < 200; ++i)
+            EXPECT_LT(rng.below(bound), bound);
+    }
+}
+
+TEST(Rng, BelowOneAlwaysZero)
+{
+    Rng rng(9);
+    for (int i = 0; i < 50; ++i)
+        EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, BelowIsRoughlyUniform)
+{
+    Rng rng(11);
+    constexpr int buckets = 8, draws = 80000;
+    std::vector<int> counts(buckets, 0);
+    for (int i = 0; i < draws; ++i)
+        ++counts[rng.below(buckets)];
+    for (int c : counts) {
+        EXPECT_GT(c, draws / buckets * 0.9);
+        EXPECT_LT(c, draws / buckets * 1.1);
+    }
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng rng(13);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        auto v = rng.range(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        saw_lo |= v == -3;
+        saw_hi |= v == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(17);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceMatchesProbability)
+{
+    Rng rng(19);
+    int hits = 0;
+    for (int i = 0; i < 20000; ++i)
+        hits += rng.chance(0.3);
+    EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng rng(21);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+}
+
+TEST(Rng, GeometricRespectsCap)
+{
+    Rng rng(23);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LE(rng.geometric(0.9, 5), 5u);
+}
+
+TEST(Rng, ShuffleIsAPermutation)
+{
+    Rng rng(25);
+    std::vector<int> v(100);
+    std::iota(v.begin(), v.end(), 0);
+    auto orig = v;
+    rng.shuffle(v);
+    EXPECT_NE(v, orig); // astronomically unlikely to be identity
+    std::sort(v.begin(), v.end());
+    EXPECT_EQ(v, orig);
+}
+
+TEST(Rng, ForkedStreamsAreIndependentAndDeterministic)
+{
+    Rng base(31);
+    Rng f1 = base.fork(1);
+    Rng f2 = base.fork(2);
+    Rng f1_again = Rng(31).fork(1);
+
+    int same12 = 0;
+    for (int i = 0; i < 100; ++i) {
+        auto v1 = f1();
+        EXPECT_EQ(v1, f1_again());
+        same12 += v1 == f2();
+    }
+    EXPECT_LT(same12, 3);
+}
+
+TEST(Rng, BelowZeroDies)
+{
+    Rng rng(1);
+    EXPECT_DEATH(rng.below(0), "below");
+}
+
+} // namespace

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Parameterized property sweeps over the scheme space on a real
+ * (small-scale) workload trace: conservation and range invariants
+ * that every scheme/update-mode combination must satisfy, plus
+ * notation round-trips for the whole enumerated space.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "predict/evaluator.hh"
+#include "sweep/name.hh"
+#include "sweep/space.hh"
+#include "workloads/registry.hh"
+
+namespace {
+
+using namespace ccp;
+using predict::Confusion;
+using predict::evaluateTrace;
+using predict::FunctionKind;
+using predict::SchemeSpec;
+using predict::UpdateMode;
+
+/** One shared small trace (mp3d at tiny scale: all pattern types). */
+const trace::SharingTrace &
+sharedTrace()
+{
+    static const trace::SharingTrace tr = [] {
+        workloads::WorkloadParams params;
+        params.seed = 31;
+        params.scale = 0.05;
+        return workloads::generateTrace("mp3d", params);
+    }();
+    return tr;
+}
+
+struct SweepCase
+{
+    const char *scheme;
+    UpdateMode mode;
+};
+
+class SchemePropertyTest : public ::testing::TestWithParam<SweepCase>
+{
+};
+
+TEST_P(SchemePropertyTest, ConservationAndRanges)
+{
+    const auto &tr = sharedTrace();
+    auto parsed = sweep::parseScheme(GetParam().scheme);
+    ASSERT_TRUE(parsed.has_value()) << GetParam().scheme;
+
+    Confusion c = evaluateTrace(tr, parsed->scheme, GetParam().mode);
+
+    // Decisions are conserved: one per node per event.
+    EXPECT_EQ(c.decisions(), tr.decisions());
+    // Actual positives are a property of the trace, not the scheme.
+    EXPECT_EQ(c.actualPositives(), tr.sharingEvents());
+    // All derived metrics are probabilities.
+    for (double m : {c.prevalence(), c.sensitivity(), c.pvp(),
+                     c.specificity(), c.pvn(), c.accuracy()}) {
+        EXPECT_GE(m, 0.0);
+        EXPECT_LE(m, 1.0);
+    }
+    // Evaluation is repeatable.
+    EXPECT_EQ(evaluateTrace(tr, parsed->scheme, GetParam().mode), c);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SchemePropertyTest,
+    ::testing::Values(
+        SweepCase{"last()1", UpdateMode::Direct},
+        SweepCase{"last(pid+pc8)1", UpdateMode::Forwarded},
+        SweepCase{"last(pid+mem8)1", UpdateMode::Ordered},
+        SweepCase{"union(dir+add14)4", UpdateMode::Direct},
+        SweepCase{"union(pid+dir+add4)2", UpdateMode::Forwarded},
+        SweepCase{"union(add16)4", UpdateMode::Ordered},
+        SweepCase{"inter(pid+add6)4", UpdateMode::Direct},
+        SweepCase{"inter(pid+pc8)2", UpdateMode::Forwarded},
+        SweepCase{"inter(pc4+dir+add6)3", UpdateMode::Ordered},
+        SweepCase{"pas(pid+add4)2", UpdateMode::Direct},
+        SweepCase{"pas(dir+add4)1", UpdateMode::Forwarded},
+        SweepCase{"overlap-last(pid+pc8)1", UpdateMode::Direct},
+        SweepCase{"overlap-last(dir+add8)1", UpdateMode::Ordered}));
+
+/** Union/inter dominance on the real trace, across depths & modes. */
+class DominanceTest : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(DominanceTest, UnionDominatesInterInPositives)
+{
+    const auto &tr = sharedTrace();
+    predict::IndexSpec idx;
+    idx.usePid = true;
+    idx.addrBits = 6;
+    for (auto mode : {UpdateMode::Direct, UpdateMode::Forwarded,
+                      UpdateMode::Ordered}) {
+        Confusion u = evaluateTrace(
+            tr, SchemeSpec{idx, FunctionKind::Union, GetParam()}, mode);
+        Confusion i = evaluateTrace(
+            tr, SchemeSpec{idx, FunctionKind::Inter, GetParam()}, mode);
+        EXPECT_GE(u.tp, i.tp);
+        EXPECT_GE(u.fp, i.fp);
+        EXPECT_GE(i.tn, u.tn);
+        EXPECT_GE(i.fn, u.fn);
+    }
+}
+
+TEST_P(DominanceTest, OverlapLastIsAFilteredLast)
+{
+    const auto &tr = sharedTrace();
+    predict::IndexSpec idx;
+    idx.usePid = true;
+    idx.pcBits = GetParam(); // reuse the parameter as pc width
+    Confusion last = evaluateTrace(
+        tr, SchemeSpec{idx, FunctionKind::Union, 1},
+        UpdateMode::Forwarded);
+    Confusion overlap = evaluateTrace(
+        tr, SchemeSpec{idx, FunctionKind::OverlapLast, 1},
+        UpdateMode::Forwarded);
+    // Overlap-last only ever suppresses predictions.
+    EXPECT_LE(overlap.tp, last.tp);
+    EXPECT_LE(overlap.fp, last.fp);
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, DominanceTest,
+                         ::testing::Values(2u, 3u, 4u));
+
+TEST(SchemeSpace, EveryEnumeratedSchemeRoundTripsThroughNotation)
+{
+    sweep::SpaceSpec spec;
+    auto schemes = sweep::enumerateSchemes(spec);
+    ASSERT_GT(schemes.size(), 1000u);
+    for (const auto &s : schemes) {
+        auto text = sweep::formatScheme(s);
+        auto parsed = sweep::parseScheme(text);
+        ASSERT_TRUE(parsed.has_value()) << text;
+        EXPECT_EQ(parsed->scheme, s) << text;
+    }
+}
+
+TEST(SchemeSpace, EveryEnumeratedSchemeIsConstructible)
+{
+    sweep::SpaceSpec spec;
+    spec.maxBits = 1ull << 18; // keep the test light
+    for (const auto &s : sweep::enumerateSchemes(spec)) {
+        auto table = s.makeTable(16);
+        EXPECT_EQ(table.sizeBits(), s.sizeBits(16))
+            << sweep::formatScheme(s);
+    }
+}
+
+} // namespace

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Tests for the design-space enumeration and top-N search.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.hh"
+#include "sweep/name.hh"
+#include "sweep/search.hh"
+#include "sweep/space.hh"
+
+namespace {
+
+using namespace ccp;
+using predict::FunctionKind;
+using predict::SchemeSpec;
+using predict::UpdateMode;
+using sweep::enumerateSchemes;
+using sweep::RankBy;
+using sweep::rankSchemes;
+using sweep::SpaceSpec;
+
+TEST(Space, RespectsCostCap)
+{
+    SpaceSpec spec;
+    spec.maxBits = 1ull << 16;
+    for (const auto &s : enumerateSchemes(spec))
+        EXPECT_LE(s.sizeBits(16), spec.maxBits)
+            << sweep::formatScheme(s);
+}
+
+TEST(Space, RespectsIndexCap)
+{
+    SpaceSpec spec;
+    spec.maxIndexBits = 12;
+    for (const auto &s : enumerateSchemes(spec))
+        EXPECT_LE(s.index.indexBits(4), 12u);
+}
+
+TEST(Space, NoDuplicateSchemes)
+{
+    SpaceSpec spec;
+    spec.maxBits = 1ull << 20;
+    auto schemes = enumerateSchemes(spec);
+    std::set<std::string> names;
+    for (const auto &s : schemes)
+        EXPECT_TRUE(names.insert(sweep::formatScheme(s)).second)
+            << sweep::formatScheme(s);
+}
+
+TEST(Space, CanonicalizesDepthOneInter)
+{
+    SpaceSpec spec;
+    for (const auto &s : enumerateSchemes(spec)) {
+        if (s.depth == 1)
+            EXPECT_NE(s.kind, FunctionKind::Inter);
+    }
+}
+
+TEST(Space, CoversAllSixteenIndexClasses)
+{
+    SpaceSpec spec;
+    auto schemes = enumerateSchemes(spec);
+    std::set<unsigned> cases;
+    for (const auto &s : schemes)
+        cases.insert(s.index.tableOneCase());
+    EXPECT_EQ(cases.size(), 16u);
+}
+
+TEST(Space, ExcludingPasWorks)
+{
+    SpaceSpec spec;
+    spec.pasDepths.clear();
+    for (const auto &s : enumerateSchemes(spec))
+        EXPECT_NE(s.kind, FunctionKind::PAs);
+}
+
+TEST(Space, PaperSpaceIsBigButBounded)
+{
+    SpaceSpec spec;
+    auto schemes = enumerateSchemes(spec);
+    EXPECT_GT(schemes.size(), 500u);
+    EXPECT_LT(schemes.size(), 5000u);
+}
+
+// ---------------------------------------------------------------------
+// rankSchemes on a synthetic trace with a known best scheme.
+
+trace::SharingTrace
+stableTrace()
+{
+    trace::SharingTrace tr("stable", 16);
+    // Writer pc determines the reader deterministically: pc k ->
+    // reader k+1.  An instruction-indexed scheme nails this; a
+    // no-index scheme cannot.
+    trace::CoherenceEvent prev_by_block[8];
+    bool seen[8] = {};
+    Rng rng(5);
+    for (int i = 0; i < 2000; ++i) {
+        unsigned k = static_cast<unsigned>(rng.below(8));
+        trace::CoherenceEvent ev;
+        ev.pid = static_cast<NodeId>(k);
+        ev.pc = 0x400 + 4 * k;
+        ev.block = k;
+        ev.dir = k % 16;
+        ev.readers = SharingBitmap::single(k + 1);
+        if (seen[k]) {
+            ev.invalidated = prev_by_block[k].readers;
+            ev.prevWriterPid = prev_by_block[k].pid;
+            ev.prevWriterPc = prev_by_block[k].pc;
+            ev.hasPrevWriter = true;
+        }
+        seen[k] = true;
+        prev_by_block[k] = ev;
+        tr.append(ev);
+    }
+    return tr;
+}
+
+TEST(Search, RanksLearnableSchemeFirst)
+{
+    std::vector<trace::SharingTrace> suite;
+    suite.push_back(stableTrace());
+
+    std::vector<SchemeSpec> schemes = {
+        SchemeSpec{{}, FunctionKind::Union, 1},             // no index
+        SchemeSpec{{false, 8, false, 0}, FunctionKind::Union, 1},
+    };
+    auto top = rankSchemes(suite, schemes, UpdateMode::Direct,
+                           RankBy::Pvp, 2);
+    ASSERT_EQ(top.size(), 2u);
+    EXPECT_EQ(top[0].result.scheme.index.pcBits, 8u);
+    EXPECT_GT(top[0].score, top[1].score);
+    EXPECT_NEAR(top[0].score, 1.0, 0.01);
+}
+
+TEST(Search, RanksBySelectedMetric)
+{
+    std::vector<trace::SharingTrace> suite;
+    suite.push_back(stableTrace());
+
+    // union(depth 4) vs inter(depth 4) on a stable trace: both are
+    // accurate here, so use an unstable second block... simply check
+    // the score fields match the requested metric.
+    std::vector<SchemeSpec> schemes = {
+        SchemeSpec{{false, 8, false, 0}, FunctionKind::Union, 4},
+        SchemeSpec{{false, 8, false, 0}, FunctionKind::Inter, 4},
+    };
+    auto by_pvp = rankSchemes(suite, schemes, UpdateMode::Direct,
+                              RankBy::Pvp, 2);
+    for (const auto &r : by_pvp)
+        EXPECT_DOUBLE_EQ(r.score, r.result.avgPvp());
+    auto by_sens = rankSchemes(suite, schemes, UpdateMode::Direct,
+                               RankBy::Sensitivity, 2);
+    for (const auto &r : by_sens)
+        EXPECT_DOUBLE_EQ(r.score, r.result.avgSensitivity());
+}
+
+TEST(Search, TiesBreakTowardSmallerTables)
+{
+    std::vector<trace::SharingTrace> suite;
+    suite.push_back(stableTrace());
+    // Both schemes predict perfectly; the cheaper one must rank first.
+    std::vector<SchemeSpec> schemes = {
+        SchemeSpec{{false, 12, false, 0}, FunctionKind::Union, 1},
+        SchemeSpec{{false, 8, false, 0}, FunctionKind::Union, 1},
+    };
+    auto top = rankSchemes(suite, schemes, UpdateMode::Direct,
+                           RankBy::Pvp, 2);
+    EXPECT_EQ(top[0].result.scheme.index.pcBits, 8u);
+}
+
+TEST(Search, ProgressCallbackCoversAllSchemes)
+{
+    std::vector<trace::SharingTrace> suite;
+    suite.push_back(stableTrace());
+    std::vector<SchemeSpec> schemes = {
+        SchemeSpec{{}, FunctionKind::Union, 1},
+        SchemeSpec{{}, FunctionKind::Union, 2},
+        SchemeSpec{{}, FunctionKind::Union, 3},
+    };
+    std::size_t calls = 0, last_total = 0;
+    rankSchemes(suite, schemes, UpdateMode::Direct, RankBy::Pvp, 1,
+                [&](std::size_t done, std::size_t total) {
+                    ++calls;
+                    EXPECT_EQ(done, calls);
+                    last_total = total;
+                });
+    EXPECT_EQ(calls, 3u);
+    EXPECT_EQ(last_total, 3u);
+}
+
+} // namespace

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Tests for the sticky-spatial predictor (footnote-2 extension).
+ */
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "common/rng.hh"
+#include "predict/spatial.hh"
+
+namespace {
+
+using namespace ccp;
+using predict::evaluateStickySpatial;
+using predict::StickySpatialParams;
+using predict::StickySpatialPredictor;
+using trace::CoherenceEvent;
+using trace::SharingTrace;
+
+StickySpatialParams
+params(unsigned addr_bits = 8, unsigned reach = 1, bool sticky = true)
+{
+    StickySpatialParams p;
+    p.addrBits = addr_bits;
+    p.spatialReach = reach;
+    p.sticky = sticky;
+    return p;
+}
+
+TEST(StickySpatial, ColdTablePredictsNothing)
+{
+    StickySpatialPredictor pred(params(), 16);
+    EXPECT_TRUE(pred.predict(42).empty());
+}
+
+TEST(StickySpatial, LearnsOwnEntry)
+{
+    StickySpatialPredictor pred(params(), 16);
+    pred.update(10, SharingBitmap(0b0110));
+    EXPECT_EQ(pred.predict(10).raw(), 0b0110u);
+}
+
+TEST(StickySpatial, NeighboursContributeSpatially)
+{
+    StickySpatialPredictor pred(params(), 16);
+    pred.update(10, SharingBitmap(0b0001));
+    pred.update(11, SharingBitmap(0b0010));
+    pred.update(9, SharingBitmap(0b0100));
+    // Block 10's prediction unions its own and both neighbours'.
+    EXPECT_EQ(pred.predict(10).raw(), 0b0111u);
+    // Block 12 only sees 11 (reach 1).
+    EXPECT_EQ(pred.predict(12).raw(), 0b0010u);
+}
+
+TEST(StickySpatial, ReachTwoReachesFurther)
+{
+    StickySpatialPredictor pred(params(8, 2), 16);
+    pred.update(10, SharingBitmap(0b0001));
+    EXPECT_EQ(pred.predict(12).raw(), 0b0001u);
+    EXPECT_TRUE(pred.predict(13).empty());
+}
+
+TEST(StickySpatial, StickyBitsAccumulate)
+{
+    StickySpatialPredictor pred(params(), 16);
+    pred.update(10, SharingBitmap(0b0001));
+    pred.update(10, SharingBitmap(0b0010));
+    EXPECT_EQ(pred.predict(10).raw(), 0b0011u);
+}
+
+TEST(StickySpatial, NonStickyReplacesInstead)
+{
+    StickySpatialPredictor pred(params(8, 1, false), 16);
+    pred.update(10, SharingBitmap(0b0001));
+    pred.update(10, SharingBitmap(0b0010));
+    EXPECT_EQ(pred.predict(10).raw(), 0b0010u);
+}
+
+TEST(StickySpatial, TwoEmptyObservationsClearAStickyEntry)
+{
+    StickySpatialPredictor pred(params(), 16);
+    pred.update(10, SharingBitmap(0b0001));
+    pred.update(10, SharingBitmap());
+    EXPECT_EQ(pred.predict(10).raw(), 0b0001u); // one miss: still set
+    pred.update(10, SharingBitmap());
+    EXPECT_TRUE(pred.predict(10).empty()); // second miss clears
+}
+
+TEST(StickySpatial, AliasingWrapsTheTable)
+{
+    StickySpatialPredictor pred(params(4), 16);
+    pred.update(0, SharingBitmap(0b1));
+    EXPECT_EQ(pred.predict(16).raw(), 0b1u); // 16 aliases 0 at 4 bits
+}
+
+TEST(StickySpatial, SizeBitsAccounting)
+{
+    StickySpatialPredictor pred(params(8), 16);
+    EXPECT_EQ(pred.sizeBits(), 256u * 18u);
+}
+
+TEST(StickySpatial, ClearResets)
+{
+    StickySpatialPredictor pred(params(), 16);
+    pred.update(10, SharingBitmap(0b1));
+    pred.clear();
+    EXPECT_TRUE(pred.predict(10).empty());
+}
+
+TEST(StickySpatial, SpatialUnionLiftsSensitivityOnRegionalSharing)
+{
+    // A region of consecutive blocks with one common remote reader,
+    // streamed block by block: each block is written twice (training
+    // its own entry on the second write) before the walk advances.
+    // When a *cold* block is first written, its own entry is empty
+    // but its already-trained neighbour carries the regional reader —
+    // only the spatial union can predict it.
+    SharingTrace tr("region", 16);
+    for (unsigned b = 0; b < 32; ++b) {
+        CoherenceEvent first;
+        first.pid = 0;
+        first.pc = 0x400;
+        first.dir = 0;
+        first.block = 100 + b;
+        first.readers = SharingBitmap(0b10);
+        tr.append(first);
+
+        CoherenceEvent second = first;
+        second.invalidated = first.readers;
+        second.prevWriterPid = first.pid;
+        second.prevWriterPc = first.pc;
+        second.hasPrevWriter = true;
+        tr.append(second);
+    }
+
+    StickySpatialPredictor spatial(params(10, 1), 16);
+    auto with_spatial = evaluateStickySpatial(tr, spatial);
+
+    StickySpatialPredictor no_spatial(params(10, 0), 16);
+    auto without = evaluateStickySpatial(tr, no_spatial);
+
+    EXPECT_GT(with_spatial.sensitivity(), without.sensitivity());
+    EXPECT_EQ(with_spatial.fp, 0u); // the region is homogeneous
+}
+
+TEST(StickySpatial, EvaluatorIsDeterministic)
+{
+    Rng rng(4);
+    SharingTrace tr("r", 16);
+    std::unordered_map<Addr, CoherenceEvent> last;
+    for (int i = 0; i < 1000; ++i) {
+        CoherenceEvent ev;
+        ev.pid = static_cast<NodeId>(rng.below(16));
+        ev.pc = 0x400;
+        ev.dir = 0;
+        ev.block = rng.below(64);
+        ev.readers =
+            SharingBitmap(rng() & 0xffff & ~(1ull << ev.pid));
+        auto it = last.find(ev.block);
+        if (it != last.end()) {
+            ev.invalidated = it->second.readers;
+            ev.prevWriterPid = it->second.pid;
+            ev.prevWriterPc = it->second.pc;
+            ev.hasPrevWriter = true;
+        }
+        last[ev.block] = ev;
+        tr.append(ev);
+    }
+    StickySpatialPredictor a(params(), 16), b(params(), 16);
+    EXPECT_EQ(evaluateStickySpatial(tr, a),
+              evaluateStickySpatial(tr, b));
+}
+
+} // namespace

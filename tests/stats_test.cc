@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Tests for the Summary and Histogram helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hh"
+
+namespace {
+
+using ccp::Histogram;
+using ccp::Summary;
+
+TEST(Summary, EmptyIsZero)
+{
+    Summary s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.min(), 0.0);
+    EXPECT_EQ(s.max(), 0.0);
+}
+
+TEST(Summary, TracksMoments)
+{
+    Summary s;
+    for (double x : {2.0, 4.0, 6.0})
+        s.add(x);
+    EXPECT_EQ(s.count(), 3u);
+    EXPECT_DOUBLE_EQ(s.sum(), 12.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 4.0);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 6.0);
+}
+
+TEST(Summary, MergeEqualsConcatenation)
+{
+    Summary a, b, all;
+    for (double x : {1.0, 5.0}) {
+        a.add(x);
+        all.add(x);
+    }
+    for (double x : {-2.0, 3.0}) {
+        b.add(x);
+        all.add(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_DOUBLE_EQ(a.sum(), all.sum());
+    EXPECT_DOUBLE_EQ(a.min(), all.min());
+    EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(Summary, MergeEmptyIsNoop)
+{
+    Summary a, empty;
+    a.add(7.0);
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 1u);
+    EXPECT_DOUBLE_EQ(a.max(), 7.0);
+}
+
+TEST(Histogram, CountsAndOverflow)
+{
+    Histogram h(4);
+    for (std::uint64_t v : {0u, 1u, 1u, 3u, 9u, 100u})
+        h.add(v);
+    EXPECT_EQ(h.bucket(0), 1u);
+    EXPECT_EQ(h.bucket(1), 2u);
+    EXPECT_EQ(h.bucket(2), 0u);
+    EXPECT_EQ(h.bucket(3), 1u);
+    EXPECT_EQ(h.overflow(), 2u);
+    EXPECT_EQ(h.total(), 6u);
+}
+
+TEST(Histogram, MeanClampsOverflow)
+{
+    Histogram h(4);
+    h.add(1);
+    h.add(100); // clamped to 4 in the mean
+    EXPECT_DOUBLE_EQ(h.mean(), 2.5);
+}
+
+TEST(Histogram, ToString)
+{
+    Histogram h(3);
+    h.add(0);
+    h.add(2);
+    h.add(2);
+    EXPECT_EQ(h.toString(), "1 0 2");
+    h.add(5);
+    EXPECT_EQ(h.toString(), "1 0 2 +1");
+}
+
+TEST(Histogram, BucketOutOfRangeDies)
+{
+    Histogram h(2);
+    EXPECT_DEATH(h.bucket(2), "out of range");
+}
+
+} // namespace

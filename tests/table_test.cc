@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Tests for PredictorTable: entry selection, aliasing, cost model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "predict/table.hh"
+
+namespace {
+
+using namespace ccp;
+using predict::FunctionKind;
+using predict::IndexSpec;
+using predict::makeFunction;
+using predict::PredictorTable;
+
+PredictorTable
+makeTable(const IndexSpec &idx, FunctionKind kind, unsigned depth,
+          unsigned n_nodes = 16)
+{
+    return PredictorTable(idx, makeFunction(kind, depth, n_nodes),
+                          n_nodes);
+}
+
+TEST(PredictorTable, EntriesArePowerOfIndexBits)
+{
+    auto t = makeTable({true, 8, false, 0}, FunctionKind::Union, 1);
+    EXPECT_EQ(t.entries(), 1ull << 12);
+    auto single = makeTable({}, FunctionKind::Union, 1);
+    EXPECT_EQ(single.entries(), 1u);
+}
+
+TEST(PredictorTable, SeparateEntriesLearnSeparately)
+{
+    auto t = makeTable({true, 0, false, 0}, FunctionKind::Union, 1);
+    t.update(0, 0, 0, 0, SharingBitmap(0b01));
+    t.update(1, 0, 0, 0, SharingBitmap(0b10));
+    EXPECT_EQ(t.predict(0, 0, 0, 0).raw(), 0b01u);
+    EXPECT_EQ(t.predict(1, 0, 0, 0).raw(), 0b10u);
+}
+
+TEST(PredictorTable, IgnoredFieldsDoNotSplitEntries)
+{
+    auto t = makeTable({true, 0, false, 0}, FunctionKind::Union, 1);
+    t.update(2, 0x400, 3, 111, SharingBitmap(0b100));
+    // Same pid, wildly different pc/dir/addr: same entry.
+    EXPECT_EQ(t.predict(2, 0x999, 9, 42).raw(), 0b100u);
+}
+
+TEST(PredictorTable, TruncatedFieldsAlias)
+{
+    IndexSpec idx;
+    idx.addrBits = 2;
+    auto t = makeTable(idx, FunctionKind::Union, 1);
+    t.update(0, 0, 0, /*block=*/1, SharingBitmap(0b11));
+    // Block 5 aliases block 1 under 2 addr bits.
+    EXPECT_EQ(t.predict(0, 0, 0, 5).raw(), 0b11u);
+    // Block 2 does not.
+    EXPECT_TRUE(t.predict(0, 0, 0, 2).empty());
+}
+
+TEST(PredictorTable, ClearResetsState)
+{
+    auto t = makeTable({}, FunctionKind::Union, 2);
+    t.update(0, 0, 0, 0, SharingBitmap(0xff));
+    EXPECT_FALSE(t.predict(0, 0, 0, 0).empty());
+    t.clear();
+    EXPECT_TRUE(t.predict(0, 0, 0, 0).empty());
+}
+
+TEST(PredictorTable, SizeBitsMatchesPaperExamples)
+{
+    // Table 7: last(pid+pc8)1 has size 2^16 bits.
+    auto kax_last = makeTable({true, 8, false, 0},
+                              FunctionKind::Union, 1);
+    EXPECT_EQ(kax_last.sizeBits(), 1ull << 16);
+    EXPECT_DOUBLE_EQ(kax_last.log2SizeBits(), 16.0);
+
+    // Table 7: inter(pid+pc8)2 has size 2^17 bits.
+    auto kax_inter = makeTable({true, 8, false, 0},
+                               FunctionKind::Inter, 2);
+    EXPECT_DOUBLE_EQ(kax_inter.log2SizeBits(), 17.0);
+
+    // Table 8: inter(pid+add6)4 has size 2^16 bits.
+    IndexSpec t8{true, 0, false, 6};
+    auto top = makeTable(t8, FunctionKind::Inter, 4);
+    EXPECT_DOUBLE_EQ(top.log2SizeBits(), 16.0);
+
+    // Table 10: union(dir+add2)4 has size 2^12 bits.
+    IndexSpec t10{false, 0, true, 2};
+    auto cheap = makeTable(t10, FunctionKind::Union, 4);
+    EXPECT_DOUBLE_EQ(cheap.log2SizeBits(), 12.0);
+}
+
+TEST(PredictorTable, PasCostCountsHistoriesAndCounters)
+{
+    IndexSpec idx{true, 0, false, 0}; // 4 index bits
+    auto t = makeTable(idx, FunctionKind::PAs, 4);
+    // 16 entries x 16 nodes x (4 + 2*16) bits.
+    EXPECT_EQ(t.sizeBits(), 16ull * 16 * 36);
+}
+
+TEST(PredictorTable, SmallerMachinesShrinkNodeFields)
+{
+    auto t = makeTable({true, 0, true, 0}, FunctionKind::Union, 1, 4);
+    EXPECT_EQ(t.nodeBits(), 2u);
+    EXPECT_EQ(t.entries(), 16u);
+    t.update(3, 0, 2, 0, SharingBitmap(0b1));
+    EXPECT_EQ(t.predict(3, 0, 2, 0).raw(), 0b1u);
+    EXPECT_TRUE(t.predict(3, 0, 1, 0).empty());
+}
+
+TEST(PredictorTable, OversizedIndexDies)
+{
+    IndexSpec idx;
+    idx.addrBits = 40;
+    EXPECT_DEATH(makeTable(idx, FunctionKind::Union, 1),
+                 "index too wide");
+}
+
+TEST(PredictorTable, PAsAndWindowCoexistOnSameSpec)
+{
+    IndexSpec idx{false, 4, false, 4};
+    auto w = makeTable(idx, FunctionKind::Union, 2);
+    auto p = makeTable(idx, FunctionKind::PAs, 2);
+    EXPECT_EQ(w.entries(), p.entries());
+    EXPECT_NE(w.sizeBits(), p.sizeBits());
+}
+
+} // namespace

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Tests for the 2-D torus network model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "net/torus.hh"
+
+namespace {
+
+using ccp::net::Torus2D;
+using ccp::net::TorusParams;
+
+TEST(Torus, Geometry)
+{
+    Torus2D t(4, 4);
+    EXPECT_EQ(t.nodes(), 16u);
+    EXPECT_EQ(t.width(), 4u);
+    EXPECT_EQ(t.height(), 4u);
+}
+
+TEST(Torus, HopsAreSymmetricAndZeroOnSelf)
+{
+    Torus2D t(4, 4);
+    for (unsigned a = 0; a < 16; ++a) {
+        EXPECT_EQ(t.hops(a, a), 0u);
+        for (unsigned b = 0; b < 16; ++b)
+            EXPECT_EQ(t.hops(a, b), t.hops(b, a));
+    }
+}
+
+TEST(Torus, WrapAroundShortens)
+{
+    Torus2D t(4, 4);
+    // Nodes 0 and 3 are adjacent through the wrap link.
+    EXPECT_EQ(t.hops(0, 3), 1u);
+    // Corner to far corner: one wrap hop per dimension.
+    EXPECT_EQ(t.hops(0, 15), 2u);
+    // Maximum distance on a 4x4 torus is 2+2.
+    for (unsigned a = 0; a < 16; ++a)
+        for (unsigned b = 0; b < 16; ++b)
+            EXPECT_LE(t.hops(a, b), 4u);
+}
+
+TEST(Torus, TriangleInequality)
+{
+    Torus2D t(4, 4);
+    for (unsigned a = 0; a < 16; ++a)
+        for (unsigned b = 0; b < 16; ++b)
+            for (unsigned c = 0; c < 16; ++c)
+                EXPECT_LE(t.hops(a, c), t.hops(a, b) + t.hops(b, c));
+}
+
+TEST(Torus, RectangularShape)
+{
+    Torus2D t(8, 2);
+    EXPECT_EQ(t.nodes(), 16u);
+    EXPECT_EQ(t.hops(0, 4), 4u);
+    EXPECT_EQ(t.hops(0, 8), 1u);  // wrap in Y (rows of 8)
+    EXPECT_EQ(t.hops(0, 7), 1u);  // wrap in X
+}
+
+TEST(Torus, LatencyMatchesPaperAnchors)
+{
+    Torus2D t(4, 4);
+    // Local access: the paper's 52 cycles.
+    EXPECT_EQ(t.latency(0, 0), TorusParams().localLatency);
+    // Remote accesses are scattered around the paper's 133-cycle
+    // average: the mean over all remote pairs should recover it.
+    double total = 0;
+    unsigned count = 0;
+    for (unsigned a = 0; a < 16; ++a) {
+        for (unsigned b = 0; b < 16; ++b) {
+            if (a == b)
+                continue;
+            total += static_cast<double>(t.latency(a, b));
+            ++count;
+        }
+    }
+    EXPECT_NEAR(total / count, 133.0, 2.0);
+}
+
+TEST(Torus, LatencyGrowsWithHops)
+{
+    Torus2D t(4, 4);
+    EXPECT_LT(t.latency(0, 1), t.latency(0, 5));
+    EXPECT_LT(t.latency(0, 5), t.latency(0, 10));
+}
+
+TEST(Torus, TrafficAccounting)
+{
+    Torus2D t(4, 4);
+    EXPECT_EQ(t.sendMessage(0, 1, 72), 1u);
+    EXPECT_EQ(t.totalMessages(), 1u);
+    EXPECT_EQ(t.totalByteHops(), 72u);
+
+    EXPECT_EQ(t.sendMessage(0, 10, 10), t.hops(0, 10));
+    EXPECT_EQ(t.totalByteHops(), 72u + 10u * t.hops(0, 10));
+
+    // Self-send: a message but no byte-hops.
+    t.sendMessage(3, 3, 100);
+    EXPECT_EQ(t.totalMessages(), 3u);
+    EXPECT_EQ(t.totalByteHops(), 72u + 10u * t.hops(0, 10));
+}
+
+TEST(Torus, MaxLinkBytesSeesHotLink)
+{
+    Torus2D t(4, 4);
+    for (int i = 0; i < 10; ++i)
+        t.sendMessage(0, 1, 64);
+    EXPECT_EQ(t.maxLinkBytes(), 640u);
+}
+
+TEST(Torus, ClearTrafficResets)
+{
+    Torus2D t(4, 4);
+    t.sendMessage(0, 5, 64);
+    t.clearTraffic();
+    EXPECT_EQ(t.totalByteHops(), 0u);
+    EXPECT_EQ(t.totalMessages(), 0u);
+    EXPECT_EQ(t.maxLinkBytes(), 0u);
+}
+
+TEST(Torus, MeanHopsUniformAcrossNodes)
+{
+    Torus2D t(4, 4);
+    // A torus is vertex-transitive: every node sees the same mean.
+    double m0 = t.meanHops(0);
+    for (unsigned n = 1; n < 16; ++n)
+        EXPECT_DOUBLE_EQ(t.meanHops(n), m0);
+    EXPECT_NEAR(m0, 2.133, 0.01); // 32/15
+}
+
+} // namespace

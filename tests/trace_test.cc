@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Tests for SharingTrace: statistics and binary round-tripping.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "trace/trace.hh"
+
+namespace {
+
+using namespace ccp;
+using trace::CoherenceEvent;
+using trace::SharingTrace;
+
+CoherenceEvent
+makeEvent(NodeId pid, Pc pc, Addr block, std::uint64_t readers_raw)
+{
+    CoherenceEvent ev;
+    ev.pid = pid;
+    ev.pc = pc;
+    ev.dir = pid;
+    ev.block = block;
+    ev.readers = SharingBitmap(readers_raw);
+    return ev;
+}
+
+TEST(SharingTrace, EmptyTrace)
+{
+    SharingTrace tr("x", 16);
+    EXPECT_EQ(tr.storeMisses(), 0u);
+    EXPECT_EQ(tr.decisions(), 0u);
+    EXPECT_EQ(tr.sharingEvents(), 0u);
+    EXPECT_EQ(tr.prevalence(), 0.0);
+}
+
+TEST(SharingTrace, AppendReturnsSequence)
+{
+    SharingTrace tr("x", 16);
+    EXPECT_EQ(tr.append(makeEvent(0, 0x400, 1, 0)), 0u);
+    EXPECT_EQ(tr.append(makeEvent(1, 0x404, 2, 0)), 1u);
+    EXPECT_EQ(tr.storeMisses(), 2u);
+}
+
+TEST(SharingTrace, DecisionsAreNodesTimesEvents)
+{
+    SharingTrace tr("x", 16);
+    for (int i = 0; i < 5; ++i)
+        tr.append(makeEvent(0, 0x400, i, 0));
+    EXPECT_EQ(tr.decisions(), 80u); // Table 6: 16 x store misses
+}
+
+TEST(SharingTrace, PrevalenceMatchesTableSixArithmetic)
+{
+    SharingTrace tr("x", 16);
+    tr.append(makeEvent(0, 0x400, 1, 0b0110)); // 2 readers
+    tr.append(makeEvent(1, 0x404, 2, 0b0001)); // 1 reader
+    tr.append(makeEvent(2, 0x408, 3, 0));      // none
+    EXPECT_EQ(tr.sharingEvents(), 3u);
+    EXPECT_DOUBLE_EQ(tr.prevalence(), 3.0 / 48.0);
+}
+
+TEST(SharingTrace, StreamRoundTrip)
+{
+    SharingTrace tr("bench", 16);
+    tr.meta().maxStaticStoresPerNode = 12;
+    tr.meta().maxPredictedStoresPerNode = 7;
+    tr.meta().blocksTouched = 99;
+    tr.meta().totalOps = 12345;
+
+    CoherenceEvent ev = makeEvent(3, 0x440, 77, 0b1010);
+    ev.invalidated = SharingBitmap(0b0100);
+    ev.prevWriterPid = 2;
+    ev.prevWriterPc = 0x43c;
+    ev.hasPrevWriter = true;
+    ev.prevEvent = 0;
+    tr.append(makeEvent(2, 0x43c, 77, 0b0100));
+    tr.append(ev);
+
+    std::stringstream ss;
+    ASSERT_TRUE(tr.save(ss));
+
+    SharingTrace back;
+    ASSERT_TRUE(back.load(ss));
+    EXPECT_EQ(back.name(), "bench");
+    EXPECT_EQ(back.nNodes(), 16u);
+    EXPECT_EQ(back.meta().maxStaticStoresPerNode, 12u);
+    EXPECT_EQ(back.meta().maxPredictedStoresPerNode, 7u);
+    EXPECT_EQ(back.meta().blocksTouched, 99u);
+    EXPECT_EQ(back.meta().totalOps, 12345u);
+    ASSERT_EQ(back.events().size(), 2u);
+
+    const auto &e = back.events()[1];
+    EXPECT_EQ(e.pid, 3u);
+    EXPECT_EQ(e.pc, 0x440u);
+    EXPECT_EQ(e.block, 77u);
+    EXPECT_EQ(e.readers.raw(), 0b1010u);
+    EXPECT_EQ(e.invalidated.raw(), 0b0100u);
+    EXPECT_TRUE(e.hasPrevWriter);
+    EXPECT_EQ(e.prevWriterPid, 2u);
+    EXPECT_EQ(e.prevWriterPc, 0x43cu);
+    EXPECT_EQ(e.prevEvent, 0u);
+}
+
+TEST(SharingTrace, LoadRejectsGarbage)
+{
+    std::stringstream ss("this is not a trace file");
+    SharingTrace tr;
+    EXPECT_FALSE(tr.load(ss));
+}
+
+TEST(SharingTrace, LoadRejectsTruncation)
+{
+    SharingTrace tr("bench", 16);
+    tr.append(makeEvent(0, 0x400, 1, 0));
+    std::stringstream ss;
+    ASSERT_TRUE(tr.save(ss));
+    std::string whole = ss.str();
+    std::stringstream cut(whole.substr(0, whole.size() / 2));
+    SharingTrace back;
+    EXPECT_FALSE(back.load(cut));
+}
+
+TEST(SharingTrace, FileRoundTrip)
+{
+    SharingTrace tr("filetest", 8);
+    tr.append(makeEvent(1, 0x400, 5, 0b11));
+
+    std::string path = ::testing::TempDir() + "/ccp_trace_test.bin";
+    ASSERT_TRUE(tr.saveFile(path));
+    SharingTrace back;
+    ASSERT_TRUE(back.loadFile(path));
+    EXPECT_EQ(back.name(), "filetest");
+    EXPECT_EQ(back.nNodes(), 8u);
+    ASSERT_EQ(back.events().size(), 1u);
+    EXPECT_EQ(back.events()[0].readers.raw(), 0b11u);
+    std::remove(path.c_str());
+}
+
+TEST(SharingTrace, LoadMissingFileFails)
+{
+    SharingTrace tr;
+    EXPECT_FALSE(tr.loadFile("/nonexistent/path/trace.bin"));
+}
+
+} // namespace

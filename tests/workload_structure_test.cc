@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Structural tests for the benchmark kernels: the calibration
+ * assumptions in each kernel's design (who the readers are, which
+ * blocks stay silent, what the static store sites look like) made
+ * executable.  Runs at reduced scale.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <unordered_map>
+
+#include "analysis/patterns.hh"
+#include "workloads/registry.hh"
+
+namespace {
+
+using namespace ccp;
+using workloads::generateTrace;
+using workloads::WorkloadParams;
+
+WorkloadParams
+smallParams(std::uint64_t seed = 9)
+{
+    WorkloadParams p;
+    p.seed = seed;
+    p.scale = 0.15;
+    return p;
+}
+
+/** Readers of each event, keyed by writer node. */
+std::map<NodeId, std::map<NodeId, std::uint64_t>>
+readerMatrix(const trace::SharingTrace &tr)
+{
+    std::map<NodeId, std::map<NodeId, std::uint64_t>> m;
+    for (const auto &ev : tr.events())
+        for (NodeId r = 0; r < tr.nNodes(); ++r)
+            if (ev.readers.test(r))
+                ++m[ev.pid][r];
+    return m;
+}
+
+TEST(GaussStructure, HaloReadersAreStripeNeighbours)
+{
+    auto tr = generateTrace("gauss", smallParams());
+    auto m = readerMatrix(tr);
+    // For every writer, the two dominant readers must be its stripe
+    // neighbours (the wide coefficient table and strays add smaller
+    // counts elsewhere).
+    for (NodeId w = 1; w + 1 < 16; ++w) {
+        const auto &row = m[w];
+        std::uint64_t neighbour_reads = 0, total = 0;
+        for (const auto &[r, count] : row) {
+            total += count;
+            if (r == w - 1 || r == w + 1)
+                neighbour_reads += count;
+        }
+        ASSERT_GT(total, 0u) << "writer " << w;
+        EXPECT_GT(neighbour_reads, total / 4) << "writer " << w;
+    }
+}
+
+TEST(GaussStructure, CoefficientTableIsReadMachineWide)
+{
+    auto tr = generateTrace("gauss", smallParams());
+    unsigned wide_events = 0;
+    for (const auto &ev : tr.events())
+        wide_events += ev.readers.popcount() >= 12;
+    EXPECT_GT(wide_events, 500u);
+}
+
+TEST(Em3dStructure, ConsumersAreTheDesignatedPeers)
+{
+    auto tr = generateTrace("em3d", smallParams());
+    auto m = readerMatrix(tr);
+    // Each owner's consumers concentrate on its +1 and +3 peers.
+    for (NodeId w = 0; w < 16; ++w) {
+        const auto &row = m[w];
+        std::uint64_t peer = 0, total = 0;
+        for (const auto &[r, count] : row) {
+            total += count;
+            if (r == (w + 1) % 16 || r == (w + 3) % 16)
+                peer += count;
+        }
+        if (total < 100)
+            continue;
+        EXPECT_GT(peer, total / 2) << "writer " << w;
+    }
+}
+
+TEST(Em3dStructure, RebalanceZonesAlternateWriters)
+{
+    auto tr = generateTrace("em3d", smallParams());
+    // Some blocks must be written by exactly two adjacent nodes.
+    std::unordered_map<Addr, std::set<NodeId>> writers;
+    for (const auto &ev : tr.events())
+        writers[ev.block].insert(ev.pid);
+    unsigned alternating = 0;
+    for (const auto &[block, ws] : writers) {
+        if (ws.size() == 2) {
+            auto it = ws.begin();
+            NodeId a = *it++, b = *it;
+            alternating += (b == (a + 1) % 16) || (a == (b + 1) % 16);
+        }
+    }
+    EXPECT_GT(alternating, 200u);
+}
+
+TEST(Mp3dStructure, RecordsMigrateBetweenAdjacentSlabs)
+{
+    auto tr = generateTrace("mp3d", smallParams());
+    // Consecutive writers of a molecule block are adjacent slabs
+    // (straight-line flight): verify on the prev-writer links.
+    std::uint64_t adjacent = 0, handoffs = 0;
+    for (const auto &ev : tr.events()) {
+        if (!ev.hasPrevWriter || ev.prevWriterPid == ev.pid)
+            continue;
+        ++handoffs;
+        NodeId d = (ev.pid + 16 - ev.prevWriterPid) % 16;
+        adjacent += d == 1 || d == 15;
+    }
+    ASSERT_GT(handoffs, 1000u);
+    EXPECT_GT(adjacent, handoffs * 9 / 10);
+}
+
+TEST(WaterStructure, PositionsAreReadByTheWindowOwners)
+{
+    auto tr = generateTrace("water", smallParams());
+    // Position events: versions with >= 5 readers; their readers
+    // must be the owners preceding the molecule in the ring.
+    unsigned wide = 0;
+    for (const auto &ev : tr.events()) {
+        if (ev.readers.popcount() < 5)
+            continue;
+        ++wide;
+        // The window spans half the ring: owner+9 .. owner+15 read
+        // (modulo), owner+1..owner+7 mostly do not.
+        unsigned behind = 0;
+        for (unsigned k = 9; k <= 15; ++k)
+            behind += ev.readers.test((ev.pid + k) % 16);
+        EXPECT_GE(behind, 4u);
+    }
+    EXPECT_GT(wide, 500u);
+}
+
+TEST(OceanStructure, BoundaryRowsHaveOneStableReader)
+{
+    auto tr = generateTrace("ocean", smallParams());
+    // Events with exactly one reader dominate the shared events, and
+    // that reader is an adjacent stripe owner for the vast majority.
+    std::uint64_t one = 0, adjacent = 0, more = 0;
+    for (const auto &ev : tr.events()) {
+        unsigned n = ev.readers.popcount();
+        if (n == 1) {
+            ++one;
+            for (NodeId r = 0; r < 16; ++r) {
+                if (!ev.readers.test(r))
+                    continue;
+                NodeId d = (r + 16 - ev.pid) % 16;
+                adjacent += d == 1 || d == 15;
+            }
+        } else if (n > 1) {
+            ++more;
+        }
+    }
+    EXPECT_GT(one, 10 * more);
+    EXPECT_GT(adjacent, one * 3 / 5);
+}
+
+TEST(UnstructStructure, FrontierVerticesHaveStableGatherSets)
+{
+    auto tr = generateTrace("unstruct", smallParams());
+    // For data blocks with many events, the union of observed reader
+    // sets should be small (a fixed set of cut owners), i.e. the
+    // per-block reader universe is far below 16.
+    std::unordered_map<Addr, std::pair<std::uint64_t, unsigned>> acc;
+    for (const auto &ev : tr.events()) {
+        auto &[mask, count] = acc[ev.block];
+        mask |= ev.readers.raw();
+        ++count;
+    }
+    unsigned busy = 0;
+    double universe = 0;
+    for (const auto &[block, mc] : acc) {
+        if (mc.second < 20)
+            continue;
+        ++busy;
+        universe += SharingBitmap(mc.first).popcount();
+    }
+    ASSERT_GT(busy, 100u);
+    EXPECT_LT(universe / busy, 9.0);
+}
+
+TEST(BarnesStructure, TreeTopIsSharedMachineWide)
+{
+    auto tr = generateTrace("barnes", smallParams());
+    auto a = analysis::analyzeTrace(tr);
+    // Wide-shared blocks exist (top tree cells) but are a small
+    // minority of blocks.
+    auto wide = a.blocks[std::size_t(
+        analysis::SharingPattern::WideShared)];
+    EXPECT_GT(wide, 8u);
+    EXPECT_LT(wide, a.totalBlocks() / 10);
+}
+
+TEST(AllKernelsStructure, EveryNodeWritesAndReads)
+{
+    // Load balance sanity: every node both produces events and
+    // appears as a reader somewhere.
+    for (const auto &name : workloads::workloadNames()) {
+        auto tr = generateTrace(name, smallParams());
+        SharingBitmap writers, readers;
+        for (const auto &ev : tr.events()) {
+            writers.set(ev.pid);
+            readers |= ev.readers;
+        }
+        EXPECT_EQ(writers.popcount(), 16u) << name;
+        EXPECT_EQ(readers.popcount(), 16u) << name;
+    }
+}
+
+TEST(AllKernelsStructure, FeedbackNeverContainsTheWriter)
+{
+    for (const auto &name : workloads::workloadNames()) {
+        auto tr = generateTrace(name, smallParams());
+        for (const auto &ev : tr.events())
+            ASSERT_FALSE(ev.invalidated.test(ev.pid)) << name;
+    }
+}
+
+} // namespace
