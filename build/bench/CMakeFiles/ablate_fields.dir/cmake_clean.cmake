@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_fields.dir/ablate_fields.cc.o"
+  "CMakeFiles/ablate_fields.dir/ablate_fields.cc.o.d"
+  "ablate_fields"
+  "ablate_fields.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_fields.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

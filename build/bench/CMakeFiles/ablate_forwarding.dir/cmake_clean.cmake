@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_forwarding.dir/ablate_forwarding.cc.o"
+  "CMakeFiles/ablate_forwarding.dir/ablate_forwarding.cc.o.d"
+  "ablate_forwarding"
+  "ablate_forwarding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_forwarding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_functions.dir/ablate_functions.cc.o"
+  "CMakeFiles/ablate_functions.dir/ablate_functions.cc.o.d"
+  "ablate_functions"
+  "ablate_functions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_functions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_online.dir/ablate_online.cc.o"
+  "CMakeFiles/ablate_online.dir/ablate_online.cc.o.d"
+  "ablate_online"
+  "ablate_online.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_online.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

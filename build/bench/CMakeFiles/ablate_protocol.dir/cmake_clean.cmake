@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_protocol.dir/ablate_protocol.cc.o"
+  "CMakeFiles/ablate_protocol.dir/ablate_protocol.cc.o.d"
+  "ablate_protocol"
+  "ablate_protocol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_update.dir/ablate_update.cc.o"
+  "CMakeFiles/ablate_update.dir/ablate_update.cc.o.d"
+  "ablate_update"
+  "ablate_update.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_update.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_intersection.dir/fig6_intersection.cc.o"
+  "CMakeFiles/fig6_intersection.dir/fig6_intersection.cc.o.d"
+  "fig6_intersection"
+  "fig6_intersection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_intersection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_union.dir/fig7_union.cc.o"
+  "CMakeFiles/fig7_union.dir/fig7_union.cc.o.d"
+  "fig7_union"
+  "fig7_union.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_union.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_pas.dir/fig8_pas.cc.o"
+  "CMakeFiles/fig8_pas.dir/fig8_pas.cc.o.d"
+  "fig8_pas"
+  "fig8_pas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_pas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

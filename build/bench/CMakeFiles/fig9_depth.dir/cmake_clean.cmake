@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_depth.dir/fig9_depth.cc.o"
+  "CMakeFiles/fig9_depth.dir/fig9_depth.cc.o.d"
+  "fig9_depth"
+  "fig9_depth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_depth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table10_top_sens_direct.dir/table10_top_sens_direct.cc.o"
+  "CMakeFiles/table10_top_sens_direct.dir/table10_top_sens_direct.cc.o.d"
+  "table10_top_sens_direct"
+  "table10_top_sens_direct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table10_top_sens_direct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

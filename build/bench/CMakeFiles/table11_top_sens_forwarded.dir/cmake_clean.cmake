@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table11_top_sens_forwarded.dir/table11_top_sens_forwarded.cc.o"
+  "CMakeFiles/table11_top_sens_forwarded.dir/table11_top_sens_forwarded.cc.o.d"
+  "table11_top_sens_forwarded"
+  "table11_top_sens_forwarded.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table11_top_sens_forwarded.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

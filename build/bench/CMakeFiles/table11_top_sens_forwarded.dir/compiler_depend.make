@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for table11_top_sens_forwarded.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_stats.dir/table5_stats.cc.o"
+  "CMakeFiles/table5_stats.dir/table5_stats.cc.o.d"
+  "table5_stats"
+  "table5_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

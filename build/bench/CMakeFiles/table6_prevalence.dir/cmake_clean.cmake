@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_prevalence.dir/table6_prevalence.cc.o"
+  "CMakeFiles/table6_prevalence.dir/table6_prevalence.cc.o.d"
+  "table6_prevalence"
+  "table6_prevalence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_prevalence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

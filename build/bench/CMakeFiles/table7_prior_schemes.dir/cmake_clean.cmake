@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table7_prior_schemes.dir/table7_prior_schemes.cc.o"
+  "CMakeFiles/table7_prior_schemes.dir/table7_prior_schemes.cc.o.d"
+  "table7_prior_schemes"
+  "table7_prior_schemes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_prior_schemes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table8_top_pvp_direct.dir/table8_top_pvp_direct.cc.o"
+  "CMakeFiles/table8_top_pvp_direct.dir/table8_top_pvp_direct.cc.o.d"
+  "table8_top_pvp_direct"
+  "table8_top_pvp_direct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table8_top_pvp_direct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for table8_top_pvp_direct.
+# This may be replaced when dependencies are built.

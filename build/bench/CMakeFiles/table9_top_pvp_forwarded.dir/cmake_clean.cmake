@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table9_top_pvp_forwarded.dir/table9_top_pvp_forwarded.cc.o"
+  "CMakeFiles/table9_top_pvp_forwarded.dir/table9_top_pvp_forwarded.cc.o.d"
+  "table9_top_pvp_forwarded"
+  "table9_top_pvp_forwarded.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table9_top_pvp_forwarded.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sharing_patterns.dir/sharing_patterns.cpp.o"
+  "CMakeFiles/sharing_patterns.dir/sharing_patterns.cpp.o.d"
+  "sharing_patterns"
+  "sharing_patterns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sharing_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

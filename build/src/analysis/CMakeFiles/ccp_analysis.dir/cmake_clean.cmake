@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccp_analysis.dir/patterns.cc.o"
+  "CMakeFiles/ccp_analysis.dir/patterns.cc.o.d"
+  "libccp_analysis.a"
+  "libccp_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccp_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccp_common.dir/bitmap.cc.o"
+  "CMakeFiles/ccp_common.dir/bitmap.cc.o.d"
+  "CMakeFiles/ccp_common.dir/logging.cc.o"
+  "CMakeFiles/ccp_common.dir/logging.cc.o.d"
+  "CMakeFiles/ccp_common.dir/rng.cc.o"
+  "CMakeFiles/ccp_common.dir/rng.cc.o.d"
+  "CMakeFiles/ccp_common.dir/stats.cc.o"
+  "CMakeFiles/ccp_common.dir/stats.cc.o.d"
+  "libccp_common.a"
+  "libccp_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccp_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/forward/forwarding.cc" "src/forward/CMakeFiles/ccp_forward.dir/forwarding.cc.o" "gcc" "src/forward/CMakeFiles/ccp_forward.dir/forwarding.cc.o.d"
+  "/root/repo/src/forward/online.cc" "src/forward/CMakeFiles/ccp_forward.dir/online.cc.o" "gcc" "src/forward/CMakeFiles/ccp_forward.dir/online.cc.o.d"
+  "/root/repo/src/forward/selector.cc" "src/forward/CMakeFiles/ccp_forward.dir/selector.cc.o" "gcc" "src/forward/CMakeFiles/ccp_forward.dir/selector.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/predict/CMakeFiles/ccp_predict.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ccp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/ccp_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/ccp_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ccp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccp_forward.dir/forwarding.cc.o"
+  "CMakeFiles/ccp_forward.dir/forwarding.cc.o.d"
+  "CMakeFiles/ccp_forward.dir/online.cc.o"
+  "CMakeFiles/ccp_forward.dir/online.cc.o.d"
+  "CMakeFiles/ccp_forward.dir/selector.cc.o"
+  "CMakeFiles/ccp_forward.dir/selector.cc.o.d"
+  "libccp_forward.a"
+  "libccp_forward.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccp_forward.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ccp_forward.
+# This may be replaced when dependencies are built.

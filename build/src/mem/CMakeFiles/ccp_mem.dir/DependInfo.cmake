@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/cache.cc" "src/mem/CMakeFiles/ccp_mem.dir/cache.cc.o" "gcc" "src/mem/CMakeFiles/ccp_mem.dir/cache.cc.o.d"
+  "/root/repo/src/mem/directory.cc" "src/mem/CMakeFiles/ccp_mem.dir/directory.cc.o" "gcc" "src/mem/CMakeFiles/ccp_mem.dir/directory.cc.o.d"
+  "/root/repo/src/mem/protocol.cc" "src/mem/CMakeFiles/ccp_mem.dir/protocol.cc.o" "gcc" "src/mem/CMakeFiles/ccp_mem.dir/protocol.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ccp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/ccp_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ccp_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

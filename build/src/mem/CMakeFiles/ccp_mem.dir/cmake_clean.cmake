@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccp_mem.dir/cache.cc.o"
+  "CMakeFiles/ccp_mem.dir/cache.cc.o.d"
+  "CMakeFiles/ccp_mem.dir/directory.cc.o"
+  "CMakeFiles/ccp_mem.dir/directory.cc.o.d"
+  "CMakeFiles/ccp_mem.dir/protocol.cc.o"
+  "CMakeFiles/ccp_mem.dir/protocol.cc.o.d"
+  "libccp_mem.a"
+  "libccp_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccp_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccp_net.dir/torus.cc.o"
+  "CMakeFiles/ccp_net.dir/torus.cc.o.d"
+  "libccp_net.a"
+  "libccp_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccp_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

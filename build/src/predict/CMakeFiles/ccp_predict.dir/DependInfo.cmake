@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/predict/distributed.cc" "src/predict/CMakeFiles/ccp_predict.dir/distributed.cc.o" "gcc" "src/predict/CMakeFiles/ccp_predict.dir/distributed.cc.o.d"
+  "/root/repo/src/predict/evaluator.cc" "src/predict/CMakeFiles/ccp_predict.dir/evaluator.cc.o" "gcc" "src/predict/CMakeFiles/ccp_predict.dir/evaluator.cc.o.d"
+  "/root/repo/src/predict/function.cc" "src/predict/CMakeFiles/ccp_predict.dir/function.cc.o" "gcc" "src/predict/CMakeFiles/ccp_predict.dir/function.cc.o.d"
+  "/root/repo/src/predict/index.cc" "src/predict/CMakeFiles/ccp_predict.dir/index.cc.o" "gcc" "src/predict/CMakeFiles/ccp_predict.dir/index.cc.o.d"
+  "/root/repo/src/predict/metrics.cc" "src/predict/CMakeFiles/ccp_predict.dir/metrics.cc.o" "gcc" "src/predict/CMakeFiles/ccp_predict.dir/metrics.cc.o.d"
+  "/root/repo/src/predict/spatial.cc" "src/predict/CMakeFiles/ccp_predict.dir/spatial.cc.o" "gcc" "src/predict/CMakeFiles/ccp_predict.dir/spatial.cc.o.d"
+  "/root/repo/src/predict/table.cc" "src/predict/CMakeFiles/ccp_predict.dir/table.cc.o" "gcc" "src/predict/CMakeFiles/ccp_predict.dir/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ccp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/ccp_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccp_predict.dir/distributed.cc.o"
+  "CMakeFiles/ccp_predict.dir/distributed.cc.o.d"
+  "CMakeFiles/ccp_predict.dir/evaluator.cc.o"
+  "CMakeFiles/ccp_predict.dir/evaluator.cc.o.d"
+  "CMakeFiles/ccp_predict.dir/function.cc.o"
+  "CMakeFiles/ccp_predict.dir/function.cc.o.d"
+  "CMakeFiles/ccp_predict.dir/index.cc.o"
+  "CMakeFiles/ccp_predict.dir/index.cc.o.d"
+  "CMakeFiles/ccp_predict.dir/metrics.cc.o"
+  "CMakeFiles/ccp_predict.dir/metrics.cc.o.d"
+  "CMakeFiles/ccp_predict.dir/spatial.cc.o"
+  "CMakeFiles/ccp_predict.dir/spatial.cc.o.d"
+  "CMakeFiles/ccp_predict.dir/table.cc.o"
+  "CMakeFiles/ccp_predict.dir/table.cc.o.d"
+  "libccp_predict.a"
+  "libccp_predict.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccp_predict.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ccp_predict.
+# This may be replaced when dependencies are built.

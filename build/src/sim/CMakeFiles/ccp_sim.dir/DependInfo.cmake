@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/machine.cc" "src/sim/CMakeFiles/ccp_sim.dir/machine.cc.o" "gcc" "src/sim/CMakeFiles/ccp_sim.dir/machine.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mem/CMakeFiles/ccp_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/ccp_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ccp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ccp_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccp_sim.dir/machine.cc.o"
+  "CMakeFiles/ccp_sim.dir/machine.cc.o.d"
+  "libccp_sim.a"
+  "libccp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sweep/figures.cc" "src/sweep/CMakeFiles/ccp_sweep.dir/figures.cc.o" "gcc" "src/sweep/CMakeFiles/ccp_sweep.dir/figures.cc.o.d"
+  "/root/repo/src/sweep/name.cc" "src/sweep/CMakeFiles/ccp_sweep.dir/name.cc.o" "gcc" "src/sweep/CMakeFiles/ccp_sweep.dir/name.cc.o.d"
+  "/root/repo/src/sweep/search.cc" "src/sweep/CMakeFiles/ccp_sweep.dir/search.cc.o" "gcc" "src/sweep/CMakeFiles/ccp_sweep.dir/search.cc.o.d"
+  "/root/repo/src/sweep/space.cc" "src/sweep/CMakeFiles/ccp_sweep.dir/space.cc.o" "gcc" "src/sweep/CMakeFiles/ccp_sweep.dir/space.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/predict/CMakeFiles/ccp_predict.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/ccp_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ccp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

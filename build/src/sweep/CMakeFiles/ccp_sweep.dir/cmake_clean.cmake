@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccp_sweep.dir/figures.cc.o"
+  "CMakeFiles/ccp_sweep.dir/figures.cc.o.d"
+  "CMakeFiles/ccp_sweep.dir/name.cc.o"
+  "CMakeFiles/ccp_sweep.dir/name.cc.o.d"
+  "CMakeFiles/ccp_sweep.dir/search.cc.o"
+  "CMakeFiles/ccp_sweep.dir/search.cc.o.d"
+  "CMakeFiles/ccp_sweep.dir/space.cc.o"
+  "CMakeFiles/ccp_sweep.dir/space.cc.o.d"
+  "libccp_sweep.a"
+  "libccp_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccp_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccp_trace.dir/trace.cc.o"
+  "CMakeFiles/ccp_trace.dir/trace.cc.o.d"
+  "libccp_trace.a"
+  "libccp_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccp_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

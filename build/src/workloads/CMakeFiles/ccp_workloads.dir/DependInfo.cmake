@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/barnes.cc" "src/workloads/CMakeFiles/ccp_workloads.dir/barnes.cc.o" "gcc" "src/workloads/CMakeFiles/ccp_workloads.dir/barnes.cc.o.d"
+  "/root/repo/src/workloads/em3d.cc" "src/workloads/CMakeFiles/ccp_workloads.dir/em3d.cc.o" "gcc" "src/workloads/CMakeFiles/ccp_workloads.dir/em3d.cc.o.d"
+  "/root/repo/src/workloads/gauss.cc" "src/workloads/CMakeFiles/ccp_workloads.dir/gauss.cc.o" "gcc" "src/workloads/CMakeFiles/ccp_workloads.dir/gauss.cc.o.d"
+  "/root/repo/src/workloads/mp3d.cc" "src/workloads/CMakeFiles/ccp_workloads.dir/mp3d.cc.o" "gcc" "src/workloads/CMakeFiles/ccp_workloads.dir/mp3d.cc.o.d"
+  "/root/repo/src/workloads/ocean.cc" "src/workloads/CMakeFiles/ccp_workloads.dir/ocean.cc.o" "gcc" "src/workloads/CMakeFiles/ccp_workloads.dir/ocean.cc.o.d"
+  "/root/repo/src/workloads/registry.cc" "src/workloads/CMakeFiles/ccp_workloads.dir/registry.cc.o" "gcc" "src/workloads/CMakeFiles/ccp_workloads.dir/registry.cc.o.d"
+  "/root/repo/src/workloads/unstruct.cc" "src/workloads/CMakeFiles/ccp_workloads.dir/unstruct.cc.o" "gcc" "src/workloads/CMakeFiles/ccp_workloads.dir/unstruct.cc.o.d"
+  "/root/repo/src/workloads/water.cc" "src/workloads/CMakeFiles/ccp_workloads.dir/water.cc.o" "gcc" "src/workloads/CMakeFiles/ccp_workloads.dir/water.cc.o.d"
+  "/root/repo/src/workloads/workload.cc" "src/workloads/CMakeFiles/ccp_workloads.dir/workload.cc.o" "gcc" "src/workloads/CMakeFiles/ccp_workloads.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ccp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ccp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/ccp_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ccp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/ccp_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccp_workloads.dir/barnes.cc.o"
+  "CMakeFiles/ccp_workloads.dir/barnes.cc.o.d"
+  "CMakeFiles/ccp_workloads.dir/em3d.cc.o"
+  "CMakeFiles/ccp_workloads.dir/em3d.cc.o.d"
+  "CMakeFiles/ccp_workloads.dir/gauss.cc.o"
+  "CMakeFiles/ccp_workloads.dir/gauss.cc.o.d"
+  "CMakeFiles/ccp_workloads.dir/mp3d.cc.o"
+  "CMakeFiles/ccp_workloads.dir/mp3d.cc.o.d"
+  "CMakeFiles/ccp_workloads.dir/ocean.cc.o"
+  "CMakeFiles/ccp_workloads.dir/ocean.cc.o.d"
+  "CMakeFiles/ccp_workloads.dir/registry.cc.o"
+  "CMakeFiles/ccp_workloads.dir/registry.cc.o.d"
+  "CMakeFiles/ccp_workloads.dir/unstruct.cc.o"
+  "CMakeFiles/ccp_workloads.dir/unstruct.cc.o.d"
+  "CMakeFiles/ccp_workloads.dir/water.cc.o"
+  "CMakeFiles/ccp_workloads.dir/water.cc.o.d"
+  "CMakeFiles/ccp_workloads.dir/workload.cc.o"
+  "CMakeFiles/ccp_workloads.dir/workload.cc.o.d"
+  "libccp_workloads.a"
+  "libccp_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccp_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

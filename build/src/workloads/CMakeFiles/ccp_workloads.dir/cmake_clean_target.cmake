@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libccp_workloads.a"
+)

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/spatial_test.cc" "tests/CMakeFiles/spatial_test.dir/spatial_test.cc.o" "gcc" "tests/CMakeFiles/spatial_test.dir/spatial_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ccp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ccp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/ccp_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/ccp_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/ccp_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ccp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/ccp_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/predict/CMakeFiles/ccp_predict.dir/DependInfo.cmake"
+  "/root/repo/build/src/sweep/CMakeFiles/ccp_sweep.dir/DependInfo.cmake"
+  "/root/repo/build/src/forward/CMakeFiles/ccp_forward.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
