@@ -12,12 +12,15 @@
 #include "sweep/name.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace ccp;
     using namespace ccp::benchutil;
 
+    BenchContext ctx("ablate_fields", argc, argv);
+
     auto suite = loadOrGenerateSuite();
+    ctx.addSuite(suite);
 
     auto eval = [&](const predict::SchemeSpec &s,
                     predict::UpdateMode m) {
@@ -74,5 +77,5 @@ main()
 
     std::printf("Expected: dropping pid (or collapsing depth) hurts "
                 "most; dropping dir or pc barely matters.\n");
-    return 0;
+    return ctx.finish();
 }

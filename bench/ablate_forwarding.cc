@@ -11,12 +11,15 @@
 #include "sweep/name.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace ccp;
     using namespace ccp::benchutil;
 
+    BenchContext ctx("ablate_forwarding", argc, argv);
+
     auto suite = loadOrGenerateSuite();
+    ctx.addSuite(suite);
 
     const char *schemes[] = {
         "inter(pid+add6)4",    // sure bets
@@ -66,5 +69,5 @@ main()
         "both cycles saved (sensitivity) and traffic\n"
         "(lower PVP); the MBh/Mcyc column prices each scheme's "
         "bandwidth per unit of latency hidden.\n");
-    return 0;
+    return ctx.finish();
 }

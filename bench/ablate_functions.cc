@@ -19,12 +19,15 @@
 #include "sweep/name.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace ccp;
     using namespace ccp::benchutil;
 
+    BenchContext ctx("ablate_functions", argc, argv);
+
     auto suite = loadOrGenerateSuite();
+    ctx.addSuite(suite);
 
     std::printf("Ablation: extension prediction functions "
                 "(direct update, suite averages)\n\n");
@@ -82,5 +85,5 @@ main()
 
     std::printf("\nExpected: overlap-last between last and inter; "
                 "spatial reach trades PVP for sensitivity.\n");
-    return 0;
+    return ctx.finish();
 }

@@ -21,10 +21,12 @@
 #include "sweep/name.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace ccp;
     using namespace ccp::benchutil;
+
+    BenchContext ctx("ablate_online", argc, argv);
 
     const double scale = envScale() * 0.3;
     const std::uint64_t seed = envSeed();
@@ -88,5 +90,5 @@ main()
     std::printf("\nExpected: latency saved grows toward deep union; "
                 "so do wasted forwards, pollution and the\n"
                 "write faults induced by yielding write permission.\n");
-    return 0;
+    return ctx.finish();
 }

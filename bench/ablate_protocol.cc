@@ -18,10 +18,12 @@
 #include "sweep/name.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace ccp;
     using namespace ccp::benchutil;
+
+    BenchContext ctx("ablate_protocol", argc, argv);
 
     auto baseline = sweep::parseScheme("last()1")->scheme;
 
@@ -58,5 +60,5 @@ main()
     std::printf("\nShape check:\n");
     std::printf("  MESI never adds coherence store misses: %s\n",
                 monotone ? "yes" : "NO");
-    return 0;
+    return ctx.finish();
 }

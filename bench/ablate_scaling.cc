@@ -19,10 +19,12 @@
 #include "sweep/name.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace ccp;
     using namespace ccp::benchutil;
+
+    BenchContext ctx("ablate_scaling", argc, argv);
 
     auto baseline = sweep::parseScheme("last()1")->scheme;
     auto inter = sweep::parseScheme("inter(pid+pc8)2")->scheme;
@@ -66,5 +68,5 @@ main()
     std::printf("\nExpected: prevalence falls with machine size "
                 "(slower than 1/N); predictor quality degrades "
                 "gracefully.\n");
-    return 0;
+    return ctx.finish();
 }

@@ -14,12 +14,15 @@
 #include "sweep/name.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace ccp;
     using namespace ccp::benchutil;
 
+    BenchContext ctx("ablate_update", argc, argv);
+
     auto suite = loadOrGenerateSuite();
+    ctx.addSuite(suite);
 
     const char *schemes[] = {
         "union(dir+add16)1",     // pure address: provably identical
@@ -58,5 +61,5 @@ main()
     std::printf("\nExpected: zero deltas for the pure address scheme; "
                 "the largest gains from ordered update appear on\n"
                 "writer-identified (pid/pc) schemes.\n");
-    return 0;
+    return ctx.finish();
 }

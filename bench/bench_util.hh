@@ -5,10 +5,19 @@
  * the paper's own methodology), a fixed-width table printer, and the
  * paper's published numbers for side-by-side comparison.
  *
+ * Also here: BenchContext, the shared command-line front end of every
+ * bench/figure binary.  It understands
+ *
+ *   --report <path>   write a structured JSON run report (machine
+ *                     config, suite + protocol counters, screening
+ *                     metrics, per-phase timings) on exit
+ *   --log <level>     override CCP_LOG (quiet|warn|info|debug)
+ *
  * Environment knobs:
  *   CCP_TRACE_DIR  cache directory (default ./ccp_traces)
  *   CCP_SCALE      workload iteration scale (default 1.0)
  *   CCP_SEED       workload seed (default 0x5eed)
+ *   CCP_LOG        log level (quiet|warn|info|debug, default info)
  */
 
 #ifndef CCP_BENCH_BENCH_UTIL_HH
@@ -21,6 +30,12 @@
 #include <string>
 #include <vector>
 
+#include "common/logging.hh"
+#include "mem/protocol.hh"
+#include "obs/report.hh"
+#include "obs/timer.hh"
+#include "predict/evaluator.hh"
+#include "sweep/name.hh"
 #include "trace/trace.hh"
 #include "workloads/registry.hh"
 
@@ -60,6 +75,9 @@ loadOrGenerateSuite()
     const std::string dir = traceDir();
     std::filesystem::create_directories(dir);
 
+    auto &reg = obs::StatsRegistry::root();
+    obs::ScopedTimer suite_timer(reg, "bench.suite_load_seconds");
+
     std::vector<trace::SharingTrace> suite;
     for (const auto &name : workloads::workloadNames()) {
         std::ostringstream file;
@@ -68,18 +86,23 @@ loadOrGenerateSuite()
 
         trace::SharingTrace tr;
         if (tr.loadFile(file.str())) {
+            ++reg.counter("bench.traces_cached");
             suite.push_back(std::move(tr));
             continue;
         }
-        std::fprintf(stderr, "[bench] generating %s (scale %.2f)...\n",
-                     name.c_str(), scale);
+        // Progress goes to stderr so stdout stays a clean table.
+        if (logLevel() >= LogLevel::Info)
+            std::fprintf(stderr, "[bench] generating %s (scale %.2f)"
+                         "...\n", name.c_str(), scale);
+        obs::ScopedTimer gen_timer(reg, "bench.trace_gen_seconds");
         workloads::WorkloadParams params;
         params.seed = seed;
         params.scale = scale;
         tr = workloads::generateTrace(name, params);
+        gen_timer.stop();
+        ++reg.counter("bench.traces_generated");
         if (!tr.saveFile(file.str()))
-            std::fprintf(stderr, "[bench] warning: cannot cache %s\n",
-                         file.str().c_str());
+            ccp_warn("cannot cache trace at ", file.str());
         suite.push_back(std::move(tr));
     }
     return suite;
@@ -143,6 +166,233 @@ fmtU(std::uint64_t v)
 {
     return std::to_string(v);
 }
+
+/** Machine geometry as a run-report JSON object. */
+inline obs::Json
+machineConfigJson(const mem::MachineConfig &c)
+{
+    obs::Json j = obs::Json::object();
+    j["nodes"] = obs::Json(c.nNodes);
+    j["protocol"] =
+        obs::Json(c.protocol == mem::ProtocolKind::MESI ? "MESI"
+                                                        : "MSI");
+    j["placement"] = obs::Json(
+        c.placement == mem::PlacementPolicy::FirstTouch
+            ? "first-touch"
+            : "interleaved");
+    j["l1_bytes"] = obs::Json(c.l1.sizeBytes);
+    j["l1_assoc"] = obs::Json(c.l1.assoc);
+    j["l2_bytes"] = obs::Json(c.l2.sizeBytes);
+    j["l2_assoc"] = obs::Json(c.l2.assoc);
+    j["torus_width"] = obs::Json(c.torusWidth);
+    return j;
+}
+
+/** One trace's run-level metadata (Table 5/6 + protocol counters). */
+inline obs::Json
+traceMetaJson(const trace::SharingTrace &tr)
+{
+    const trace::TraceMeta &m = tr.meta();
+    obs::Json j = obs::Json::object();
+    j["name"] = obs::Json(tr.name());
+    j["nodes"] = obs::Json(tr.nNodes());
+    j["store_misses"] = obs::Json(tr.storeMisses());
+    j["decisions"] = obs::Json(tr.decisions());
+    j["sharing_events"] = obs::Json(tr.sharingEvents());
+    j["prevalence"] = obs::Json(tr.prevalence());
+    j["total_ops"] = obs::Json(m.totalOps);
+    j["blocks_touched"] = obs::Json(m.blocksTouched);
+    j["max_static_stores"] = obs::Json(m.maxStaticStoresPerNode);
+    j["max_predicted_stores"] = obs::Json(m.maxPredictedStoresPerNode);
+    j["reads"] = obs::Json(m.reads);
+    j["writes"] = obs::Json(m.writes);
+    j["read_misses"] = obs::Json(m.readMisses);
+    j["write_misses"] = obs::Json(m.writeMisses);
+    j["write_faults"] = obs::Json(m.writeFaults);
+    j["silent_upgrades"] = obs::Json(m.silentUpgrades);
+    j["invalidations"] = obs::Json(m.invalidationsSent);
+    j["downgrades"] = obs::Json(m.downgrades);
+    j["interventions"] = obs::Json(m.interventions);
+    return j;
+}
+
+/** Confusion counts + the derived screening ratios. */
+inline obs::Json
+confusionJson(const predict::Confusion &c)
+{
+    obs::Json j = obs::Json::object();
+    j["tp"] = obs::Json(c.tp);
+    j["fp"] = obs::Json(c.fp);
+    j["tn"] = obs::Json(c.tn);
+    j["fn"] = obs::Json(c.fn);
+    j["prevalence"] = obs::Json(c.prevalence());
+    j["sensitivity"] = obs::Json(c.sensitivity());
+    j["pvp"] = obs::Json(c.pvp());
+    j["specificity"] = obs::Json(c.specificity());
+    return j;
+}
+
+/** One scheme's suite evaluation: spec, cost, and metrics. */
+inline obs::Json
+suiteResultJson(const predict::SuiteResult &res, unsigned n_nodes = 16)
+{
+    obs::Json j = obs::Json::object();
+    j["scheme"] = obs::Json(sweep::formatScheme(res.scheme));
+    j["update"] = obs::Json(predict::updateModeName(res.mode));
+    j["size_bits"] = obs::Json(res.scheme.sizeBits(n_nodes));
+    j["depth"] = obs::Json(res.scheme.depth);
+    j["avg_sensitivity"] = obs::Json(res.avgSensitivity());
+    j["avg_pvp"] = obs::Json(res.avgPvp());
+    j["avg_prevalence"] = obs::Json(res.avgPrevalence());
+    j["pooled"] = confusionJson(res.pooled);
+    obs::Json &per = j["per_trace"];
+    per = obs::Json::array();
+    for (const auto &tr : res.perTrace) {
+        obs::Json row = obs::Json::object();
+        row["trace"] = obs::Json(tr.traceName);
+        row["confusion"] = confusionJson(tr.confusion);
+        per.append(std::move(row));
+    }
+    return j;
+}
+
+/**
+ * Shared front end of the bench/figure binaries: parses the common
+ * flags, stamps the config section, and writes the run report (if
+ * requested) in finish().
+ */
+class BenchContext
+{
+  public:
+    BenchContext(std::string tool, int argc, char **argv)
+        : report_(std::move(tool))
+    {
+        // Surface a bad CCP_LOG now; the lazy init would otherwise
+        // only warn the first time something logs.
+        logLevel();
+        for (int i = 1; i < argc; ++i) {
+            std::string arg = argv[i];
+            std::string value;
+            if (takesValue(arg, "--report", i, argc, argv, value)) {
+                reportPath_ = value;
+            } else if (takesValue(arg, "--log", i, argc, argv,
+                                  value)) {
+                LogLevel level = LogLevel::Info;
+                if (!parseLogLevel(value, level))
+                    ccp_fatal("bad --log level '", value,
+                              "' (want quiet|warn|info|debug)");
+                setLogLevel(level);
+            } else if (arg == "--help" || arg == "-h") {
+                std::printf(
+                    "usage: %s [--report <out.json>] "
+                    "[--log quiet|warn|info|debug]\n",
+                    report_.tool().c_str());
+                std::exit(0);
+            } else {
+                ccp_fatal("unknown argument '", arg,
+                          "' (try --help)");
+            }
+        }
+
+        obs::Json &config = report_.section("config");
+        config["machine"] = machineConfigJson(mem::MachineConfig{});
+        config["seed"] = obs::Json(envSeed());
+        config["scale"] = obs::Json(envScale());
+        config["trace_dir"] = obs::Json(traceDir());
+    }
+
+    obs::RunReport &report() { return report_; }
+
+    /** Shorthand for report().section("results"). */
+    obs::Json &results() { return report_.section("results"); }
+
+    /**
+     * Record the benchmark suite: a per-trace "suite" array plus a
+     * "protocol" section of suite-wide counter totals (duplicated
+     * from the trace metadata so reports carry protocol behaviour
+     * even when every trace came from the on-disk cache).
+     */
+    void
+    addSuite(const std::vector<trace::SharingTrace> &suite)
+    {
+        obs::Json &arr = report_.section("suite");
+        arr = obs::Json::array();
+        trace::TraceMeta total;
+        std::uint64_t store_misses = 0;
+        for (const auto &tr : suite) {
+            arr.append(traceMetaJson(tr));
+            const trace::TraceMeta &m = tr.meta();
+            total.reads += m.reads;
+            total.writes += m.writes;
+            total.readMisses += m.readMisses;
+            total.writeMisses += m.writeMisses;
+            total.writeFaults += m.writeFaults;
+            total.silentUpgrades += m.silentUpgrades;
+            total.invalidationsSent += m.invalidationsSent;
+            total.downgrades += m.downgrades;
+            total.interventions += m.interventions;
+            total.blocksTouched += m.blocksTouched;
+            total.totalOps += m.totalOps;
+            store_misses += tr.storeMisses();
+        }
+        obs::Json &proto = report_.section("protocol");
+        proto["store_misses"] = obs::Json(store_misses);
+        proto["reads"] = obs::Json(total.reads);
+        proto["writes"] = obs::Json(total.writes);
+        proto["read_misses"] = obs::Json(total.readMisses);
+        proto["write_misses"] = obs::Json(total.writeMisses);
+        proto["write_faults"] = obs::Json(total.writeFaults);
+        proto["silent_upgrades"] = obs::Json(total.silentUpgrades);
+        proto["invalidations"] = obs::Json(total.invalidationsSent);
+        proto["downgrades"] = obs::Json(total.downgrades);
+        proto["interventions"] = obs::Json(total.interventions);
+        proto["blocks_touched"] = obs::Json(total.blocksTouched);
+        proto["total_ops"] = obs::Json(total.totalOps);
+    }
+
+    /**
+     * Snapshot the root stats registry and the wall clock into the
+     * report and write it if --report was given.  @return the
+     * process exit code (0; I/O failure is fatal instead, so CI
+     * can't silently lose reports).
+     */
+    int
+    finish()
+    {
+        report_.setWallSeconds(wall_.elapsedSec());
+        report_.addRegistry(obs::StatsRegistry::root());
+        if (!reportPath_.empty()) {
+            if (!report_.writeFile(reportPath_))
+                ccp_fatal("cannot write report to ", reportPath_);
+            if (logLevel() >= LogLevel::Info)
+                std::fprintf(stderr, "[bench] report written to %s\n",
+                             reportPath_.c_str());
+        }
+        return 0;
+    }
+
+  private:
+    static bool
+    takesValue(const std::string &arg, const std::string &flag, int &i,
+               int argc, char **argv, std::string &value)
+    {
+        if (arg == flag) {
+            if (i + 1 >= argc)
+                ccp_fatal(flag, " needs a value");
+            value = argv[++i];
+            return true;
+        }
+        if (arg.rfind(flag + "=", 0) == 0) {
+            value = arg.substr(flag.size() + 1);
+            return true;
+        }
+        return false;
+    }
+
+    obs::Stopwatch wall_;
+    obs::RunReport report_;
+    std::string reportPath_;
+};
 
 /** The paper's Table 5 rows (per benchmark). */
 struct PaperTable5

@@ -9,10 +9,11 @@
 #include "figure_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace ccp;
+    benchutil::BenchContext ctx("fig6_intersection", argc, argv);
     return benchutil::runFigure(
-        "Figure 6: intersection prediction, depth 2, 16-bit max index",
+        ctx, "Figure 6: intersection prediction, depth 2, 16-bit max index",
         predict::FunctionKind::Inter, 2, sweep::figureIndexSeries16());
 }

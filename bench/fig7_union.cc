@@ -9,11 +9,11 @@
 #include "figure_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace ccp;
-    int rc = benchutil::runFigure(
-        "Figure 7: union prediction, depth 2, 16-bit max index",
+    benchutil::BenchContext ctx("fig7_union", argc, argv);
+    return benchutil::runFigure(
+        ctx, "Figure 7: union prediction, depth 2, 16-bit max index",
         predict::FunctionKind::Union, 2, sweep::figureIndexSeries16());
-    return rc;
 }

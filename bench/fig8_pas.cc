@@ -10,10 +10,11 @@
 #include "figure_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace ccp;
+    benchutil::BenchContext ctx("fig8_pas", argc, argv);
     return benchutil::runFigure(
-        "Figure 8: PAs prediction, depth 1, 12-bit max index",
+        ctx, "Figure 8: PAs prediction, depth 1, 12-bit max index",
         predict::FunctionKind::PAs, 1, sweep::figureIndexSeries12());
 }

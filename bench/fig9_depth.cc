@@ -18,7 +18,8 @@ using namespace ccp::benchutil;
 
 void
 runPanel(const std::vector<trace::SharingTrace> &suite,
-         const char *title, predict::FunctionKind kind,
+         obs::Json &results, const char *title,
+         predict::FunctionKind kind,
          const std::vector<predict::IndexSpec> &series)
 {
     auto d2 = sweep::evaluateFigure(suite, series, kind, 2,
@@ -41,24 +42,31 @@ runPanel(const std::vector<trace::SharingTrace> &suite,
     std::printf("mean depth-4 minus depth-2: pvp %+.3f, sensitivity "
                 "%+.3f\n\n",
                 dpvp / d2.size(), dsens / d2.size());
+
+    obs::Json &panel = results[predict::functionKindName(kind)];
+    panel["mean_pvp_delta"] = obs::Json(dpvp / d2.size());
+    panel["mean_sensitivity_delta"] = obs::Json(dsens / d2.size());
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchContext ctx("fig9_depth", argc, argv);
     auto suite = loadOrGenerateSuite();
+    ctx.addSuite(suite);
     std::printf("Figure 9: history depth 2 vs 4, direct update\n\n");
 
-    runPanel(suite, "INTERSECTION (16-bit max index)",
+    obs::Json &results = ctx.results();
+    runPanel(suite, results, "INTERSECTION (16-bit max index)",
              predict::FunctionKind::Inter, sweep::figureIndexSeries16());
-    runPanel(suite, "UNION (16-bit max index)",
+    runPanel(suite, results, "UNION (16-bit max index)",
              predict::FunctionKind::Union, sweep::figureIndexSeries16());
-    runPanel(suite, "PAs (12-bit max index)", predict::FunctionKind::PAs,
-             sweep::figureIndexSeries12());
+    runPanel(suite, results, "PAs (12-bit max index)",
+             predict::FunctionKind::PAs, sweep::figureIndexSeries12());
 
     std::printf("Expected: intersection pvp up / sens down with depth; "
                 "union the reverse; PAs nearly flat.\n");
-    return 0;
+    return ctx.finish();
 }

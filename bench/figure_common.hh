@@ -52,14 +52,22 @@ writeSeriesCsv(const char *figure, const char *mode_name,
 }
 
 inline int
-runFigure(const char *title, predict::FunctionKind kind, unsigned depth,
+runFigure(BenchContext &ctx, const char *title,
+          predict::FunctionKind kind, unsigned depth,
           const std::vector<predict::IndexSpec> &series)
 {
     auto suite = loadOrGenerateSuite();
+    ctx.addSuite(suite);
 
     std::printf("%s\n(suite-average sensitivity and PVP per indexing "
                 "combination)\n\n",
                 title);
+
+    obs::Json &results = ctx.results();
+    results["function"] = obs::Json(predict::functionKindName(kind));
+    results["depth"] = obs::Json(depth);
+    obs::Json &modes = results["modes"];
+    modes = obs::Json::object();
 
     std::vector<sweep::FigurePoint> pid_on, pid_off;
     for (auto mode : {predict::UpdateMode::Direct,
@@ -70,6 +78,15 @@ runFigure(const char *title, predict::FunctionKind kind, unsigned depth,
         printSeries(predict::updateModeName(mode), points);
         writeSeriesCsv(predict::functionKindName(kind),
                        predict::updateModeName(mode), points);
+        obs::Json &pts = modes[predict::updateModeName(mode)];
+        pts = obs::Json::array();
+        for (const auto &pt : points) {
+            obs::Json row = obs::Json::object();
+            row["index"] = obs::Json(pt.label);
+            row["sensitivity"] = obs::Json(pt.sensitivity);
+            row["pvp"] = obs::Json(pt.pvp);
+            pts.append(std::move(row));
+        }
         if (mode == predict::UpdateMode::Direct) {
             for (const auto &pt : points)
                 (pt.index.usePid ? pid_on : pid_off).push_back(pt);
@@ -94,7 +111,7 @@ runFigure(const char *title, predict::FunctionKind kind, unsigned depth,
                 mean(pid_on, true), mean(pid_off, true),
                 mean(pid_on, true) >= mean(pid_off, true) ? "yes"
                                                           : "NO");
-    return 0;
+    return ctx.finish();
 }
 
 } // namespace ccp::benchutil

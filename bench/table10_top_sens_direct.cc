@@ -9,11 +9,12 @@
 #include "topten_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace ccp;
+    benchutil::BenchContext ctx("table10_top_sens_direct", argc, argv);
     return benchutil::runTopTen(
-        "Table 10: top 10 sensitivity, direct update",
+        ctx, "Table 10: top 10 sensitivity, direct update",
         predict::UpdateMode::Direct, sweep::RankBy::Sensitivity,
         benchutil::paperTable10());
 }

@@ -9,11 +9,12 @@
 #include "topten_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace ccp;
+    benchutil::BenchContext ctx("table11_top_sens_forwarded", argc, argv);
     return benchutil::runTopTen(
-        "Table 11: top 10 sensitivity, forwarded update",
+        ctx, "Table 11: top 10 sensitivity, forwarded update",
         predict::UpdateMode::Forwarded, sweep::RankBy::Sensitivity,
         benchutil::paperTable11());
 }

@@ -13,12 +13,14 @@
 #include "bench_util.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace ccp;
     using namespace ccp::benchutil;
 
+    BenchContext ctx("table5_stats", argc, argv);
     auto suite = loadOrGenerateSuite();
+    ctx.addSuite(suite);
 
     std::printf("Table 5: store instruction and cache block statistics\n");
     std::printf("(per benchmark; 'paper' columns are the published "
@@ -57,5 +59,11 @@ main()
                 subset ? "yes" : "NO");
     std::printf("  ocean has the most store misses:          %s\n",
                 ocean_misses > max_other ? "yes" : "NO");
-    return 0;
+
+    obs::Json &results = ctx.results();
+    results["static_stores_small"] = obs::Json(small_static);
+    results["predicted_subset_of_static"] = obs::Json(subset);
+    results["ocean_most_misses"] =
+        obs::Json(ocean_misses > max_other);
+    return ctx.finish();
 }

@@ -11,12 +11,14 @@
 #include "bench_util.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace ccp;
     using namespace ccp::benchutil;
 
+    BenchContext ctx("table6_prevalence", argc, argv);
     auto suite = loadOrGenerateSuite();
+    ctx.addSuite(suite);
 
     std::printf("Table 6: prevalence of sharing\n");
     std::printf("(decisions = nodes x store misses; prevalence = "
@@ -61,5 +63,9 @@ main()
                  prev("unstruct") > prev("mp3d"))
                     ? "yes"
                     : "NO");
-    return 0;
+
+    obs::Json &results = ctx.results();
+    results["avg_prevalence"] = obs::Json(avg);
+    results["equivalent_readers_per_write"] = obs::Json(16.0 * avg);
+    return ctx.finish();
 }

@@ -15,17 +15,21 @@
 #include "sweep/name.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace ccp;
     using namespace ccp::benchutil;
 
+    BenchContext ctx("table7_prior_schemes", argc, argv);
     auto suite = loadOrGenerateSuite();
+    ctx.addSuite(suite);
 
     std::printf("Table 7: schemes reported by earlier work\n\n");
     Table t({"update", "description", "scheme", "size", "sens",
              "paper", "pvp", "paper"});
 
+    obs::Json &rows = ctx.results()["schemes"];
+    rows = obs::Json::array();
     for (const auto &row : paperTable7()) {
         auto parsed = sweep::parseScheme(row.scheme);
         if (!parsed) {
@@ -41,6 +45,11 @@ main()
                   std::to_string(row.sizeLog2),
                   fmt(res.avgSensitivity()), fmt(row.sensitivity),
                   fmt(res.avgPvp()), fmt(row.pvp)});
+        obs::Json entry = suiteResultJson(res);
+        entry["description"] = obs::Json(row.description);
+        entry["paper_sensitivity"] = obs::Json(row.sensitivity);
+        entry["paper_pvp"] = obs::Json(row.pvp);
+        rows.append(std::move(entry));
     }
     t.print();
 
@@ -60,5 +69,5 @@ main()
                 "(%.2f vs %.2f)\n",
                 ri.avgSensitivity() < rl.avgSensitivity() ? "yes" : "NO",
                 ri.avgSensitivity(), rl.avgSensitivity());
-    return 0;
+    return ctx.finish();
 }

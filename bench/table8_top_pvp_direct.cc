@@ -8,11 +8,12 @@
 #include "topten_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace ccp;
+    benchutil::BenchContext ctx("table8_top_pvp_direct", argc, argv);
     return benchutil::runTopTen(
-        "Table 8: top 10 PVP, direct update",
+        ctx, "Table 8: top 10 PVP, direct update",
         predict::UpdateMode::Direct, sweep::RankBy::Pvp,
         benchutil::paperTable8());
 }

@@ -9,11 +9,12 @@
 #include "topten_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace ccp;
+    benchutil::BenchContext ctx("table9_top_pvp_forwarded", argc, argv);
     return benchutil::runTopTen(
-        "Table 9: top 10 PVP, forwarded update",
+        ctx, "Table 9: top 10 PVP, forwarded update",
         predict::UpdateMode::Forwarded, sweep::RankBy::Pvp,
         benchutil::paperTable9());
 }

@@ -35,24 +35,20 @@ paperSpace()
 }
 
 inline int
-runTopTen(const char *title, predict::UpdateMode mode, sweep::RankBy by,
-          const std::vector<PaperTopTen> &paper)
+runTopTen(BenchContext &ctx, const char *title, predict::UpdateMode mode,
+          sweep::RankBy by, const std::vector<PaperTopTen> &paper)
 {
     auto suite = loadOrGenerateSuite();
+    ctx.addSuite(suite);
     auto schemes = enumerateSchemes(paperSpace());
 
-    std::fprintf(stderr, "[bench] sweeping %zu schemes...\n",
-                 schemes.size());
-    std::size_t last_pct = 0;
+    if (logLevel() >= LogLevel::Info)
+        std::fprintf(stderr, "[bench] sweeping %zu schemes...\n",
+                     schemes.size());
+    obs::ProgressReporter reporter("sweep");
     auto top = sweep::rankSchemes(
         suite, schemes, mode, by, 10,
-        [&](std::size_t done, std::size_t total) {
-            std::size_t pct = done * 100 / total;
-            if (pct >= last_pct + 10) {
-                std::fprintf(stderr, "[bench] ... %zu%%\n", pct);
-                last_pct = pct;
-            }
-        });
+        [&reporter](const obs::Progress &p) { reporter(p); });
 
     std::printf("%s\n\n", title);
     Table t({"#", "scheme", "size", "prev", "pvp", "sens", "| paper",
@@ -95,7 +91,22 @@ runTopTen(const char *title, predict::UpdateMode mode, sweep::RankBy by,
                     "(paper: 10)\n",
                     union_count);
     }
-    return 0;
+
+    obs::Json &results = ctx.results();
+    results["schemes_swept"] = obs::Json(schemes.size());
+    obs::Json &rows = results["top"];
+    rows = obs::Json::array();
+    for (const auto &r : top) {
+        obs::Json row = suiteResultJson(r.result);
+        row["score"] = obs::Json(r.score);
+        rows.append(std::move(row));
+    }
+    obs::Json &shape = results["shape"];
+    shape["deep_history"] = obs::Json(deep);
+    shape["pid_indexed"] = obs::Json(with_pid);
+    shape["inter"] = obs::Json(inter_count);
+    shape["union"] = obs::Json(union_count);
+    return ctx.finish();
 }
 
 } // namespace ccp::benchutil

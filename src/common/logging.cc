@@ -1,9 +1,71 @@
 #include "common/logging.hh"
 
+#include <algorithm>
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 
 namespace ccp {
+
+namespace {
+
+LogLevel
+initialLevel()
+{
+    const char *env = std::getenv("CCP_LOG");
+    if (!env)
+        return LogLevel::Info;
+    LogLevel level = LogLevel::Info;
+    if (!parseLogLevel(env, level))
+        std::fprintf(stderr,
+                     "warn: CCP_LOG='%s' not recognized "
+                     "(want quiet|warn|info|debug); using info\n",
+                     env);
+    return level;
+}
+
+LogLevel &
+currentLevel()
+{
+    static LogLevel level = initialLevel();
+    return level;
+}
+
+} // namespace
+
+LogLevel
+logLevel()
+{
+    return currentLevel();
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    currentLevel() = level;
+}
+
+bool
+parseLogLevel(const std::string &text, LogLevel &out)
+{
+    std::string low(text.size(), '\0');
+    std::transform(text.begin(), text.end(), low.begin(),
+                   [](unsigned char c) {
+                       return static_cast<char>(std::tolower(c));
+                   });
+    if (low == "quiet" || low == "none") {
+        out = LogLevel::Quiet;
+    } else if (low == "warn" || low == "warning") {
+        out = LogLevel::Warn;
+    } else if (low == "info") {
+        out = LogLevel::Info;
+    } else if (low == "debug") {
+        out = LogLevel::Debug;
+    } else {
+        return false;
+    }
+    return true;
+}
 
 void
 panicImpl(const char *file, int line, const std::string &msg)
@@ -24,13 +86,25 @@ fatalImpl(const char *file, int line, const std::string &msg)
 void
 warnImpl(const std::string &msg)
 {
+    if (logLevel() < LogLevel::Warn)
+        return;
     std::fprintf(stderr, "warn: %s\n", msg.c_str());
 }
 
 void
 informImpl(const std::string &msg)
 {
+    if (logLevel() < LogLevel::Info)
+        return;
     std::fprintf(stdout, "info: %s\n", msg.c_str());
+}
+
+void
+debugImpl(const std::string &msg)
+{
+    if (logLevel() < LogLevel::Debug)
+        return;
+    std::fprintf(stderr, "debug: %s\n", msg.c_str());
 }
 
 } // namespace ccp

@@ -7,15 +7,43 @@
  *            exits with status 1.
  * warn()   — something is suspicious but the run can continue.
  * inform() — plain status output.
+ * debug()  — chatty diagnostics, off by default.
+ *
+ * Output below panic/fatal is filtered by a log level, initialized
+ * once from the CCP_LOG environment variable (quiet|warn|info|debug;
+ * default info) so sweeps can run silent in CI and verbose locally.
  */
 
 #ifndef CCP_COMMON_LOGGING_HH
 #define CCP_COMMON_LOGGING_HH
 
+#include <cstdint>
 #include <sstream>
 #include <string>
 
 namespace ccp {
+
+/** Verbosity threshold; each level includes the ones above it. */
+enum class LogLevel : std::uint8_t
+{
+    Quiet, ///< only panic/fatal
+    Warn,  ///< + warnings
+    Info,  ///< + status output (default)
+    Debug, ///< + diagnostics
+};
+
+/** Current threshold (first call reads CCP_LOG). */
+LogLevel logLevel();
+
+/** Override the threshold programmatically (wins over CCP_LOG). */
+void setLogLevel(LogLevel level);
+
+/**
+ * Parse a CCP_LOG value ("quiet", "warn", "info", "debug", case
+ * insensitive).  @return false (leaving @p out untouched) on an
+ * unrecognized spelling.
+ */
+bool parseLogLevel(const std::string &text, LogLevel &out);
 
 [[noreturn]] void panicImpl(const char *file, int line,
                             const std::string &msg);
@@ -23,6 +51,7 @@ namespace ccp {
                             const std::string &msg);
 void warnImpl(const std::string &msg);
 void informImpl(const std::string &msg);
+void debugImpl(const std::string &msg);
 
 namespace detail {
 
@@ -55,6 +84,17 @@ format(Args &&...args)
 /** Print a status message. */
 #define ccp_inform(...) \
     ::ccp::informImpl(::ccp::detail::format(__VA_ARGS__))
+
+/**
+ * Print a diagnostic (CCP_LOG=debug only).  The level check happens
+ * before the arguments are formatted, so disabled debug output costs
+ * one branch.
+ */
+#define ccp_debug(...)                                              \
+    do {                                                            \
+        if (::ccp::logLevel() >= ::ccp::LogLevel::Debug)            \
+            ::ccp::debugImpl(::ccp::detail::format(__VA_ARGS__));   \
+    } while (0)
 
 /** panic() unless the condition holds. */
 #define ccp_assert(cond, ...)                                          \

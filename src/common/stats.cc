@@ -1,6 +1,7 @@
 #include "common/stats.hh"
 
 #include <algorithm>
+#include <cmath>
 #include <sstream>
 
 #include "common/logging.hh"
@@ -14,6 +15,21 @@ Summary::add(double x)
     sum_ += x;
     min_ = std::min(min_, x);
     max_ = std::max(max_, x);
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+}
+
+double
+Summary::var() const
+{
+    return count_ >= 2 ? m2_ / static_cast<double>(count_) : 0.0;
+}
+
+double
+Summary::stddev() const
+{
+    return std::sqrt(var());
 }
 
 void
@@ -21,6 +37,16 @@ Summary::merge(const Summary &other)
 {
     if (other.count_ == 0)
         return;
+    if (count_ == 0) {
+        *this = other;
+        return;
+    }
+    // Chan et al. parallel variance combination.
+    double na = static_cast<double>(count_);
+    double nb = static_cast<double>(other.count_);
+    double delta = other.mean_ - mean_;
+    m2_ += other.m2_ + delta * delta * na * nb / (na + nb);
+    mean_ = (na * mean_ + nb * other.mean_) / (na + nb);
     count_ += other.count_;
     sum_ += other.sum_;
     min_ = std::min(min_, other.min_);
@@ -55,6 +81,19 @@ double
 Histogram::mean() const
 {
     return total_ ? sum_ / static_cast<double>(total_) : 0.0;
+}
+
+void
+Histogram::merge(const Histogram &other)
+{
+    ccp_assert(counts_.size() == other.counts_.size(),
+               "merging histograms of different sizes (", counts_.size(),
+               " vs ", other.counts_.size(), ")");
+    for (std::size_t i = 0; i < counts_.size(); ++i)
+        counts_[i] += other.counts_[i];
+    overflow_ += other.overflow_;
+    total_ += other.total_;
+    sum_ += other.sum_;
 }
 
 std::string

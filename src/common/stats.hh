@@ -14,7 +14,12 @@
 
 namespace ccp {
 
-/** Running count/mean/min/max over a stream of samples. */
+/**
+ * Running count/mean/min/max/variance over a stream of samples.
+ * Variance uses Welford's online algorithm (numerically stable; no
+ * sum-of-squares cancellation), and merge() uses the parallel
+ * combination so sharded summaries equal the concatenated stream.
+ */
 class Summary
 {
   public:
@@ -26,6 +31,11 @@ class Summary
     double min() const { return count_ ? min_ : 0.0; }
     double max() const { return count_ ? max_ : 0.0; }
 
+    /** Population variance; 0 with fewer than two samples. */
+    double var() const;
+    /** Population standard deviation (timing jitter et al.). */
+    double stddev() const;
+
     /** Merge another summary into this one. */
     void merge(const Summary &other);
 
@@ -34,6 +44,8 @@ class Summary
     double sum_ = 0.0;
     double min_ = std::numeric_limits<double>::infinity();
     double max_ = -std::numeric_limits<double>::infinity();
+    double mean_ = 0.0; ///< Welford running mean
+    double m2_ = 0.0;   ///< Welford sum of squared deviations
 };
 
 /**
@@ -54,6 +66,9 @@ class Histogram
 
     /** Mean of recorded values (overflow samples counted at size()). */
     double mean() const;
+
+    /** Add another histogram (same bucket count) into this one. */
+    void merge(const Histogram &other);
 
     /** Render "v0 v1 ... v(n-1) [+overflow]" for logs. */
     std::string toString() const;

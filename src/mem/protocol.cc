@@ -21,7 +21,8 @@ CoherenceController::CoherenceController(const MachineConfig &config,
       torus_(config.torusWidth,
              config.nNodes / std::max(1u, config.torusWidth)),
       map_(config.nNodes, config.placement),
-      staticStores_(config.nNodes), predictedStores_(config.nNodes)
+      readersPerKill_(config.nNodes + 1), staticStores_(config.nNodes),
+      predictedStores_(config.nNodes)
 {
     ccp_assert(trace_ != nullptr, "controller needs a trace sink");
     ccp_assert(config_.nNodes >= 1 && config_.nNodes <= maxNodes,
@@ -250,6 +251,7 @@ CoherenceController::read(NodeId node, Addr addr)
         message(owner, node, true);  // cache-to-cache transfer
         message(owner, home, true);  // sharing writeback
         stats_.latency += torus_.latency(home, owner);
+        ++stats_.interventions;
         dir.state = DirState::Shared;
         dir.sharers.set(node);
         break;
@@ -313,6 +315,7 @@ CoherenceController::write(NodeId node, Addr addr, Pc pc)
     ev.prevWriterPc = dir.lastWriterPc;
     ev.hasPrevWriter = dir.hasLastWriter;
     ev.prevEvent = dir.pendingEvent;
+    readersPerKill_.add(ev.invalidated.popcount());
 
     if (st == CacheState::Shared) {
         ++stats_.writeFaults;
@@ -343,6 +346,7 @@ CoherenceController::write(NodeId node, Addr addr, Pc pc)
             else
                 message(home, node, true);
             stats_.latency += torus_.latency(home, owner);
+            ++stats_.interventions;
         } else {
             invalidateSharers(dir, block, node, home);
             message(home, node, true);
@@ -368,11 +372,51 @@ CoherenceController::write(NodeId node, Addr addr, Pc pc)
 }
 
 void
+CoherenceController::exportStats(obs::StatsRegistry &registry,
+                                 const std::string &prefix) const
+{
+    auto path = [&](const char *leaf) { return prefix + "." + leaf; };
+
+    registry.counter(path("reads")) += stats_.reads;
+    registry.counter(path("writes")) += stats_.writes;
+    registry.counter(path("read_misses")) += stats_.readMisses;
+    registry.counter(path("write_misses")) += stats_.writeMisses;
+    registry.counter(path("write_faults")) += stats_.writeFaults;
+    registry.counter(path("silent_upgrades")) += stats_.silentUpgrades;
+    registry.counter(path("invalidations")) += stats_.invalidationsSent;
+    registry.counter(path("downgrades")) += stats_.downgrades;
+    registry.counter(path("interventions")) += stats_.interventions;
+    registry.counter(path("latency_cycles")) += stats_.latency;
+    registry.counter(path("forwards_sent")) += stats_.forwardsSent;
+    registry.counter(path("forward_hits")) += stats_.forwardHits;
+    registry.counter(path("wasted_forwards")) += stats_.wastedForwards;
+    registry.counter(path("pollution_evictions")) +=
+        stats_.pollutionEvictions;
+    registry.counter(path("blocks_touched")) += blocksTouched_.size();
+    registry.counter(path("network_messages")) +=
+        torus_.totalMessages();
+    registry.counter(path("network_byte_hops")) +=
+        torus_.totalByteHops();
+    registry
+        .histogram(path("readers_per_kill"), readersPerKill_.size())
+        .merge(readersPerKill_);
+}
+
+void
 CoherenceController::finalizeTrace()
 {
     trace::TraceMeta &meta = trace_->meta();
     meta.blocksTouched = blocksTouched_.size();
     meta.totalOps = stats_.reads + stats_.writes;
+    meta.reads = stats_.reads;
+    meta.writes = stats_.writes;
+    meta.readMisses = stats_.readMisses;
+    meta.writeMisses = stats_.writeMisses;
+    meta.writeFaults = stats_.writeFaults;
+    meta.silentUpgrades = stats_.silentUpgrades;
+    meta.invalidationsSent = stats_.invalidationsSent;
+    meta.downgrades = stats_.downgrades;
+    meta.interventions = stats_.interventions;
     meta.maxStaticStoresPerNode = 0;
     meta.maxPredictedStoresPerNode = 0;
     for (unsigned i = 0; i < config_.nNodes; ++i) {

@@ -22,9 +22,11 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/stats.hh"
 #include "mem/cache.hh"
 #include "mem/directory.hh"
 #include "net/torus.hh"
+#include "obs/registry.hh"
 #include "trace/trace.hh"
 
 namespace ccp::mem {
@@ -40,6 +42,8 @@ struct ProtocolStats
     std::uint64_t silentUpgrades = 0; ///< MESI E->M (no transaction)
     std::uint64_t invalidationsSent = 0;
     std::uint64_t downgrades = 0;
+    /** Remote misses serviced out of another node's E/M copy. */
+    std::uint64_t interventions = 0;
     Cycles latency = 0;              ///< modelled access latency sum
 
     /** Online-forwarding counters (active when a hook is attached). */
@@ -123,6 +127,22 @@ class CoherenceController
 
     const ProtocolStats &stats() const { return stats_; }
     const CacheStats &cacheStats(NodeId node) const;
+
+    /**
+     * Distribution of readers killed per coherence store miss (the
+     * invalidated-set popcount; bucket i = misses that invalidated
+     * exactly i readers).
+     */
+    const Histogram &readersPerKill() const { return readersPerKill_; }
+
+    /**
+     * Export every protocol counter plus the readers-per-kill
+     * histogram into @p registry under "<prefix>." paths.  Counters
+     * add across calls (registry merge semantics), so exporting
+     * several machines accumulates suite-wide totals.
+     */
+    void exportStats(obs::StatsRegistry &registry,
+                     const std::string &prefix = "protocol") const;
     net::Torus2D &torus() { return torus_; }
     const net::Torus2D &torus() const { return torus_; }
 
@@ -178,6 +198,7 @@ class CoherenceController
     std::vector<NodeCache> caches_;
     std::vector<DirectorySlice> slices_;
     ProtocolStats stats_;
+    Histogram readersPerKill_;
 
     std::unordered_set<Addr> blocksTouched_;
     std::vector<std::unordered_set<Pc>> staticStores_;

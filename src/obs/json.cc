@@ -1,0 +1,482 @@
+#include "obs/json.hh"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace ccp::obs {
+
+Json::Json(int i)
+{
+    if (i >= 0) {
+        kind_ = Kind::UInt;
+        uint_ = static_cast<std::uint64_t>(i);
+    } else {
+        kind_ = Kind::Double;
+        double_ = i;
+    }
+}
+
+Json
+Json::array()
+{
+    Json j;
+    j.kind_ = Kind::Array;
+    return j;
+}
+
+Json
+Json::object()
+{
+    Json j;
+    j.kind_ = Kind::Object;
+    return j;
+}
+
+bool
+Json::asBool() const
+{
+    ccp_assert(kind_ == Kind::Bool, "JSON value is not a bool");
+    return bool_;
+}
+
+std::uint64_t
+Json::asUInt() const
+{
+    ccp_assert(kind_ == Kind::UInt, "JSON value is not an integer");
+    return uint_;
+}
+
+double
+Json::asDouble() const
+{
+    if (kind_ == Kind::UInt)
+        return static_cast<double>(uint_);
+    ccp_assert(kind_ == Kind::Double, "JSON value is not a number");
+    return double_;
+}
+
+const std::string &
+Json::asString() const
+{
+    ccp_assert(kind_ == Kind::String, "JSON value is not a string");
+    return string_;
+}
+
+Json &
+Json::append(Json v)
+{
+    if (kind_ == Kind::Null)
+        kind_ = Kind::Array;
+    ccp_assert(kind_ == Kind::Array, "append() on a non-array");
+    array_.push_back(std::move(v));
+    return array_.back();
+}
+
+std::size_t
+Json::size() const
+{
+    if (kind_ == Kind::Array)
+        return array_.size();
+    if (kind_ == Kind::Object)
+        return object_.size();
+    ccp_assert(kind_ == Kind::Null, "size() on a scalar");
+    return 0;
+}
+
+const Json &
+Json::at(std::size_t i) const
+{
+    ccp_assert(kind_ == Kind::Array, "at() on a non-array");
+    ccp_assert(i < array_.size(), "JSON array index out of range");
+    return array_[i];
+}
+
+Json &
+Json::operator[](const std::string &key)
+{
+    if (kind_ == Kind::Null)
+        kind_ = Kind::Object;
+    ccp_assert(kind_ == Kind::Object, "operator[] on a non-object");
+    for (auto &[k, v] : object_)
+        if (k == key)
+            return v;
+    object_.emplace_back(key, Json());
+    return object_.back().second;
+}
+
+const Json *
+Json::find(const std::string &key) const
+{
+    if (kind_ != Kind::Object)
+        return nullptr;
+    for (const auto &[k, v] : object_)
+        if (k == key)
+            return &v;
+    return nullptr;
+}
+
+const std::vector<std::pair<std::string, Json>> &
+Json::members() const
+{
+    ccp_assert(kind_ == Kind::Object, "members() on a non-object");
+    return object_;
+}
+
+namespace {
+
+void
+escapeTo(std::string &out, const std::string &s)
+{
+    out += '"';
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+}
+
+void
+numberTo(std::string &out, double d)
+{
+    if (!std::isfinite(d)) {
+        // JSON has no inf/nan; emit null like most serializers.
+        out += "null";
+        return;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", d);
+    // Trim to the shortest representation that round-trips.
+    for (int prec = 1; prec < 17; ++prec) {
+        char shorter[32];
+        std::snprintf(shorter, sizeof(shorter), "%.*g", prec, d);
+        if (std::strtod(shorter, nullptr) == d) {
+            std::memcpy(buf, shorter, sizeof(shorter));
+            break;
+        }
+    }
+    out += buf;
+}
+
+} // namespace
+
+void
+Json::dumpTo(std::string &out, int indent, int depth) const
+{
+    auto newline = [&](int d) {
+        if (indent <= 0)
+            return;
+        out += '\n';
+        out.append(static_cast<std::size_t>(indent) * d, ' ');
+    };
+
+    switch (kind_) {
+      case Kind::Null:
+        out += "null";
+        break;
+      case Kind::Bool:
+        out += bool_ ? "true" : "false";
+        break;
+      case Kind::UInt:
+        out += std::to_string(uint_);
+        break;
+      case Kind::Double:
+        numberTo(out, double_);
+        break;
+      case Kind::String:
+        escapeTo(out, string_);
+        break;
+      case Kind::Array:
+        out += '[';
+        for (std::size_t i = 0; i < array_.size(); ++i) {
+            if (i)
+                out += ',';
+            newline(depth + 1);
+            array_[i].dumpTo(out, indent, depth + 1);
+        }
+        if (!array_.empty())
+            newline(depth);
+        out += ']';
+        break;
+      case Kind::Object:
+        out += '{';
+        for (std::size_t i = 0; i < object_.size(); ++i) {
+            if (i)
+                out += ',';
+            newline(depth + 1);
+            escapeTo(out, object_[i].first);
+            out += indent > 0 ? ": " : ":";
+            object_[i].second.dumpTo(out, indent, depth + 1);
+        }
+        if (!object_.empty())
+            newline(depth);
+        out += '}';
+        break;
+    }
+}
+
+std::string
+Json::dump(int indent) const
+{
+    std::string out;
+    dumpTo(out, indent, 0);
+    return out;
+}
+
+namespace {
+
+/** Recursive-descent parser over a string view with a cursor. */
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : text_(text) {}
+
+    std::optional<Json>
+    document()
+    {
+        auto v = value();
+        if (!v)
+            return std::nullopt;
+        skipWs();
+        if (pos_ != text_.size())
+            return std::nullopt; // trailing garbage
+        return v;
+    }
+
+  private:
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    bool
+    consume(char c)
+    {
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        std::size_t len = std::strlen(word);
+        if (text_.compare(pos_, len, word) != 0)
+            return false;
+        pos_ += len;
+        return true;
+    }
+
+    std::optional<std::string>
+    string()
+    {
+        if (!consume('"'))
+            return std::nullopt;
+        std::string out;
+        while (pos_ < text_.size()) {
+            char c = text_[pos_++];
+            if (c == '"')
+                return out;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size())
+                return std::nullopt;
+            char esc = text_[pos_++];
+            switch (esc) {
+              case '"':
+              case '\\':
+              case '/':
+                out += esc;
+                break;
+              case 'n':
+                out += '\n';
+                break;
+              case 't':
+                out += '\t';
+                break;
+              case 'r':
+                out += '\r';
+                break;
+              case 'b':
+                out += '\b';
+                break;
+              case 'f':
+                out += '\f';
+                break;
+              case 'u': {
+                if (pos_ + 4 > text_.size())
+                    return std::nullopt;
+                unsigned code = 0;
+                auto [p, ec] = std::from_chars(
+                    text_.data() + pos_, text_.data() + pos_ + 4, code,
+                    16);
+                if (ec != std::errc() || p != text_.data() + pos_ + 4)
+                    return std::nullopt;
+                pos_ += 4;
+                // Only BMP code points below 0x80 are produced by our
+                // own dumps; encode the rest as UTF-8.
+                if (code < 0x80) {
+                    out += static_cast<char>(code);
+                } else if (code < 0x800) {
+                    out += static_cast<char>(0xc0 | (code >> 6));
+                    out += static_cast<char>(0x80 | (code & 0x3f));
+                } else {
+                    out += static_cast<char>(0xe0 | (code >> 12));
+                    out += static_cast<char>(0x80 |
+                                             ((code >> 6) & 0x3f));
+                    out += static_cast<char>(0x80 | (code & 0x3f));
+                }
+                break;
+              }
+              default:
+                return std::nullopt;
+            }
+        }
+        return std::nullopt; // unterminated
+    }
+
+    std::optional<Json>
+    number()
+    {
+        std::size_t start = pos_;
+        if (pos_ < text_.size() && text_[pos_] == '-')
+            ++pos_;
+        bool integral = true;
+        while (pos_ < text_.size()) {
+            char c = text_[pos_];
+            if (std::isdigit(static_cast<unsigned char>(c))) {
+                ++pos_;
+            } else if (c == '.' || c == 'e' || c == 'E' || c == '+' ||
+                       c == '-') {
+                integral = false;
+                ++pos_;
+            } else {
+                break;
+            }
+        }
+        if (pos_ == start)
+            return std::nullopt;
+        std::string tok = text_.substr(start, pos_ - start);
+        if (integral && tok[0] != '-') {
+            std::uint64_t u = 0;
+            auto [p, ec] = std::from_chars(tok.data(),
+                                           tok.data() + tok.size(), u);
+            if (ec == std::errc() && p == tok.data() + tok.size())
+                return Json(u);
+        }
+        char *end = nullptr;
+        double d = std::strtod(tok.c_str(), &end);
+        if (end != tok.c_str() + tok.size())
+            return std::nullopt;
+        return Json(d);
+    }
+
+    std::optional<Json>
+    value()
+    {
+        skipWs();
+        if (pos_ >= text_.size())
+            return std::nullopt;
+        char c = text_[pos_];
+        if (c == '{') {
+            ++pos_;
+            Json obj = Json::object();
+            skipWs();
+            if (consume('}'))
+                return obj;
+            while (true) {
+                auto key = string();
+                if (!key || !consume(':'))
+                    return std::nullopt;
+                auto v = value();
+                if (!v)
+                    return std::nullopt;
+                obj[*key] = std::move(*v);
+                if (consume(','))
+                    continue;
+                if (consume('}'))
+                    return obj;
+                return std::nullopt;
+            }
+        }
+        if (c == '[') {
+            ++pos_;
+            Json arr = Json::array();
+            skipWs();
+            if (consume(']'))
+                return arr;
+            while (true) {
+                auto v = value();
+                if (!v)
+                    return std::nullopt;
+                arr.append(std::move(*v));
+                if (consume(','))
+                    continue;
+                if (consume(']'))
+                    return arr;
+                return std::nullopt;
+            }
+        }
+        if (c == '"') {
+            auto s = string();
+            if (!s)
+                return std::nullopt;
+            return Json(std::move(*s));
+        }
+        if (literal("true"))
+            return Json(true);
+        if (literal("false"))
+            return Json(false);
+        if (literal("null"))
+            return Json();
+        return number();
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+std::optional<Json>
+Json::parse(const std::string &text)
+{
+    return Parser(text).document();
+}
+
+} // namespace ccp::obs

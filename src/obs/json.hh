@@ -1,0 +1,103 @@
+/**
+ * @file
+ * A minimal JSON document model for the observability layer: enough to
+ * serialize stats registries and run reports, and to parse them back
+ * in tests (round-trip validation) and tooling.  Deliberately tiny —
+ * no external dependency, no streaming, objects preserve insertion
+ * order so dumps are stable and diffable.
+ */
+
+#ifndef CCP_OBS_JSON_HH
+#define CCP_OBS_JSON_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ccp::obs {
+
+/** One JSON value: null, bool, number, string, array, or object. */
+class Json
+{
+  public:
+    enum class Kind : std::uint8_t
+    {
+        Null,
+        Bool,
+        /** Unsigned integer, printed exactly (counters > 2^53). */
+        UInt,
+        /** Double-precision number. */
+        Double,
+        String,
+        Array,
+        Object,
+    };
+
+    Json() = default;
+    Json(bool b) : kind_(Kind::Bool), bool_(b) {}
+    Json(std::uint64_t u) : kind_(Kind::UInt), uint_(u) {}
+    Json(int i);
+    Json(unsigned u) : Json(std::uint64_t(u)) {}
+    Json(double d) : kind_(Kind::Double), double_(d) {}
+    Json(const char *s) : kind_(Kind::String), string_(s) {}
+    Json(std::string s) : kind_(Kind::String), string_(std::move(s)) {}
+
+    static Json array();
+    static Json object();
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::Null; }
+    bool isNumber() const
+    {
+        return kind_ == Kind::UInt || kind_ == Kind::Double;
+    }
+    bool isObject() const { return kind_ == Kind::Object; }
+    bool isArray() const { return kind_ == Kind::Array; }
+
+    /** Value accessors; panic on kind mismatch. */
+    bool asBool() const;
+    std::uint64_t asUInt() const;
+    /** Any number as double (UInt converts). */
+    double asDouble() const;
+    const std::string &asString() const;
+
+    /** Array access.  append() coerces Null to Array. */
+    Json &append(Json v);
+    std::size_t size() const;
+    const Json &at(std::size_t i) const;
+
+    /**
+     * Object access.  operator[] coerces Null to Object and inserts a
+     * Null member on first reference, preserving insertion order.
+     */
+    Json &operator[](const std::string &key);
+    const Json *find(const std::string &key) const;
+    bool contains(const std::string &key) const
+    {
+        return find(key) != nullptr;
+    }
+    const std::vector<std::pair<std::string, Json>> &members() const;
+
+    /** Serialize; @p indent > 0 pretty-prints with that step. */
+    std::string dump(int indent = 0) const;
+
+    /** Parse a document; nullopt on malformed input. */
+    static std::optional<Json> parse(const std::string &text);
+
+  private:
+    void dumpTo(std::string &out, int indent, int depth) const;
+
+    Kind kind_ = Kind::Null;
+    bool bool_ = false;
+    std::uint64_t uint_ = 0;
+    double double_ = 0.0;
+    std::string string_;
+    std::vector<Json> array_;
+    std::vector<std::pair<std::string, Json>> object_;
+};
+
+} // namespace ccp::obs
+
+#endif // CCP_OBS_JSON_HH

@@ -1,0 +1,245 @@
+#include "obs/registry.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace ccp::obs {
+
+namespace {
+
+const char *
+kindName(std::size_t index)
+{
+    switch (index) {
+      case 0:
+        return "counter";
+      case 1:
+        return "scalar";
+      case 2:
+        return "summary";
+      case 3:
+        return "histogram";
+    }
+    return "?";
+}
+
+void
+checkPath(const std::string &path)
+{
+    ccp_assert(!path.empty(), "empty stat path");
+    ccp_assert(path.front() != '.' && path.back() != '.',
+               "stat path '", path, "' has a leading/trailing dot");
+    ccp_assert(path.find("..") == std::string::npos,
+               "stat path '", path, "' has an empty segment");
+    for (char c : path) {
+        bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                  c == '_' || c == '.';
+        ccp_assert(ok, "stat path '", path,
+                   "' has illegal character '", c,
+                   "' (want [a-z0-9_.])");
+    }
+}
+
+} // namespace
+
+StatsRegistry::Stat &
+StatsRegistry::lookup(const std::string &path, Stat init,
+                      const char *kind_name)
+{
+    auto it = stats_.find(path);
+    if (it != stats_.end()) {
+        ccp_assert(it->second.index() == init.index(), "stat '", path,
+                   "' is a ", kindName(it->second.index()),
+                   ", accessed as a ", kind_name);
+        return it->second;
+    }
+
+    checkPath(path);
+    // A path may not be both a leaf and a group: reject "a.b" when
+    // "a.b.c" exists and vice versa.
+    auto below = stats_.lower_bound(path + ".");
+    ccp_assert(below == stats_.end() ||
+                   below->first.compare(0, path.size() + 1,
+                                        path + ".") != 0,
+               "stat '", path, "' would shadow group member '",
+               below == stats_.end() ? "" : below->first, "'");
+    for (std::size_t dot = path.find('.'); dot != std::string::npos;
+         dot = path.find('.', dot + 1)) {
+        std::string prefix = path.substr(0, dot);
+        ccp_assert(stats_.find(prefix) == stats_.end(), "stat '", path,
+                   "' nests under existing leaf '", prefix, "'");
+    }
+
+    return stats_.emplace(path, std::move(init)).first->second;
+}
+
+StatsRegistry::Counter &
+StatsRegistry::counter(const std::string &path)
+{
+    return std::get<Counter>(lookup(path, Counter{}, "counter"));
+}
+
+double &
+StatsRegistry::scalar(const std::string &path)
+{
+    return std::get<double>(lookup(path, 0.0, "scalar"));
+}
+
+Summary &
+StatsRegistry::summary(const std::string &path)
+{
+    return std::get<Summary>(lookup(path, Summary{}, "summary"));
+}
+
+Histogram &
+StatsRegistry::histogram(const std::string &path, std::size_t buckets)
+{
+    Histogram &h = std::get<Histogram>(
+        lookup(path, Histogram(buckets), "histogram"));
+    ccp_assert(h.size() == buckets, "histogram '", path,
+               "' re-declared with ", buckets, " buckets (has ",
+               h.size(), ")");
+    return h;
+}
+
+bool
+StatsRegistry::has(const std::string &path) const
+{
+    return stats_.find(path) != stats_.end();
+}
+
+const StatsRegistry::Counter *
+StatsRegistry::findCounter(const std::string &path) const
+{
+    auto it = stats_.find(path);
+    return it == stats_.end() ? nullptr
+                              : std::get_if<Counter>(&it->second);
+}
+
+const Summary *
+StatsRegistry::findSummary(const std::string &path) const
+{
+    auto it = stats_.find(path);
+    return it == stats_.end() ? nullptr
+                              : std::get_if<Summary>(&it->second);
+}
+
+const Histogram *
+StatsRegistry::findHistogram(const std::string &path) const
+{
+    auto it = stats_.find(path);
+    return it == stats_.end() ? nullptr
+                              : std::get_if<Histogram>(&it->second);
+}
+
+std::vector<std::string>
+StatsRegistry::paths() const
+{
+    std::vector<std::string> out;
+    out.reserve(stats_.size());
+    for (const auto &[path, stat] : stats_)
+        out.push_back(path);
+    return out;
+}
+
+void
+StatsRegistry::merge(const StatsRegistry &other)
+{
+    for (const auto &[path, stat] : other.stats_) {
+        if (const auto *c = std::get_if<Counter>(&stat)) {
+            counter(path) += c->value;
+        } else if (const auto *d = std::get_if<double>(&stat)) {
+            scalar(path) += *d;
+        } else if (const auto *s = std::get_if<Summary>(&stat)) {
+            summary(path).merge(*s);
+        } else if (const auto *h = std::get_if<Histogram>(&stat)) {
+            histogram(path, h->size()).merge(*h);
+        }
+    }
+}
+
+Json
+summaryJson(const Summary &s)
+{
+    Json j = Json::object();
+    j["count"] = Json(s.count());
+    j["total"] = Json(s.sum());
+    j["mean"] = Json(s.mean());
+    j["min"] = Json(s.min());
+    j["max"] = Json(s.max());
+    j["stddev"] = Json(s.stddev());
+    return j;
+}
+
+Json
+histogramJson(const Histogram &h)
+{
+    Json j = Json::object();
+    Json &buckets = j["buckets"];
+    buckets = Json::array();
+    for (std::size_t i = 0; i < h.size(); ++i)
+        buckets.append(Json(h.bucket(i)));
+    j["overflow"] = Json(h.overflow());
+    j["total"] = Json(h.total());
+    j["mean"] = Json(h.mean());
+    return j;
+}
+
+Json
+StatsRegistry::toJson() const
+{
+    Json root = Json::object();
+    for (const auto &[path, stat] : stats_) {
+        // Walk the dotted path, creating nested objects.
+        Json *node = &root;
+        std::size_t begin = 0;
+        for (std::size_t dot = path.find('.'); dot != std::string::npos;
+             dot = path.find('.', begin)) {
+            node = &(*node)[path.substr(begin, dot - begin)];
+            begin = dot + 1;
+        }
+        Json &leaf = (*node)[path.substr(begin)];
+
+        if (const auto *c = std::get_if<Counter>(&stat))
+            leaf = Json(c->value);
+        else if (const auto *d = std::get_if<double>(&stat))
+            leaf = Json(*d);
+        else if (const auto *s = std::get_if<Summary>(&stat))
+            leaf = summaryJson(*s);
+        else if (const auto *h = std::get_if<Histogram>(&stat))
+            leaf = histogramJson(*h);
+    }
+    return root;
+}
+
+std::string
+StatsRegistry::dumpText() const
+{
+    std::ostringstream os;
+    for (const auto &[path, stat] : stats_) {
+        os << path << " = ";
+        if (const auto *c = std::get_if<Counter>(&stat)) {
+            os << c->value;
+        } else if (const auto *d = std::get_if<double>(&stat)) {
+            os << *d;
+        } else if (const auto *s = std::get_if<Summary>(&stat)) {
+            os << "count " << s->count() << " mean " << s->mean()
+               << " min " << s->min() << " max " << s->max()
+               << " stddev " << s->stddev();
+        } else if (const auto *h = std::get_if<Histogram>(&stat)) {
+            os << h->toString();
+        }
+        os << '\n';
+    }
+    return os.str();
+}
+
+StatsRegistry &
+StatsRegistry::root()
+{
+    static StatsRegistry instance;
+    return instance;
+}
+
+} // namespace ccp::obs

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * StatsRegistry: a gem5-style hierarchical statistics registry.
+ *
+ * Stats are named by dotted lowercase paths ("protocol.invalidations",
+ * "sweep.schemes_evaluated"); the dots define the grouping used by the
+ * JSON and human-text dumps.  Four stat kinds are supported:
+ *
+ *   counter()   — a monotonically growing uint64 (events, messages);
+ *   scalar()    — a settable double (configured sizes, final ratios);
+ *   summary()   — a ccp::Summary over samples (timings, occupancy);
+ *   histogram() — a ccp::Histogram (readers-per-invalidation, ...).
+ *
+ * The first access under a path creates the stat and fixes its kind;
+ * later accesses must agree (panic otherwise).  A path may not be both
+ * a leaf and a group ("a.b" and "a.b.c" cannot coexist).  merge() adds
+ * another registry shard stat-by-stat — the primitive every future
+ * sharded/parallel sweep will use to combine worker results.
+ *
+ * The process-wide root() registry is where the long-lived layers
+ * (protocol, simulator, evaluator, sweep) account by default; tests
+ * and tools may build private registries.
+ */
+
+#ifndef CCP_OBS_REGISTRY_HH
+#define CCP_OBS_REGISTRY_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/stats.hh"
+#include "obs/json.hh"
+
+namespace ccp::obs {
+
+class StatsRegistry
+{
+  public:
+    /** A counter: wraps uint64 so kind stays distinct from scalar. */
+    struct Counter
+    {
+        std::uint64_t value = 0;
+
+        Counter &operator+=(std::uint64_t n)
+        {
+            value += n;
+            return *this;
+        }
+        Counter &operator++()
+        {
+            ++value;
+            return *this;
+        }
+    };
+
+    /** Get-or-create accessors (kind fixed on first use). */
+    Counter &counter(const std::string &path);
+    double &scalar(const std::string &path);
+    Summary &summary(const std::string &path);
+    Histogram &histogram(const std::string &path, std::size_t buckets);
+
+    bool has(const std::string &path) const;
+
+    /** Read-only lookups; nullptr if absent or of another kind. */
+    const Counter *findCounter(const std::string &path) const;
+    const Summary *findSummary(const std::string &path) const;
+    const Histogram *findHistogram(const std::string &path) const;
+    std::size_t size() const { return stats_.size(); }
+    bool empty() const { return stats_.empty(); }
+
+    /** All registered paths, sorted. */
+    std::vector<std::string> paths() const;
+
+    /**
+     * Fold another registry into this one: counters and scalars add,
+     * summaries and histograms merge.  Kinds must agree on shared
+     * paths; histograms must have equal bucket counts.
+     */
+    void merge(const StatsRegistry &other);
+
+    /** Drop every stat (used between runs and by tests). */
+    void clear() { stats_.clear(); }
+
+    /**
+     * Nested-object JSON dump.  Counters and scalars serialize as
+     * numbers; summaries as {count, mean, min, max, stddev, total};
+     * histograms as {buckets, overflow, total, mean}.
+     */
+    Json toJson() const;
+
+    /** One "path = value" line per stat, sorted, for logs. */
+    std::string dumpText() const;
+
+    /** The process-wide default registry. */
+    static StatsRegistry &root();
+
+  private:
+    using Stat = std::variant<Counter, double, Summary, Histogram>;
+
+    Stat &lookup(const std::string &path, Stat init,
+                 const char *kind_name);
+
+    /** Sorted by path: dumps group naturally. */
+    std::map<std::string, Stat> stats_;
+};
+
+/** Serialize one Summary in the registry's JSON shape. */
+Json summaryJson(const Summary &s);
+/** Serialize one Histogram in the registry's JSON shape. */
+Json histogramJson(const Histogram &h);
+
+} // namespace ccp::obs
+
+#endif // CCP_OBS_REGISTRY_HH

@@ -1,0 +1,53 @@
+#include "obs/report.hh"
+
+#include <fstream>
+
+namespace ccp::obs {
+
+RunReport::RunReport(std::string tool) : tool_(std::move(tool))
+{
+    doc_["schema_version"] = Json(schemaVersion);
+    doc_["tool"] = Json(tool_);
+}
+
+void
+RunReport::addRegistry(const StatsRegistry &registry)
+{
+    section("stats") = registry.toJson();
+
+    constexpr const char *suffix = "_seconds";
+    constexpr std::size_t suffix_len = 8;
+    Json &timings = section("timings");
+    for (const auto &path : registry.paths()) {
+        if (path.size() < suffix_len ||
+            path.compare(path.size() - suffix_len, suffix_len,
+                         suffix) != 0)
+            continue;
+        if (const Summary *s = registry.findSummary(path))
+            timings[path] = summaryJson(*s);
+    }
+}
+
+void
+RunReport::setWallSeconds(double seconds)
+{
+    section("timings")["wall_seconds"] = Json(seconds);
+}
+
+std::string
+RunReport::toString(int indent) const
+{
+    return doc_.dump(indent) + "\n";
+}
+
+bool
+RunReport::writeFile(const std::string &path) const
+{
+    std::ofstream os(path);
+    if (!os)
+        return false;
+    os << toString();
+    return bool(os);
+}
+
+} // namespace ccp::obs

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * RunReport: the machine-readable record of one tool invocation.
+ *
+ * A report is a JSON document with a small fixed envelope plus
+ * caller-defined sections:
+ *
+ *   {
+ *     "schema_version": 1,
+ *     "tool": "table7_prior_schemes",
+ *     "config": { ... },        // machine + workload knobs
+ *     "suite": [ ... ],         // per-trace metadata
+ *     "results": { ... },       // scheme specs + screening metrics
+ *     "stats": { ... },         // StatsRegistry snapshot
+ *     "timings": { ... }        // per-phase summaries + wall clock
+ *   }
+ *
+ * The envelope keys are reserved by RunReport itself; the sim /
+ * predict / sweep layers and the benches fill the sections they know
+ * about.  See docs/OBSERVABILITY.md for the full schema.
+ */
+
+#ifndef CCP_OBS_REPORT_HH
+#define CCP_OBS_REPORT_HH
+
+#include <string>
+
+#include "obs/json.hh"
+#include "obs/registry.hh"
+
+namespace ccp::obs {
+
+class RunReport
+{
+  public:
+    /** Current value of the "schema_version" field. */
+    static constexpr std::uint64_t schemaVersion = 1;
+
+    explicit RunReport(std::string tool);
+
+    const std::string &tool() const { return tool_; }
+
+    /** The whole document (already carrying the envelope fields). */
+    Json &doc() { return doc_; }
+    const Json &doc() const { return doc_; }
+
+    /** Get-or-create a top-level object section. */
+    Json &section(const std::string &name) { return doc_[name]; }
+
+    /**
+     * Snapshot @p registry into the "stats" section, and copy every
+     * summary whose path ends in "_seconds" into "timings" (so phase
+     * timings with mean/stddev appear in one predictable place).
+     */
+    void addRegistry(const StatsRegistry &registry);
+
+    /** Record total wall time under "timings.wall_seconds". */
+    void setWallSeconds(double seconds);
+
+    std::string toString(int indent = 2) const;
+
+    /** Write the document to @p path.  @return false on I/O error. */
+    bool writeFile(const std::string &path) const;
+
+  private:
+    std::string tool_;
+    Json doc_;
+};
+
+} // namespace ccp::obs
+
+#endif // CCP_OBS_REPORT_HH

@@ -1,0 +1,76 @@
+#include "obs/timer.hh"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace ccp::obs {
+
+std::string
+formatDuration(double seconds)
+{
+    char buf[48];
+    if (seconds < 0)
+        seconds = 0;
+    if (seconds < 60.0) {
+        std::snprintf(buf, sizeof(buf), "%.1fs", seconds);
+    } else if (seconds < 3600.0) {
+        unsigned m = static_cast<unsigned>(seconds) / 60;
+        unsigned s = static_cast<unsigned>(seconds) % 60;
+        std::snprintf(buf, sizeof(buf), "%um%02us", m, s);
+    } else {
+        unsigned h = static_cast<unsigned>(seconds) / 3600;
+        unsigned m = (static_cast<unsigned>(seconds) % 3600) / 60;
+        std::snprintf(buf, sizeof(buf), "%uh%02um", h, m);
+    }
+    return buf;
+}
+
+ProgressReporter::ProgressReporter(std::string label,
+                                   double minIntervalSec,
+                                   unsigned minPctStep)
+    : label_(std::move(label)), minIntervalSec_(minIntervalSec),
+      minPctStep_(minPctStep)
+{
+}
+
+void
+ProgressReporter::operator()(const Progress &p)
+{
+    if (logLevel() < LogLevel::Info)
+        return;
+
+    bool finished = p.total > 0 && p.done >= p.total;
+    unsigned pct =
+        p.total ? static_cast<unsigned>(p.done * 100 / p.total) : 0;
+
+    // Epoch gating: enough wall time AND enough percent movement
+    // since the last line (so fast sweeps print every minPctStep_ and
+    // slow ones at most every interval).
+    if (!finished) {
+        if (lastPrintSec_ >= 0.0 &&
+            p.elapsedSec - lastPrintSec_ < minIntervalSec_)
+            return;
+        if (pct < lastPct_ + minPctStep_)
+            return;
+    }
+    lastPrintSec_ = p.elapsedSec;
+    lastPct_ = pct;
+
+    if (finished) {
+        std::fprintf(stderr, "[%s] %zu/%zu (100%%) in %s (%.1f/s)\n",
+                     label_.c_str(), p.done, p.total,
+                     formatDuration(p.elapsedSec).c_str(), p.perSec);
+    } else if (p.perSec > 0.0) {
+        std::fprintf(stderr,
+                     "[%s] %zu/%zu (%u%%) %.1f/s, ETA %s\n",
+                     label_.c_str(), p.done, p.total, pct, p.perSec,
+                     formatDuration(p.etaSec).c_str());
+    } else {
+        std::fprintf(stderr, "[%s] %zu/%zu (%u%%)\n", label_.c_str(),
+                     p.done, p.total, pct);
+    }
+}
+
+} // namespace ccp::obs

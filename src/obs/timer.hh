@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Wall-clock instrumentation: a monotonic Stopwatch, an RAII
+ * ScopedTimer that feeds a Summary (directly or through a registry
+ * path), and the epoch-based progress machinery the sweeps use to
+ * report rate and ETA instead of a bare (done, total) pair.
+ */
+
+#ifndef CCP_OBS_TIMER_HH
+#define CCP_OBS_TIMER_HH
+
+#include <chrono>
+#include <cstddef>
+#include <functional>
+#include <string>
+
+#include "common/stats.hh"
+#include "obs/registry.hh"
+
+namespace ccp::obs {
+
+/** Monotonic elapsed-seconds clock. */
+class Stopwatch
+{
+  public:
+    Stopwatch() : start_(Clock::now()) {}
+
+    void reset() { start_ = Clock::now(); }
+
+    double
+    elapsedSec() const
+    {
+        return std::chrono::duration<double>(Clock::now() - start_)
+            .count();
+    }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point start_;
+};
+
+/**
+ * RAII phase timer: records elapsed seconds into a Summary when it
+ * goes out of scope, so every instrumented phase accumulates count,
+ * mean and jitter (stddev) for free.
+ */
+class ScopedTimer
+{
+  public:
+    explicit ScopedTimer(Summary &sink) : sink_(&sink) {}
+
+    /** Record into @p registry's summary at @p path. */
+    ScopedTimer(StatsRegistry &registry, const std::string &path)
+        : sink_(&registry.summary(path))
+    {
+    }
+
+    ScopedTimer(const ScopedTimer &) = delete;
+    ScopedTimer &operator=(const ScopedTimer &) = delete;
+
+    ~ScopedTimer()
+    {
+        if (sink_)
+            sink_->add(watch_.elapsedSec());
+    }
+
+    /** Record now and disarm (for early phase ends). */
+    double
+    stop()
+    {
+        double sec = watch_.elapsedSec();
+        if (sink_) {
+            sink_->add(sec);
+            sink_ = nullptr;
+        }
+        return sec;
+    }
+
+    double elapsedSec() const { return watch_.elapsedSec(); }
+
+  private:
+    Summary *sink_;
+    Stopwatch watch_;
+};
+
+/** One progress observation: completion plus derived rate and ETA. */
+struct Progress
+{
+    std::size_t done = 0;
+    std::size_t total = 0;
+    double elapsedSec = 0.0;
+    /** Items per second since the meter started (0 until measurable). */
+    double perSec = 0.0;
+    /** Estimated seconds remaining (0 until the rate is known). */
+    double etaSec = 0.0;
+};
+
+/** Progress sink used by long-running loops (sweeps, generation). */
+using ProgressFn = std::function<void(const Progress &)>;
+
+/** Derives rate and ETA from a monotonically advancing done count. */
+class ProgressMeter
+{
+  public:
+    explicit ProgressMeter(std::size_t total) : total_(total) {}
+
+    /** Observe completion of @p done items out of the total. */
+    Progress
+    tick(std::size_t done) const
+    {
+        Progress p;
+        p.done = done;
+        p.total = total_;
+        p.elapsedSec = watch_.elapsedSec();
+        if (done > 0 && p.elapsedSec > 0.0) {
+            p.perSec = static_cast<double>(done) / p.elapsedSec;
+            if (total_ > done)
+                p.etaSec =
+                    static_cast<double>(total_ - done) / p.perSec;
+        }
+        return p;
+    }
+
+  private:
+    std::size_t total_;
+    Stopwatch watch_;
+};
+
+/**
+ * A throttled ProgressFn: prints "label: done/total (pct%) rate/s,
+ * ETA" to stderr at most once per epoch (a minimum wall interval or
+ * percent step, whichever allows), and always on completion.  Silent
+ * when the log level is below Info (CCP_LOG=quiet/warn).
+ */
+class ProgressReporter
+{
+  public:
+    explicit ProgressReporter(std::string label,
+                              double minIntervalSec = 1.0,
+                              unsigned minPctStep = 10);
+
+    void operator()(const Progress &p);
+
+  private:
+    std::string label_;
+    double minIntervalSec_;
+    unsigned minPctStep_;
+    double lastPrintSec_ = -1.0;
+    unsigned lastPct_ = 0;
+};
+
+/** Render seconds as "1h02m", "3m20s", "12.4s" for progress lines. */
+std::string formatDuration(double seconds);
+
+} // namespace ccp::obs
+
+#endif // CCP_OBS_TIMER_HH

@@ -77,4 +77,22 @@ PredictorTable::clear()
     std::fill(state_.begin(), state_.end(), 0);
 }
 
+double
+PredictorTable::occupancy() const
+{
+    if (entries_ == 0)
+        return 0.0;
+    std::uint64_t used = 0;
+    for (std::uint64_t e = 0; e < entries_; ++e) {
+        const std::uint64_t *words = state_.data() + e * entryWords_;
+        for (std::size_t w = 0; w < entryWords_; ++w) {
+            if (words[w]) {
+                ++used;
+                break;
+            }
+        }
+    }
+    return static_cast<double>(used) / static_cast<double>(entries_);
+}
+
 } // namespace ccp::predict

@@ -64,6 +64,14 @@ class PredictorTable
     /** Reset all entries to the empty-history state. */
     void clear();
 
+    /**
+     * Fraction of entries holding non-empty history (any nonzero
+     * state word).  An aliasing-quality/diagnostic signal: a sweep
+     * whose tables stay near-empty is paying for index bits it never
+     * exercises.
+     */
+    double occupancy() const;
+
   private:
     std::uint64_t *entryState(NodeId pid, Pc pc, NodeId dir, Addr block);
 

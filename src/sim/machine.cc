@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "obs/timer.hh"
 
 namespace ccp::sim {
 
@@ -18,6 +19,10 @@ Machine::runPhase(PhaseOps &ops)
 {
     ccp_assert(ops.size() == config_.nNodes,
                "phase op vectors must cover every node");
+
+    obs::ScopedTimer phase_timer(phaseSeconds_);
+    for (const auto &vec : ops)
+        opsExecuted_ += vec.size();
 
     // Cursor into each node's op vector, plus the list of nodes with
     // work remaining.
@@ -54,10 +59,23 @@ Machine::runPhase(PhaseOps &ops)
         vec.clear();
 }
 
+void
+Machine::exportStats(obs::StatsRegistry &registry) const
+{
+    ctl_.exportStats(registry);
+    registry.counter("sim.phases") += phaseSeconds_.count();
+    registry.counter("sim.ops") += opsExecuted_;
+    registry.summary("sim.phase_seconds").merge(phaseSeconds_);
+}
+
 trace::SharingTrace
 Machine::finish()
 {
     ctl_.finalizeTrace();
+    exportStats(obs::StatsRegistry::root());
+    ccp_debug("machine '", trace_.name(), "' finished: ", opsExecuted_,
+              " ops, ", trace_.storeMisses(), " store misses, ",
+              phaseSeconds_.count(), " phases");
     return std::move(trace_);
 }
 

@@ -19,8 +19,10 @@
 #include <vector>
 
 #include "common/rng.hh"
+#include "common/stats.hh"
 #include "common/types.hh"
 #include "mem/protocol.hh"
+#include "obs/registry.hh"
 #include "trace/trace.hh"
 
 namespace ccp::sim {
@@ -70,11 +72,20 @@ class Machine
     void setMaxBurst(unsigned burst) { maxBurst_ = burst; }
 
     /**
-     * Finish the run: fold run statistics into the trace metadata and
-     * move the finalized trace out.  The machine must not be used
-     * afterwards.
+     * Finish the run: fold run statistics into the trace metadata,
+     * export the run's counters and phase timings into the root stats
+     * registry (under "protocol." and "sim."), and move the finalized
+     * trace out.  The machine must not be used afterwards.
      */
     trace::SharingTrace finish();
+
+    /**
+     * Export this machine's instrumentation into @p registry:
+     * "protocol.*" counters plus the readers-per-kill histogram, and
+     * "sim.phases" / "sim.ops" / "sim.phase_seconds" (a Summary, so
+     * per-phase wall time reports mean and jitter).
+     */
+    void exportStats(obs::StatsRegistry &registry) const;
 
   private:
     mem::MachineConfig config_;
@@ -82,6 +93,8 @@ class Machine
     mem::CoherenceController ctl_;
     Rng rng_;
     unsigned maxBurst_ = 8;
+    Summary phaseSeconds_;
+    std::uint64_t opsExecuted_ = 0;
 };
 
 } // namespace ccp::sim

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/registry.hh"
+
 namespace ccp::sweep {
 
 using predict::SchemeSpec;
@@ -11,21 +13,27 @@ using predict::UpdateMode;
 std::vector<RankedScheme>
 rankSchemes(const std::vector<trace::SharingTrace> &traces,
             const std::vector<SchemeSpec> &schemes, UpdateMode mode,
-            RankBy by, std::size_t n,
-            const std::function<void(std::size_t, std::size_t)>
-                &progress)
+            RankBy by, std::size_t n, const obs::ProgressFn &progress)
 {
     std::vector<RankedScheme> ranked;
     ranked.reserve(schemes.size());
 
+    auto &reg = obs::StatsRegistry::root();
+    obs::ProgressMeter meter(schemes.size());
     std::size_t done = 0;
     for (const SchemeSpec &scheme : schemes) {
-        SuiteResult res = evaluateSuite(traces, scheme, mode);
+        SuiteResult res;
+        {
+            obs::ScopedTimer timer(reg, "sweep.scheme_eval_seconds");
+            res = evaluateSuite(traces, scheme, mode);
+        }
+        ++reg.counter("sweep.schemes_evaluated");
         double score = by == RankBy::Pvp ? res.avgPvp()
                                          : res.avgSensitivity();
         ranked.push_back({std::move(res), score});
+        ++done;
         if (progress)
-            progress(++done, schemes.size());
+            progress(meter.tick(done));
     }
 
     auto better = [&](const RankedScheme &a, const RankedScheme &b) {
@@ -57,8 +65,13 @@ evaluateSchemes(const std::vector<trace::SharingTrace> &traces,
 {
     std::vector<SuiteResult> out;
     out.reserve(schemes.size());
-    for (const SchemeSpec &scheme : schemes)
+    auto &reg = obs::StatsRegistry::root();
+    for (const SchemeSpec &scheme : schemes) {
+        obs::ScopedTimer timer(reg, "sweep.scheme_eval_seconds");
         out.push_back(evaluateSuite(traces, scheme, mode));
+        timer.stop();
+        ++reg.counter("sweep.schemes_evaluated");
+    }
     return out;
 }
 

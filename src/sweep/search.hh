@@ -8,9 +8,9 @@
 #ifndef CCP_SWEEP_SEARCH_HH
 #define CCP_SWEEP_SEARCH_HH
 
-#include <functional>
 #include <vector>
 
+#include "obs/timer.hh"
 #include "predict/evaluator.hh"
 #include "trace/trace.hh"
 
@@ -35,15 +35,20 @@ struct RankedScheme
  * given criterion (ties broken toward smaller tables, then toward the
  * other metric).
  *
- * @param progress Optional callback invoked per scheme evaluated
- *                 (done, total) — the full sweep takes a while.
+ * Each scheme's evaluation time lands in the root stats registry
+ * ("sweep.scheme_eval_seconds" summary, "sweep.schemes_evaluated"
+ * counter), so sweep throughput is visible in run reports.
+ *
+ * @param progress Optional sink invoked per scheme evaluated with an
+ *                 obs::Progress carrying done/total plus derived
+ *                 rate and ETA — pass an obs::ProgressReporter (via
+ *                 a lambda) for throttled human-readable output.
  */
 std::vector<RankedScheme>
 rankSchemes(const std::vector<trace::SharingTrace> &traces,
             const std::vector<predict::SchemeSpec> &schemes,
             predict::UpdateMode mode, RankBy by, std::size_t n,
-            const std::function<void(std::size_t, std::size_t)>
-                &progress = {});
+            const obs::ProgressFn &progress = {});
 
 /** Evaluate one named list of schemes (no ranking), e.g. Table 7. */
 std::vector<predict::SuiteResult>

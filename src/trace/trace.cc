@@ -12,7 +12,9 @@ namespace ccp::trace {
 namespace {
 
 constexpr std::uint32_t traceMagic = 0x43435054; // "CCPT"
-constexpr std::uint32_t traceVersion = 2;
+// v3: TraceMeta grew the generation-time protocol counters.  Loading
+// rejects other versions, so stale caches regenerate transparently.
+constexpr std::uint32_t traceVersion = 3;
 
 template <typename T>
 void
@@ -71,6 +73,15 @@ SharingTrace::save(std::ostream &os) const
     put(os, meta_.maxPredictedStoresPerNode);
     put(os, meta_.blocksTouched);
     put(os, meta_.totalOps);
+    put(os, meta_.reads);
+    put(os, meta_.writes);
+    put(os, meta_.readMisses);
+    put(os, meta_.writeMisses);
+    put(os, meta_.writeFaults);
+    put(os, meta_.silentUpgrades);
+    put(os, meta_.invalidationsSent);
+    put(os, meta_.downgrades);
+    put(os, meta_.interventions);
 
     std::uint64_t count = events_.size();
     put(os, count);
@@ -112,6 +123,12 @@ SharingTrace::load(std::istream &is)
     if (!get(is, meta_.maxStaticStoresPerNode) ||
         !get(is, meta_.maxPredictedStoresPerNode) ||
         !get(is, meta_.blocksTouched) || !get(is, meta_.totalOps))
+        return false;
+    if (!get(is, meta_.reads) || !get(is, meta_.writes) ||
+        !get(is, meta_.readMisses) || !get(is, meta_.writeMisses) ||
+        !get(is, meta_.writeFaults) || !get(is, meta_.silentUpgrades) ||
+        !get(is, meta_.invalidationsSent) ||
+        !get(is, meta_.downgrades) || !get(is, meta_.interventions))
         return false;
 
     std::uint64_t count = 0;

@@ -31,6 +31,22 @@ struct TraceMeta
     std::uint64_t blocksTouched = 0;
     /** Total memory operations executed through the machine. */
     std::uint64_t totalOps = 0;
+
+    /**
+     * Protocol counters captured at generation time (trace format v3)
+     * so cached traces keep the behaviour of the run that produced
+     * them — run reports include these even when no simulation
+     * happened in-process.
+     */
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t readMisses = 0;
+    std::uint64_t writeMisses = 0;
+    std::uint64_t writeFaults = 0;
+    std::uint64_t silentUpgrades = 0;
+    std::uint64_t invalidationsSent = 0;
+    std::uint64_t downgrades = 0;
+    std::uint64_t interventions = 0;
 };
 
 /**

@@ -159,8 +159,9 @@ TEST(Distributed, RoutingIsolatesParts)
     EXPECT_EQ(dist.predict(3, 0, 0, 0).raw(), 0b1000u);
     // Other nodes' parts are untouched.
     for (NodeId pid = 0; pid < 16; ++pid) {
-        if (pid != 3)
+        if (pid != 3) {
             EXPECT_TRUE(dist.predict(pid, 0, 0, 0).empty());
+        }
     }
 }
 

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Tests for the log-level filter and the ccp_debug macro.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+
+namespace {
+
+using ccp::LogLevel;
+using ccp::logLevel;
+using ccp::parseLogLevel;
+using ccp::setLogLevel;
+
+/** Restore the ambient level after each test. */
+class Logging : public ::testing::Test
+{
+  protected:
+    void SetUp() override { saved_ = logLevel(); }
+    void TearDown() override { setLogLevel(saved_); }
+
+  private:
+    LogLevel saved_;
+};
+
+TEST_F(Logging, ParseAcceptsAllSpellings)
+{
+    struct Case
+    {
+        const char *text;
+        LogLevel level;
+    };
+    for (const Case &c : {Case{"quiet", LogLevel::Quiet},
+                          Case{"none", LogLevel::Quiet},
+                          Case{"warn", LogLevel::Warn},
+                          Case{"WARNING", LogLevel::Warn},
+                          Case{"info", LogLevel::Info},
+                          Case{"Debug", LogLevel::Debug}}) {
+        LogLevel out = LogLevel::Info;
+        EXPECT_TRUE(parseLogLevel(c.text, out)) << c.text;
+        EXPECT_EQ(out, c.level) << c.text;
+    }
+}
+
+TEST_F(Logging, ParseRejectsUnknownAndLeavesOutputAlone)
+{
+    LogLevel out = LogLevel::Warn;
+    EXPECT_FALSE(parseLogLevel("loud", out));
+    EXPECT_FALSE(parseLogLevel("", out));
+    EXPECT_EQ(out, LogLevel::Warn);
+}
+
+TEST_F(Logging, SetOverridesLevel)
+{
+    setLogLevel(LogLevel::Quiet);
+    EXPECT_EQ(logLevel(), LogLevel::Quiet);
+    setLogLevel(LogLevel::Debug);
+    EXPECT_EQ(logLevel(), LogLevel::Debug);
+}
+
+TEST_F(Logging, DebugMacroSkipsFormattingWhenDisabled)
+{
+    setLogLevel(LogLevel::Info);
+    int formatted = 0;
+    auto expensive = [&] {
+        ++formatted;
+        return "x";
+    };
+    ccp_debug("value ", expensive());
+    EXPECT_EQ(formatted, 0);
+
+    setLogLevel(LogLevel::Debug);
+    ccp_debug("value ", expensive());
+    EXPECT_EQ(formatted, 1);
+}
+
+TEST_F(Logging, WarnGoesToStderrAndRespectsLevel)
+{
+    setLogLevel(LogLevel::Warn);
+    testing::internal::CaptureStderr();
+    ccp_warn("suspicious");
+    EXPECT_NE(testing::internal::GetCapturedStderr().find("suspicious"),
+              std::string::npos);
+
+    setLogLevel(LogLevel::Quiet);
+    testing::internal::CaptureStderr();
+    ccp_warn("silenced");
+    EXPECT_EQ(testing::internal::GetCapturedStderr(), "");
+}
+
+TEST_F(Logging, InformRespectsLevel)
+{
+    setLogLevel(LogLevel::Info);
+    testing::internal::CaptureStdout();
+    ccp_inform("status");
+    EXPECT_NE(testing::internal::GetCapturedStdout().find("status"),
+              std::string::npos);
+
+    setLogLevel(LogLevel::Warn);
+    testing::internal::CaptureStdout();
+    ccp_inform("hidden");
+    EXPECT_EQ(testing::internal::GetCapturedStdout(), "");
+}
+
+TEST_F(Logging, DebugPrintsOnlyAtDebug)
+{
+    setLogLevel(LogLevel::Debug);
+    testing::internal::CaptureStderr();
+    ccp_debug("trace me");
+    EXPECT_NE(testing::internal::GetCapturedStderr().find("trace me"),
+              std::string::npos);
+}
+
+} // namespace

@@ -55,8 +55,9 @@ TEST(Space, CanonicalizesDepthOneInter)
 {
     SpaceSpec spec;
     for (const auto &s : enumerateSchemes(spec)) {
-        if (s.depth == 1)
+        if (s.depth == 1) {
             EXPECT_NE(s.kind, FunctionKind::Inter);
+        }
     }
 }
 
@@ -184,10 +185,11 @@ TEST(Search, ProgressCallbackCoversAllSchemes)
     };
     std::size_t calls = 0, last_total = 0;
     rankSchemes(suite, schemes, UpdateMode::Direct, RankBy::Pvp, 1,
-                [&](std::size_t done, std::size_t total) {
+                [&](const ccp::obs::Progress &p) {
                     ++calls;
-                    EXPECT_EQ(done, calls);
-                    last_total = total;
+                    EXPECT_EQ(p.done, calls);
+                    EXPECT_GE(p.elapsedSec, 0.0);
+                    last_total = p.total;
                 });
     EXPECT_EQ(calls, 3u);
     EXPECT_EQ(last_total, 3u);

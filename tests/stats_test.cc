@@ -60,6 +60,74 @@ TEST(Summary, MergeEmptyIsNoop)
     EXPECT_DOUBLE_EQ(a.max(), 7.0);
 }
 
+TEST(Summary, VarianceMatchesDefinition)
+{
+    Summary s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(x);
+    // Classic textbook set: mean 5, population variance 4.
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.var(), 4.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+}
+
+TEST(Summary, VarianceOfFewSamplesIsZero)
+{
+    Summary s;
+    EXPECT_EQ(s.var(), 0.0);
+    s.add(3.0);
+    EXPECT_EQ(s.var(), 0.0);
+    EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(Summary, VarianceIsNumericallyStable)
+{
+    // Naive sum-of-squares cancels catastrophically with a large
+    // offset; Welford must not.
+    Summary s;
+    const double offset = 1e9;
+    for (double x : {offset + 4.0, offset + 7.0, offset + 13.0,
+                     offset + 16.0})
+        s.add(x);
+    EXPECT_NEAR(s.var(), 22.5, 1e-6);
+}
+
+TEST(Summary, MergePreservesVariance)
+{
+    Summary a, b, all;
+    for (double x : {1.0, 2.0, 3.0, 4.0}) {
+        a.add(x);
+        all.add(x);
+    }
+    for (double x : {10.0, 20.0, 30.0}) {
+        b.add(x);
+        all.add(x);
+    }
+    a.merge(b);
+    EXPECT_DOUBLE_EQ(a.mean(), all.mean());
+    EXPECT_NEAR(a.var(), all.var(), 1e-9);
+
+    Summary empty;
+    empty.merge(all); // merge into empty must copy the moments
+    EXPECT_NEAR(empty.var(), all.var(), 1e-9);
+}
+
+TEST(Histogram, MergeAddsCounts)
+{
+    Histogram a(3), b(3);
+    a.add(0);
+    a.add(2);
+    b.add(2);
+    b.add(7); // overflow
+    a.merge(b);
+    EXPECT_EQ(a.bucket(0), 1u);
+    EXPECT_EQ(a.bucket(2), 2u);
+    EXPECT_EQ(a.overflow(), 1u);
+    EXPECT_EQ(a.total(), 4u);
+    // Mean folds in the merged sum (overflow clamped at size()).
+    EXPECT_DOUBLE_EQ(a.mean(), (0.0 + 2.0 + 2.0 + 3.0) / 4.0);
+}
+
 TEST(Histogram, CountsAndOverflow)
 {
     Histogram h(4);
