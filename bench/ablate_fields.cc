@@ -10,6 +10,7 @@
 #include "bench_util.hh"
 #include "predict/evaluator.hh"
 #include "sweep/name.hh"
+#include "sweep/search.hh"
 
 int
 main(int argc, char **argv)
@@ -22,24 +23,12 @@ main(int argc, char **argv)
     auto suite = loadOrGenerateSuite();
     ctx.addSuite(suite);
 
-    auto eval = [&](const predict::SchemeSpec &s,
-                    predict::UpdateMode m) {
-        return predict::evaluateSuite(suite, s, m);
-    };
-
     for (auto kind : {predict::FunctionKind::Inter,
                       predict::FunctionKind::Union}) {
         predict::SchemeSpec full;
         full.kind = kind;
         full.depth = 4;
         full.index = {true, 4, true, 4}; // pid+pc4+dir+add4
-        auto base = eval(full, predict::UpdateMode::Forwarded);
-
-        std::printf("Knockout from %s [forwarded]:\n",
-                    sweep::formatScheme(full).c_str());
-        Table t({"variant", "sens", "d_sens", "pvp", "d_pvp"});
-        t.addRow({"(full)", fmt(base.avgSensitivity(), 3), "-",
-                  fmt(base.avgPvp(), 3), "-"});
 
         struct Variant
         {
@@ -52,21 +41,38 @@ main(int argc, char **argv)
             {"-dir", {true, 4, false, 4}},
             {"-addr", {true, 4, true, 0}},
         };
+
+        // One sharded batch per kind: full, the four field knockouts,
+        // and the depth knockout ("depth is paramount") together.
+        std::vector<predict::SchemeSpec> specs = {full};
         for (const auto &v : variants) {
             predict::SchemeSpec s = full;
             s.index = v.index;
-            auto res = eval(s, predict::UpdateMode::Forwarded);
-            t.addRow({v.label, fmt(res.avgSensitivity(), 3),
+            specs.push_back(s);
+        }
+        predict::SchemeSpec shallow = full;
+        shallow.depth = 1;
+        specs.push_back(shallow);
+
+        auto results = sweep::evaluateSchemes(
+            suite, specs, predict::UpdateMode::Forwarded,
+            ctx.threads());
+        const auto &base = results.front();
+
+        std::printf("Knockout from %s [forwarded]:\n",
+                    sweep::formatScheme(full).c_str());
+        Table t({"variant", "sens", "d_sens", "pvp", "d_pvp"});
+        t.addRow({"(full)", fmt(base.avgSensitivity(), 3), "-",
+                  fmt(base.avgPvp(), 3), "-"});
+        for (std::size_t v = 0; v < variants.size(); ++v) {
+            const auto &res = results[1 + v];
+            t.addRow({variants[v].label, fmt(res.avgSensitivity(), 3),
                       fmt(res.avgSensitivity() - base.avgSensitivity(),
                           3),
                       fmt(res.avgPvp(), 3),
                       fmt(res.avgPvp() - base.avgPvp(), 3)});
         }
-
-        // Depth knockout for comparison: depth is "paramount".
-        predict::SchemeSpec shallow = full;
-        shallow.depth = 1;
-        auto res = eval(shallow, predict::UpdateMode::Forwarded);
+        const auto &res = results.back();
         t.addRow({"depth4->1", fmt(res.avgSensitivity(), 3),
                   fmt(res.avgSensitivity() - base.avgSensitivity(), 3),
                   fmt(res.avgPvp(), 3),

@@ -17,6 +17,7 @@
 #include "predict/evaluator.hh"
 #include "predict/spatial.hh"
 #include "sweep/name.hh"
+#include "sweep/search.hh"
 
 int
 main(int argc, char **argv)
@@ -41,17 +42,20 @@ main(int argc, char **argv)
         "overlap-last(pid+pc8)1",
         "inter(pid+pc8)2",
     };
+    std::vector<predict::SchemeSpec> specs;
     for (const char *text : schemes) {
         auto parsed = sweep::parseScheme(text);
         if (!parsed)
             return 1;
-        auto res = predict::evaluateSuite(suite, parsed->scheme,
-                                          predict::UpdateMode::Direct);
-        t.addRow({text,
-                  fmt(std::log2(double(
-                          parsed->scheme.sizeBits(16))),
-                      0),
-                  fmt(res.avgSensitivity(), 3), fmt(res.avgPvp(), 3)});
+        specs.push_back(parsed->scheme);
+    }
+    auto results = sweep::evaluateSchemes(
+        suite, specs, predict::UpdateMode::Direct, ctx.threads());
+    for (std::size_t s = 0; s < specs.size(); ++s) {
+        t.addRow({schemes[s],
+                  fmt(std::log2(double(specs[s].sizeBits(16))), 0),
+                  fmt(results[s].avgSensitivity(), 3),
+                  fmt(results[s].avgPvp(), 3)});
     }
 
     // Sticky-spatial variants (separate machinery: multi-entry reads).

@@ -12,6 +12,7 @@
 #include "bench_util.hh"
 #include "predict/evaluator.hh"
 #include "sweep/name.hh"
+#include "sweep/search.hh"
 
 int
 main(int argc, char **argv)
@@ -33,25 +34,34 @@ main(int argc, char **argv)
         "union(pid+dir+add4)4",  // hybrid deep union
     };
 
-    std::printf("Ablation: update mechanism per scheme family\n\n");
-    Table t({"scheme", "metric", "direct", "forwarded", "ordered",
-             "ordered-direct"});
+    std::vector<predict::SchemeSpec> specs;
     for (const char *text : schemes) {
         auto parsed = sweep::parseScheme(text);
         if (!parsed)
             return 1;
+        specs.push_back(parsed->scheme);
+    }
+
+    // One sharded batch per update mechanism instead of a scheme-by-
+    // scheme loop: the three mode sweeps dominate the runtime.
+    std::vector<predict::SuiteResult> by_mode[3];
+    int m = 0;
+    for (auto mode : {predict::UpdateMode::Direct,
+                      predict::UpdateMode::Forwarded,
+                      predict::UpdateMode::Ordered})
+        by_mode[m++] = sweep::evaluateSchemes(suite, specs, mode,
+                                              ctx.threads());
+
+    std::printf("Ablation: update mechanism per scheme family\n\n");
+    Table t({"scheme", "metric", "direct", "forwarded", "ordered",
+             "ordered-direct"});
+    for (std::size_t s = 0; s < specs.size(); ++s) {
         double sens[3], pvp[3];
-        int i = 0;
-        for (auto mode : {predict::UpdateMode::Direct,
-                          predict::UpdateMode::Forwarded,
-                          predict::UpdateMode::Ordered}) {
-            auto res = predict::evaluateSuite(suite, parsed->scheme,
-                                              mode);
-            sens[i] = res.avgSensitivity();
-            pvp[i] = res.avgPvp();
-            ++i;
+        for (int i = 0; i < 3; ++i) {
+            sens[i] = by_mode[i][s].avgSensitivity();
+            pvp[i] = by_mode[i][s].avgPvp();
         }
-        t.addRow({text, "sens", fmt(sens[0], 3), fmt(sens[1], 3),
+        t.addRow({schemes[s], "sens", fmt(sens[0], 3), fmt(sens[1], 3),
                   fmt(sens[2], 3), fmt(sens[2] - sens[0], 3)});
         t.addRow({"", "pvp", fmt(pvp[0], 3), fmt(pvp[1], 3),
                   fmt(pvp[2], 3), fmt(pvp[2] - pvp[0], 3)});

@@ -12,6 +12,9 @@
  *                     config, suite + protocol counters, screening
  *                     metrics, per-phase timings) on exit
  *   --log <level>     override CCP_LOG (quiet|warn|info|debug)
+ *   --threads <n>     worker threads for scheme sweeps (default: all
+ *                     hardware threads; 1 = the sequential path; 0 is
+ *                     the same as the default)
  *
  * Environment knobs:
  *   CCP_TRACE_DIR  cache directory (default ./ccp_traces)
@@ -31,6 +34,7 @@
 #include <vector>
 
 #include "common/logging.hh"
+#include "common/thread_pool.hh"
 #include "mem/protocol.hh"
 #include "obs/report.hh"
 #include "obs/timer.hh"
@@ -282,10 +286,20 @@ class BenchContext
                     ccp_fatal("bad --log level '", value,
                               "' (want quiet|warn|info|debug)");
                 setLogLevel(level);
+            } else if (takesValue(arg, "--threads", i, argc, argv,
+                                  value)) {
+                char *end = nullptr;
+                unsigned long n = std::strtoul(value.c_str(), &end,
+                                               10);
+                if (end == value.c_str() || *end != '\0' || n > 4096)
+                    ccp_fatal("bad --threads value '", value,
+                              "' (want 0..4096; 0 = all hardware "
+                              "threads)");
+                threads_ = static_cast<unsigned>(n);
             } else if (arg == "--help" || arg == "-h") {
                 std::printf(
                     "usage: %s [--report <out.json>] "
-                    "[--log quiet|warn|info|debug]\n",
+                    "[--log quiet|warn|info|debug] [--threads <n>]\n",
                     report_.tool().c_str());
                 std::exit(0);
             } else {
@@ -299,9 +313,15 @@ class BenchContext
         config["seed"] = obs::Json(envSeed());
         config["scale"] = obs::Json(envScale());
         config["trace_dir"] = obs::Json(traceDir());
+        config["threads"] = obs::Json(std::uint64_t(
+            threads_ > 0 ? threads_ : ThreadPool::defaultThreads()));
     }
 
     obs::RunReport &report() { return report_; }
+
+    /** Sweep worker count from --threads (0 = hardware concurrency,
+     *  the value the sweep layer resolves itself). */
+    unsigned threads() const { return threads_; }
 
     /** Shorthand for report().section("results"). */
     obs::Json &results() { return report_.section("results"); }
@@ -392,6 +412,8 @@ class BenchContext
     obs::Stopwatch wall_;
     obs::RunReport report_;
     std::string reportPath_;
+    /** --threads value; 0 = all hardware threads (the default). */
+    unsigned threads_ = 0;
 };
 
 /** The paper's Table 5 rows (per benchmark). */

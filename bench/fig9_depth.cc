@@ -20,12 +20,15 @@ void
 runPanel(const std::vector<trace::SharingTrace> &suite,
          obs::Json &results, const char *title,
          predict::FunctionKind kind,
-         const std::vector<predict::IndexSpec> &series)
+         const std::vector<predict::IndexSpec> &series,
+         unsigned threads)
 {
     auto d2 = sweep::evaluateFigure(suite, series, kind, 2,
-                                    predict::UpdateMode::Direct);
+                                    predict::UpdateMode::Direct,
+                                    threads);
     auto d4 = sweep::evaluateFigure(suite, series, kind, 4,
-                                    predict::UpdateMode::Direct);
+                                    predict::UpdateMode::Direct,
+                                    threads);
 
     std::printf("%s:\n", title);
     Table t({"index(addr/dir/pc/pid)", "pvp(2)", "sens(2)", "pvp(4)",
@@ -60,11 +63,14 @@ main(int argc, char **argv)
 
     obs::Json &results = ctx.results();
     runPanel(suite, results, "INTERSECTION (16-bit max index)",
-             predict::FunctionKind::Inter, sweep::figureIndexSeries16());
+             predict::FunctionKind::Inter, sweep::figureIndexSeries16(),
+             ctx.threads());
     runPanel(suite, results, "UNION (16-bit max index)",
-             predict::FunctionKind::Union, sweep::figureIndexSeries16());
+             predict::FunctionKind::Union, sweep::figureIndexSeries16(),
+             ctx.threads());
     runPanel(suite, results, "PAs (12-bit max index)",
-             predict::FunctionKind::PAs, sweep::figureIndexSeries12());
+             predict::FunctionKind::PAs, sweep::figureIndexSeries12(),
+             ctx.threads());
 
     std::printf("Expected: intersection pvp up / sens down with depth; "
                 "union the reverse; PAs nearly flat.\n");

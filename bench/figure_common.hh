@@ -74,7 +74,7 @@ runFigure(BenchContext &ctx, const char *title,
                       predict::UpdateMode::Forwarded,
                       predict::UpdateMode::Ordered}) {
         auto points = sweep::evaluateFigure(suite, series, kind, depth,
-                                            mode);
+                                            mode, ctx.threads());
         printSeries(predict::updateModeName(mode), points);
         writeSeriesCsv(predict::functionKindName(kind),
                        predict::updateModeName(mode), points);

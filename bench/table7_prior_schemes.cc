@@ -13,6 +13,7 @@
 #include "bench_util.hh"
 #include "predict/evaluator.hh"
 #include "sweep/name.hh"
+#include "sweep/search.hh"
 
 int
 main(int argc, char **argv)
@@ -28,19 +29,33 @@ main(int argc, char **argv)
     Table t({"update", "description", "scheme", "size", "sens",
              "paper", "pvp", "paper"});
 
-    obs::Json &rows = ctx.results()["schemes"];
-    rows = obs::Json::array();
+    // Parse every row up front and evaluate each update mode as one
+    // sharded batch.
+    std::vector<predict::SchemeSpec> direct_specs, forwarded_specs;
     for (const auto &row : paperTable7()) {
         auto parsed = sweep::parseScheme(row.scheme);
         if (!parsed) {
             std::fprintf(stderr, "bad scheme %s\n", row.scheme);
             return 1;
         }
-        predict::UpdateMode mode =
-            std::string(row.update) == "direct"
-                ? predict::UpdateMode::Direct
-                : predict::UpdateMode::Forwarded;
-        auto res = predict::evaluateSuite(suite, parsed->scheme, mode);
+        (std::string(row.update) == "direct" ? direct_specs
+                                             : forwarded_specs)
+            .push_back(parsed->scheme);
+    }
+    auto direct_res = sweep::evaluateSchemes(
+        suite, direct_specs, predict::UpdateMode::Direct,
+        ctx.threads());
+    auto forwarded_res = sweep::evaluateSchemes(
+        suite, forwarded_specs, predict::UpdateMode::Forwarded,
+        ctx.threads());
+
+    obs::Json &rows = ctx.results()["schemes"];
+    rows = obs::Json::array();
+    std::size_t di = 0, fi = 0;
+    for (const auto &row : paperTable7()) {
+        bool direct = std::string(row.update) == "direct";
+        const auto &res =
+            direct ? direct_res[di++] : forwarded_res[fi++];
         t.addRow({row.update, row.description, row.scheme,
                   std::to_string(row.sizeLog2),
                   fmt(res.avgSensitivity()), fmt(row.sensitivity),

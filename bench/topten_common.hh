@@ -48,7 +48,8 @@ runTopTen(BenchContext &ctx, const char *title, predict::UpdateMode mode,
     obs::ProgressReporter reporter("sweep");
     auto top = sweep::rankSchemes(
         suite, schemes, mode, by, 10,
-        [&reporter](const obs::Progress &p) { reporter(p); });
+        [&reporter](const obs::Progress &p) { reporter(p); },
+        ctx.threads());
 
     std::printf("%s\n\n", title);
     Table t({"#", "scheme", "size", "prev", "pvp", "sens", "| paper",

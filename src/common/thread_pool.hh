@@ -1,0 +1,100 @@
+/**
+ * @file
+ * ThreadPool: a fixed pool of worker threads executing chunked
+ * parallel-for loops — the execution engine under the sharded sweeps.
+ *
+ * The pool owns `threads - 1` std::threads; the calling thread is
+ * always worker 0 and participates in every loop, so a one-thread
+ * pool spawns nothing and forEach() degenerates to the plain
+ * sequential loop (bit-identical to pre-pool behaviour).  Work is
+ * handed out in chunks from an atomic cursor — cheap dynamic load
+ * balancing (work stealing from a shared queue) without per-job
+ * locking.
+ *
+ * Exceptions thrown by jobs are captured (first one wins), remaining
+ * chunks are cancelled, and the exception is rethrown on the calling
+ * thread after every worker has quiesced, so RAII in the caller sees
+ * a fully stopped loop.
+ */
+
+#ifndef CCP_COMMON_THREAD_POOL_HH
+#define CCP_COMMON_THREAD_POOL_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ccp {
+
+class ThreadPool
+{
+  public:
+    /**
+     * A parallel-for body: invoked once per job index with the id of
+     * the worker running it (0 = calling thread), so callers can keep
+     * per-worker state (registry shards) without locking.
+     */
+    using JobFn = std::function<void(std::size_t job, unsigned worker)>;
+
+    /** Hardware concurrency, with a floor of 1 when unknown. */
+    static unsigned defaultThreads();
+
+    /**
+     * Build a pool of @p threads total workers (calling thread
+     * included); 0 means defaultThreads().
+     */
+    explicit ThreadPool(unsigned threads = 0);
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    ~ThreadPool();
+
+    /** Total workers, calling thread included (>= 1). */
+    unsigned threads() const { return nThreads_; }
+
+    /**
+     * Run fn(job, worker) for every job in [0, nJobs), blocking until
+     * all jobs finish.  @p chunk jobs are claimed at a time (0 picks a
+     * chunk that gives each worker ~8 turns).  The first exception
+     * thrown by any job cancels the unclaimed remainder and is
+     * rethrown here once the loop has quiesced.  Not reentrant: one
+     * loop at a time per pool.
+     */
+    void forEach(std::size_t nJobs, const JobFn &fn,
+                 std::size_t chunk = 0);
+
+  private:
+    void workerLoop(unsigned id);
+
+    /** Claim and run chunks until the cursor passes nJobs_. */
+    void drainChunks(unsigned worker);
+
+    unsigned nThreads_;
+    std::vector<std::thread> workers_;
+
+    std::mutex mutex_;
+    std::condition_variable startCv_;
+    std::condition_variable doneCv_;
+    bool stop_ = false;
+    /** Bumped per forEach(); workers watch it to pick up the loop. */
+    std::uint64_t generation_ = 0;
+    /** Workers still inside the current loop. */
+    unsigned active_ = 0;
+
+    /** Current loop (valid while active_ > 0 or the caller drains). */
+    const JobFn *fn_ = nullptr;
+    std::size_t nJobs_ = 0;
+    std::size_t chunk_ = 1;
+    std::atomic<std::size_t> cursor_{0};
+    std::exception_ptr error_;
+};
+
+} // namespace ccp
+
+#endif // CCP_COMMON_THREAD_POOL_HH

@@ -242,4 +242,24 @@ StatsRegistry::root()
     return instance;
 }
 
+namespace {
+
+thread_local StatsRegistry *tls_current = nullptr;
+
+} // namespace
+
+StatsRegistry &
+StatsRegistry::current()
+{
+    return tls_current ? *tls_current : root();
+}
+
+StatsRegistry *
+StatsRegistry::setCurrent(StatsRegistry *reg)
+{
+    StatsRegistry *prev = tls_current;
+    tls_current = reg;
+    return prev;
+}
+
 } // namespace ccp::obs

@@ -97,6 +97,22 @@ class StatsRegistry
     /** The process-wide default registry. */
     static StatsRegistry &root();
 
+    /**
+     * The registry this thread currently accounts into: root() unless
+     * a ScopedRegistry has installed a shard.  Instrumented layers
+     * (evaluator, sweep) write through current() so the same code
+     * accumulates into a worker-local shard inside a parallel sweep
+     * and into root() everywhere else.
+     */
+    static StatsRegistry &current();
+
+    /**
+     * Install @p reg as this thread's current() (nullptr restores
+     * root()).  @return the previous installation, for nesting.
+     * Prefer ScopedRegistry.
+     */
+    static StatsRegistry *setCurrent(StatsRegistry *reg);
+
   private:
     using Stat = std::variant<Counter, double, Summary, Histogram>;
 
@@ -105,6 +121,30 @@ class StatsRegistry
 
     /** Sorted by path: dumps group naturally. */
     std::map<std::string, Stat> stats_;
+};
+
+/**
+ * RAII shard installation: routes this thread's
+ * StatsRegistry::current() to @p shard for the scope's lifetime.
+ * Each parallel-sweep worker wraps its jobs in one of these so the
+ * hot evaluation path never locks a shared registry; the sweep merges
+ * the shards into the parent registry after the join.
+ */
+class ScopedRegistry
+{
+  public:
+    explicit ScopedRegistry(StatsRegistry &shard)
+        : prev_(StatsRegistry::setCurrent(&shard))
+    {
+    }
+
+    ScopedRegistry(const ScopedRegistry &) = delete;
+    ScopedRegistry &operator=(const ScopedRegistry &) = delete;
+
+    ~ScopedRegistry() { StatsRegistry::setCurrent(prev_); }
+
+  private:
+    StatsRegistry *prev_;
 };
 
 /** Serialize one Summary in the registry's JSON shape. */

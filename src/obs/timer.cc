@@ -41,6 +41,14 @@ ProgressReporter::operator()(const Progress &p)
     if (logLevel() < LogLevel::Info)
         return;
 
+    std::lock_guard<std::mutex> lock(mutex_);
+
+    // Late arrival from a slower worker: a line for this completion
+    // level (or beyond) is already out, so printing would repeat it or
+    // make the visible done count move backwards.
+    if (lastPrintSec_ >= 0.0 && p.done <= lastDone_)
+        return;
+
     bool finished = p.total > 0 && p.done >= p.total;
     unsigned pct =
         p.total ? static_cast<unsigned>(p.done * 100 / p.total) : 0;
@@ -57,6 +65,7 @@ ProgressReporter::operator()(const Progress &p)
     }
     lastPrintSec_ = p.elapsedSec;
     lastPct_ = pct;
+    lastDone_ = p.done;
 
     if (finished) {
         std::fprintf(stderr, "[%s] %zu/%zu (100%%) in %s (%.1f/s)\n",

@@ -9,9 +9,12 @@
 #ifndef CCP_OBS_TIMER_HH
 #define CCP_OBS_TIMER_HH
 
+#include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstddef>
 #include <functional>
+#include <mutex>
 #include <string>
 
 #include "common/stats.hh"
@@ -98,7 +101,14 @@ struct Progress
 /** Progress sink used by long-running loops (sweeps, generation). */
 using ProgressFn = std::function<void(const Progress &)>;
 
-/** Derives rate and ETA from a monotonically advancing done count. */
+/**
+ * Derives rate and ETA from an advancing done count.  Thread-safe:
+ * concurrent sweep workers may tick out of order (worker A finishes
+ * item 5 but reports after worker B reported item 7); the meter keeps
+ * an atomic high-water mark and reports the furthest completion seen,
+ * so observers always see done advance monotonically.  A zero total
+ * yields a well-formed Progress (rate still measured, ETA 0).
+ */
 class ProgressMeter
 {
   public:
@@ -108,6 +118,13 @@ class ProgressMeter
     Progress
     tick(std::size_t done) const
     {
+        std::size_t seen = highWater_.load(std::memory_order_relaxed);
+        while (seen < done &&
+               !highWater_.compare_exchange_weak(
+                   seen, done, std::memory_order_relaxed)) {
+        }
+        done = std::max(done, seen);
+
         Progress p;
         p.done = done;
         p.total = total_;
@@ -123,6 +140,8 @@ class ProgressMeter
 
   private:
     std::size_t total_;
+    /** Furthest completion reported so far (ticks can race). */
+    mutable std::atomic<std::size_t> highWater_{0};
     Stopwatch watch_;
 };
 
@@ -131,6 +150,11 @@ class ProgressMeter
  * ETA" to stderr at most once per epoch (a minimum wall interval or
  * percent step, whichever allows), and always on completion.  Silent
  * when the log level is below Info (CCP_LOG=quiet/warn).
+ *
+ * Thread-safe: concurrent sweep workers may invoke it directly; an
+ * internal mutex serializes the gating state, and observations whose
+ * done count regresses below one already printed are dropped (late
+ * arrivals from slower workers).
  */
 class ProgressReporter
 {
@@ -145,8 +169,10 @@ class ProgressReporter
     std::string label_;
     double minIntervalSec_;
     unsigned minPctStep_;
+    std::mutex mutex_;
     double lastPrintSec_ = -1.0;
     unsigned lastPct_ = 0;
+    std::size_t lastDone_ = 0;
 };
 
 /** Render seconds as "1h02m", "3m20s", "12.4s" for progress lines. */

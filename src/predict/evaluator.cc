@@ -108,9 +108,11 @@ evaluateTrace(const trace::SharingTrace &trace, PredictorTable &table,
     }
 
     // Per-trace throughput accounting: two clock reads and a few map
-    // lookups per trace, nothing in the per-event hot loop.
+    // lookups per trace, nothing in the per-event hot loop.  Goes to
+    // current() so parallel-sweep workers accumulate into their own
+    // shard instead of racing on root().
     double sec = watch.elapsedSec();
-    auto &reg = obs::StatsRegistry::root();
+    auto &reg = obs::StatsRegistry::current();
     reg.counter("evaluator.traces") += 1;
     reg.counter("evaluator.events") += trace.events().size();
     reg.summary("evaluator.trace_seconds").add(sec);
@@ -147,7 +149,7 @@ evaluateSuite(const std::vector<trace::SharingTrace> &traces,
     }
     // Occupancy after the final trace: one table scan per suite, so
     // wide sweeps stay cheap.
-    obs::StatsRegistry::root()
+    obs::StatsRegistry::current()
         .summary("evaluator.table_occupancy")
         .add(table.occupancy());
     return result;

@@ -58,8 +58,16 @@ PredictorTable::entryState(NodeId pid, Pc pc, NodeId dir, Addr block)
     return state_.data() + idx * entryWords_;
 }
 
+const std::uint64_t *
+PredictorTable::entryState(NodeId pid, Pc pc, NodeId dir,
+                           Addr block) const
+{
+    std::uint64_t idx = spec_.index(pid, pc, dir, block, nodeBits_);
+    return state_.data() + idx * entryWords_;
+}
+
 SharingBitmap
-PredictorTable::predict(NodeId pid, Pc pc, NodeId dir, Addr block)
+PredictorTable::predict(NodeId pid, Pc pc, NodeId dir, Addr block) const
 {
     return function_->predict(entryState(pid, pc, dir, block));
 }

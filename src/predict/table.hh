@@ -55,7 +55,8 @@ class PredictorTable
     double log2SizeBits() const;
 
     /** Predict the sharing bitmap for an access tuple. */
-    SharingBitmap predict(NodeId pid, Pc pc, NodeId dir, Addr block);
+    SharingBitmap predict(NodeId pid, Pc pc, NodeId dir,
+                          Addr block) const;
 
     /** Fold feedback into the entry for an access tuple. */
     void update(NodeId pid, Pc pc, NodeId dir, Addr block,
@@ -74,6 +75,8 @@ class PredictorTable
 
   private:
     std::uint64_t *entryState(NodeId pid, Pc pc, NodeId dir, Addr block);
+    const std::uint64_t *entryState(NodeId pid, Pc pc, NodeId dir,
+                                    Addr block) const;
 
     IndexSpec spec_;
     std::shared_ptr<const PredictionFunction> function_;

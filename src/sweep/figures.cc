@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "sweep/parallel.hh"
+
 namespace ccp::sweep {
 
 using predict::FunctionKind;
@@ -76,18 +78,24 @@ figureLabel(const IndexSpec &index)
 std::vector<FigurePoint>
 evaluateFigure(const std::vector<trace::SharingTrace> &traces,
                const std::vector<IndexSpec> &series, FunctionKind kind,
-               unsigned depth, UpdateMode mode)
+               unsigned depth, UpdateMode mode, unsigned threads)
 {
+    std::vector<predict::SchemeSpec> schemes;
+    schemes.reserve(series.size());
+    for (const IndexSpec &idx : series)
+        schemes.push_back({idx, kind, depth});
+
+    std::vector<predict::SuiteResult> results =
+        ParallelSweep(threads).evaluate(traces, schemes, mode);
+
     std::vector<FigurePoint> points;
     points.reserve(series.size());
-    for (const IndexSpec &idx : series) {
-        predict::SchemeSpec scheme{idx, kind, depth};
-        predict::SuiteResult res = evaluateSuite(traces, scheme, mode);
+    for (std::size_t i = 0; i < series.size(); ++i) {
         FigurePoint pt;
-        pt.index = idx;
-        pt.label = figureLabel(idx);
-        pt.sensitivity = res.avgSensitivity();
-        pt.pvp = res.avgPvp();
+        pt.index = series[i];
+        pt.label = figureLabel(series[i]);
+        pt.sensitivity = results[i].avgSensitivity();
+        pt.pvp = results[i].avgPvp();
         points.push_back(pt);
     }
     return points;

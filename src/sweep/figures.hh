@@ -38,13 +38,16 @@ std::vector<predict::IndexSpec> figureIndexSeries12();
 
 /**
  * Evaluate one figure: the given function/depth over the label
- * series, averaging sensitivity and PVP across the suite.
+ * series, averaging sensitivity and PVP across the suite.  The
+ * series positions are evaluated on @p threads workers (0 = one per
+ * hardware thread, 1 = sequential); the point order is the series
+ * order either way.
  */
 std::vector<FigurePoint>
 evaluateFigure(const std::vector<trace::SharingTrace> &traces,
                const std::vector<predict::IndexSpec> &series,
                predict::FunctionKind kind, unsigned depth,
-               predict::UpdateMode mode);
+               predict::UpdateMode mode, unsigned threads = 1);
 
 /** Render the addr/dir/pc/pid label of a series position. */
 std::string figureLabel(const predict::IndexSpec &index);

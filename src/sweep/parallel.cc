@@ -1,0 +1,62 @@
+#include "sweep/parallel.hh"
+
+#include <atomic>
+#include <mutex>
+
+#include "obs/registry.hh"
+
+namespace ccp::sweep {
+
+using predict::SchemeSpec;
+using predict::SuiteResult;
+using predict::UpdateMode;
+
+std::vector<SuiteResult>
+ParallelSweep::evaluate(const std::vector<trace::SharingTrace> &traces,
+                        const std::vector<SchemeSpec> &schemes,
+                        UpdateMode mode, const obs::ProgressFn &progress)
+{
+    std::vector<SuiteResult> results(schemes.size());
+
+    // One stats shard per worker.  The shards are merged below into
+    // whatever registry this thread accounts into (root() outside
+    // tests), in worker order, so totals match the sequential sweep
+    // and merging is deterministic for a given thread count.
+    std::vector<obs::StatsRegistry> shards(pool_.threads());
+
+    obs::ProgressMeter meter(schemes.size());
+    std::atomic<std::size_t> completed{0};
+    std::mutex progress_mutex;
+
+    // Chunk of 1: a scheme evaluation is milliseconds to seconds of
+    // work, so per-job queue traffic is noise and fine-grained
+    // stealing keeps workers busy through the expensive PAs schemes.
+    pool_.forEach(
+        schemes.size(),
+        [&](std::size_t job, unsigned worker) {
+            obs::StatsRegistry &shard = shards[worker];
+            obs::ScopedRegistry route(shard);
+            {
+                obs::ScopedTimer timer(shard,
+                                       "sweep.scheme_eval_seconds");
+                results[job] = evaluateSuite(traces, schemes[job], mode);
+            }
+            ++shard.counter("sweep.schemes_evaluated");
+
+            std::size_t done = completed.fetch_add(1) + 1;
+            if (progress) {
+                // The meter's high-water mark keeps done monotonic
+                // even when workers reach this lock out of order.
+                std::lock_guard<std::mutex> lock(progress_mutex);
+                progress(meter.tick(done));
+            }
+        },
+        1);
+
+    obs::StatsRegistry &parent = obs::StatsRegistry::current();
+    for (const auto &shard : shards)
+        parent.merge(shard);
+    return results;
+}
+
+} // namespace ccp::sweep

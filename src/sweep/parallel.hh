@@ -1,0 +1,63 @@
+/**
+ * @file
+ * ParallelSweep: the sharded evaluation engine under the design-space
+ * sweeps (Tables 8-11, Figures 6-9).
+ *
+ * Schemes are embarrassingly parallel — each evaluation builds its
+ * own predictor table and only reads the shared traces — so the
+ * engine hands scheme indices to a ThreadPool and each worker
+ * accumulates its `evaluator.*` / `sweep.*` stats into a private
+ * StatsRegistry shard (installed thread-locally via ScopedRegistry).
+ * At join the shards are merged, in worker order, into the registry
+ * the calling thread accounts into, so totals are exactly what the
+ * sequential sweep would have produced.
+ *
+ * Results are written by scheme index and progress is reported
+ * through a monotonic ProgressMeter, so output order, ranking input,
+ * and final progress are deterministic regardless of worker
+ * interleaving.  threads == 1 runs on the calling thread only — the
+ * pre-parallel code path.
+ */
+
+#ifndef CCP_SWEEP_PARALLEL_HH
+#define CCP_SWEEP_PARALLEL_HH
+
+#include <vector>
+
+#include "common/thread_pool.hh"
+#include "obs/timer.hh"
+#include "predict/evaluator.hh"
+#include "trace/trace.hh"
+
+namespace ccp::sweep {
+
+class ParallelSweep
+{
+  public:
+    /** @param threads total workers, caller included; 0 = one per
+     *  hardware thread, 1 = sequential in the calling thread. */
+    explicit ParallelSweep(unsigned threads = 0) : pool_(threads) {}
+
+    unsigned threads() const { return pool_.threads(); }
+
+    /**
+     * Evaluate every scheme over the suite; results in scheme order
+     * (identical to the sequential loop bit for bit).  Per-scheme
+     * timing lands in "sweep.scheme_eval_seconds" and the count in
+     * "sweep.schemes_evaluated", exactly as the sequential path
+     * records them; @p progress (if set) observes completions with
+     * monotonically advancing done counts.
+     */
+    std::vector<predict::SuiteResult>
+    evaluate(const std::vector<trace::SharingTrace> &traces,
+             const std::vector<predict::SchemeSpec> &schemes,
+             predict::UpdateMode mode,
+             const obs::ProgressFn &progress = {});
+
+  private:
+    ThreadPool pool_;
+};
+
+} // namespace ccp::sweep
+
+#endif // CCP_SWEEP_PARALLEL_HH

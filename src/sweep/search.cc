@@ -1,8 +1,12 @@
 #include "sweep/search.hh"
 
 #include <algorithm>
+#include <numeric>
+#include <string>
 
-#include "obs/registry.hh"
+#include "common/logging.hh"
+#include "sweep/name.hh"
+#include "sweep/parallel.hh"
 
 namespace ccp::sweep {
 
@@ -10,69 +14,94 @@ using predict::SchemeSpec;
 using predict::SuiteResult;
 using predict::UpdateMode;
 
+namespace {
+
+void
+checkSweepInputs(const char *who,
+                 const std::vector<trace::SharingTrace> &traces,
+                 const std::vector<SchemeSpec> &schemes)
+{
+    // Fail before any evaluation: the comparator and evaluateSuite
+    // both dereference traces.front(), and an empty scheme list is a
+    // caller bug (a sweep of nothing), not a valid no-op.
+    if (traces.empty())
+        ccp_fatal(who, ": empty benchmark suite (no traces to "
+                  "evaluate schemes on)");
+    if (schemes.empty())
+        ccp_fatal(who, ": empty scheme list (nothing to evaluate)");
+}
+
+} // namespace
+
 std::vector<RankedScheme>
 rankSchemes(const std::vector<trace::SharingTrace> &traces,
             const std::vector<SchemeSpec> &schemes, UpdateMode mode,
-            RankBy by, std::size_t n, const obs::ProgressFn &progress)
+            RankBy by, std::size_t n, const obs::ProgressFn &progress,
+            unsigned threads)
 {
-    std::vector<RankedScheme> ranked;
-    ranked.reserve(schemes.size());
+    checkSweepInputs("rankSchemes", traces, schemes);
 
-    auto &reg = obs::StatsRegistry::root();
-    obs::ProgressMeter meter(schemes.size());
-    std::size_t done = 0;
-    for (const SchemeSpec &scheme : schemes) {
-        SuiteResult res;
-        {
-            obs::ScopedTimer timer(reg, "sweep.scheme_eval_seconds");
-            res = evaluateSuite(traces, scheme, mode);
-        }
-        ++reg.counter("sweep.schemes_evaluated");
-        double score = by == RankBy::Pvp ? res.avgPvp()
-                                         : res.avgSensitivity();
-        ranked.push_back({std::move(res), score});
-        ++done;
-        if (progress)
-            progress(meter.tick(done));
+    std::vector<SuiteResult> results =
+        ParallelSweep(threads).evaluate(traces, schemes, mode,
+                                        progress);
+
+    // Precomputed sort keys: a total order (score, table size,
+    // secondary metric, canonical name, input position) so the top-N
+    // cut is unique on every platform and thread count, and the
+    // comparator does no scheme re-formatting or size recomputation
+    // per comparison.
+    struct Key
+    {
+        double score;
+        std::uint64_t sizeBits;
+        double secondary;
+        std::string name;
+        std::size_t pos;
+    };
+    const unsigned n_nodes = traces.front().nNodes();
+    std::vector<Key> keys;
+    keys.reserve(results.size());
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const SuiteResult &res = results[i];
+        keys.push_back({by == RankBy::Pvp ? res.avgPvp()
+                                          : res.avgSensitivity(),
+                        res.scheme.sizeBits(n_nodes),
+                        by == RankBy::Pvp ? res.avgSensitivity()
+                                          : res.avgPvp(),
+                        formatScheme(res.scheme), i});
     }
 
-    auto better = [&](const RankedScheme &a, const RankedScheme &b) {
+    auto better = [](const Key &a, const Key &b) {
         if (a.score != b.score)
             return a.score > b.score;
-        std::uint64_t sa = a.result.scheme.sizeBits(
-            traces.front().nNodes());
-        std::uint64_t sb = b.result.scheme.sizeBits(
-            traces.front().nNodes());
-        if (sa != sb)
-            return sa < sb;
-        double ta = by == RankBy::Pvp ? a.result.avgSensitivity()
-                                      : a.result.avgPvp();
-        double tb = by == RankBy::Pvp ? b.result.avgSensitivity()
-                                      : b.result.avgPvp();
-        return ta > tb;
+        if (a.sizeBits != b.sizeBits)
+            return a.sizeBits < b.sizeBits;
+        if (a.secondary != b.secondary)
+            return a.secondary > b.secondary;
+        if (a.name != b.name)
+            return a.name < b.name;
+        return a.pos < b.pos;
     };
 
-    std::size_t keep = std::min(n, ranked.size());
-    std::partial_sort(ranked.begin(), ranked.begin() + keep,
-                      ranked.end(), better);
-    ranked.resize(keep);
+    std::size_t keep = std::min(n, keys.size());
+    std::partial_sort(keys.begin(), keys.begin() + keep, keys.end(),
+                      better);
+
+    std::vector<RankedScheme> ranked;
+    ranked.reserve(keep);
+    for (std::size_t i = 0; i < keep; ++i)
+        ranked.push_back(
+            {std::move(results[keys[i].pos]), keys[i].score});
     return ranked;
 }
 
 std::vector<SuiteResult>
 evaluateSchemes(const std::vector<trace::SharingTrace> &traces,
-                const std::vector<SchemeSpec> &schemes, UpdateMode mode)
+                const std::vector<SchemeSpec> &schemes, UpdateMode mode,
+                unsigned threads)
 {
-    std::vector<SuiteResult> out;
-    out.reserve(schemes.size());
-    auto &reg = obs::StatsRegistry::root();
-    for (const SchemeSpec &scheme : schemes) {
-        obs::ScopedTimer timer(reg, "sweep.scheme_eval_seconds");
-        out.push_back(evaluateSuite(traces, scheme, mode));
-        timer.stop();
-        ++reg.counter("sweep.schemes_evaluated");
-    }
-    return out;
+    checkSweepInputs("evaluateSchemes", traces, schemes);
+    return ParallelSweep(threads).evaluate(traces, schemes, mode);
 }
 
 } // namespace ccp::sweep

@@ -32,29 +32,42 @@ struct RankedScheme
 
 /**
  * Evaluate every scheme over the suite and return the top @p n by the
- * given criterion (ties broken toward smaller tables, then toward the
- * other metric).
+ * given criterion.  The ranking is a total order — ties broken toward
+ * smaller tables, then toward the other metric, then by canonical
+ * scheme name (sweep/name.hh), then by input position — so the result
+ * is identical across platforms, thread counts, and completion
+ * orders.
  *
- * Each scheme's evaluation time lands in the root stats registry
+ * Evaluation runs on @p threads workers (0 = one per hardware
+ * thread, 1 = the sequential path); each scheme's evaluation time
+ * lands in the calling thread's stats registry
  * ("sweep.scheme_eval_seconds" summary, "sweep.schemes_evaluated"
- * counter), so sweep throughput is visible in run reports.
+ * counter) regardless, so sweep throughput is visible in run reports.
+ *
+ * Fails fast (fatal) on an empty suite or an empty scheme list.
  *
  * @param progress Optional sink invoked per scheme evaluated with an
  *                 obs::Progress carrying done/total plus derived
  *                 rate and ETA — pass an obs::ProgressReporter (via
  *                 a lambda) for throttled human-readable output.
+ *                 May be invoked from worker threads (serialized,
+ *                 monotonic done counts).
  */
 std::vector<RankedScheme>
 rankSchemes(const std::vector<trace::SharingTrace> &traces,
             const std::vector<predict::SchemeSpec> &schemes,
             predict::UpdateMode mode, RankBy by, std::size_t n,
-            const obs::ProgressFn &progress = {});
+            const obs::ProgressFn &progress = {}, unsigned threads = 1);
 
-/** Evaluate one named list of schemes (no ranking), e.g. Table 7. */
+/**
+ * Evaluate one named list of schemes (no ranking), e.g. Table 7, in
+ * input order, on @p threads workers (0 = hardware concurrency).
+ * Fails fast (fatal) on an empty suite or an empty scheme list.
+ */
 std::vector<predict::SuiteResult>
 evaluateSchemes(const std::vector<trace::SharingTrace> &traces,
                 const std::vector<predict::SchemeSpec> &schemes,
-                predict::UpdateMode mode);
+                predict::UpdateMode mode, unsigned threads = 1);
 
 } // namespace ccp::sweep
 

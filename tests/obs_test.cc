@@ -11,6 +11,7 @@
 #include <sstream>
 #include <thread>
 
+#include "common/logging.hh"
 #include "obs/json.hh"
 #include "obs/registry.hh"
 #include "obs/report.hh"
@@ -282,6 +283,73 @@ TEST(Timer, ProgressMeterDerivesRateAndEta)
 
     obs::Progress done = meter.tick(100);
     EXPECT_EQ(done.etaSec, 0.0);
+}
+
+TEST(Timer, ProgressMeterHandlesZeroTotal)
+{
+    // A zero-total meter (empty sweep) must stay well-formed: no
+    // division by the total, ETA pinned at zero.
+    obs::ProgressMeter meter(0);
+    obs::Progress p = meter.tick(0);
+    EXPECT_EQ(p.done, 0u);
+    EXPECT_EQ(p.total, 0u);
+    EXPECT_EQ(p.perSec, 0.0);
+    EXPECT_EQ(p.etaSec, 0.0);
+
+    // Ticks beyond an (absent) total still derive a rate but no ETA.
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    p = meter.tick(5);
+    EXPECT_EQ(p.done, 5u);
+    EXPECT_GE(p.perSec, 0.0);
+    EXPECT_EQ(p.etaSec, 0.0);
+}
+
+TEST(Timer, ProgressMeterKeepsDoneMonotonicUnderOutOfOrderTicks)
+{
+    // Parallel workers can report completions out of order; the meter
+    // must never let the visible done count move backwards.
+    obs::ProgressMeter meter(10);
+    EXPECT_EQ(meter.tick(7).done, 7u);
+    EXPECT_EQ(meter.tick(3).done, 7u); // late arrival clamped up
+    EXPECT_EQ(meter.tick(10).done, 10u);
+    EXPECT_EQ(meter.tick(9).done, 10u);
+}
+
+TEST(Timer, ProgressReporterDropsStaleAndDuplicateTicks)
+{
+    setLogLevel(LogLevel::Info);
+    obs::ProgressReporter reporter("unit", 0.0, 0);
+    obs::ProgressMeter meter(4);
+
+    testing::internal::CaptureStderr();
+    reporter(meter.tick(2));
+    reporter(meter.tick(1)); // stale: below what was printed
+    reporter(meter.tick(4)); // finished
+    reporter(meter.tick(4)); // duplicate finish
+    std::string err = testing::internal::GetCapturedStderr();
+
+    EXPECT_NE(err.find("2/4"), std::string::npos);
+    EXPECT_NE(err.find("100%"), std::string::npos);
+    // Exactly one finish line, and no line for the stale tick.  With
+    // the monotonic meter the stale tick reports done=2 again, which
+    // the reporter must also drop as a duplicate.
+    EXPECT_EQ(err.find("100%"), err.rfind("100%"));
+    std::size_t first = err.find("2/4");
+    ASSERT_NE(first, std::string::npos);
+    EXPECT_EQ(err.find("2/4", first + 1), std::string::npos);
+}
+
+TEST(Timer, ProgressReporterHandlesZeroTotal)
+{
+    setLogLevel(LogLevel::Info);
+    obs::ProgressReporter reporter("unit", 0.0, 0);
+    obs::ProgressMeter meter(0);
+    testing::internal::CaptureStderr();
+    reporter(meter.tick(0));
+    reporter(meter.tick(1));
+    std::string err = testing::internal::GetCapturedStderr();
+    // No crash, no division by zero; the 0-total run reports counts.
+    EXPECT_NE(err.find("0/0"), std::string::npos);
 }
 
 TEST(Timer, FormatDuration)

@@ -174,6 +174,64 @@ TEST(Search, TiesBreakTowardSmallerTables)
     EXPECT_EQ(top[0].result.scheme.index.pcBits, 8u);
 }
 
+TEST(Search, FullTiesBreakOnCanonicalSchemeName)
+{
+    std::vector<trace::SharingTrace> suite;
+    suite.push_back(stableTrace());
+
+    // On stableTrace, pc low bits and block low bits carry the same
+    // value (pc = 0x400 + 4k, block = k), so a pc4-indexed and an
+    // add4-indexed scheme of the same function/depth see identical
+    // index streams: identical confusion counts, equal score, equal
+    // table size, equal secondary metric.  The final tie-break must
+    // be the canonical scheme name, so the ranking is a total order
+    // and the top-10 tables are stable across platforms and thread
+    // counts.
+    SchemeSpec pc4{{false, 4, false, 0}, FunctionKind::Union, 2};
+    SchemeSpec add4{{false, 0, false, 4}, FunctionKind::Union, 2};
+    const std::string first =
+        std::min(sweep::formatScheme(pc4), sweep::formatScheme(add4));
+
+    for (auto order : {std::vector<SchemeSpec>{pc4, add4},
+                       std::vector<SchemeSpec>{add4, pc4}}) {
+        auto top = rankSchemes(suite, order, UpdateMode::Direct,
+                               RankBy::Pvp, 2);
+        ASSERT_EQ(top.size(), 2u);
+        // The tie is genuine...
+        EXPECT_EQ(top[0].score, top[1].score);
+        EXPECT_EQ(top[0].result.scheme.sizeBits(16),
+                  top[1].result.scheme.sizeBits(16));
+        // ...and resolved by name, independent of input order.
+        EXPECT_EQ(sweep::formatScheme(top[0].result.scheme), first);
+    }
+}
+
+TEST(SearchDeathTest, EmptySuiteFailsFast)
+{
+    std::vector<trace::SharingTrace> no_traces;
+    std::vector<SchemeSpec> schemes = {
+        SchemeSpec{{}, FunctionKind::Union, 1}};
+    EXPECT_DEATH(rankSchemes(no_traces, schemes, UpdateMode::Direct,
+                             RankBy::Pvp, 1),
+                 "empty benchmark suite");
+    EXPECT_DEATH(sweep::evaluateSchemes(no_traces, schemes,
+                                        UpdateMode::Direct),
+                 "empty benchmark suite");
+}
+
+TEST(SearchDeathTest, EmptySchemeListFailsFast)
+{
+    std::vector<trace::SharingTrace> suite;
+    suite.push_back(stableTrace());
+    std::vector<SchemeSpec> no_schemes;
+    EXPECT_DEATH(rankSchemes(suite, no_schemes, UpdateMode::Direct,
+                             RankBy::Pvp, 1),
+                 "empty scheme list");
+    EXPECT_DEATH(sweep::evaluateSchemes(suite, no_schemes,
+                                        UpdateMode::Direct),
+                 "empty scheme list");
+}
+
 TEST(Search, ProgressCallbackCoversAllSchemes)
 {
     std::vector<trace::SharingTrace> suite;
