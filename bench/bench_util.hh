@@ -26,11 +26,14 @@
 #ifndef CCP_BENCH_BENCH_UTIL_HH
 #define CCP_BENCH_BENCH_UTIL_HH
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <sstream>
 #include <string>
+#include <system_error>
 #include <vector>
 
 #include "common/logging.hh"
@@ -40,6 +43,7 @@
 #include "obs/timer.hh"
 #include "predict/evaluator.hh"
 #include "sweep/name.hh"
+#include "trace/format.hh"
 #include "trace/trace.hh"
 #include "workloads/registry.hh"
 
@@ -67,9 +71,67 @@ traceDir()
 }
 
 /**
+ * Cache key of one suite trace: an FNV-1a hash over everything that
+ * determines the generated events — trace format version, workload
+ * name, seed, exact scale bits, and the default machine geometry the
+ * suite is generated with.  Any parameter change (or a format bump)
+ * changes the filename, so stale-parameter traces are never served;
+ * they are simply regenerated under the new key.
+ */
+inline std::uint64_t
+traceCacheKey(const std::string &name, std::uint64_t seed,
+              double scale)
+{
+    trace::Fnv1a h;
+    auto word = [&h](std::uint64_t v) { h.update(&v, sizeof(v)); };
+    // Bump alongside traceFormatVersion when the *generator* changes
+    // behaviour without a format change.
+    constexpr std::uint64_t cacheKeySchema = 1;
+    word(cacheKeySchema);
+    word(trace::traceFormatVersion);
+    h.update(name.data(), name.size());
+    h.update("\0", 1);
+    word(seed);
+    static_assert(sizeof(double) == sizeof(std::uint64_t));
+    std::uint64_t scale_bits = 0;
+    std::memcpy(&scale_bits, &scale, sizeof(scale_bits));
+    word(scale_bits);
+    const mem::MachineConfig c;
+    word(c.nNodes);
+    word(static_cast<std::uint64_t>(c.protocol));
+    word(static_cast<std::uint64_t>(c.placement));
+    word(c.l1.sizeBytes);
+    word(c.l1.assoc);
+    word(c.l2.sizeBytes);
+    word(c.l2.assoc);
+    word(c.torusWidth);
+    word(blockShift);
+    return h.digest();
+}
+
+/** Cache filename for one suite trace: `<name>_<key16>.trace`. */
+inline std::string
+traceCachePath(const std::string &dir, const std::string &name,
+               std::uint64_t seed, double scale)
+{
+    char key[17];
+    std::snprintf(key, sizeof(key), "%016llx",
+                  static_cast<unsigned long long>(
+                      traceCacheKey(name, seed, scale)));
+    return dir + "/" + name + "_" + key + ".trace";
+}
+
+/**
  * Load the seven-benchmark suite from the trace cache, generating and
  * saving any missing traces.  All benches share the cache, so the
- * suite is generated exactly once per (seed, scale).
+ * suite is generated exactly once per configuration (the filename is
+ * keyed on a workload-config hash, see traceCacheKey()).
+ *
+ * Robustness: a cached file that fails validation (truncated, bad
+ * checksum, old format version) is counted under
+ * `bench.traces_corrupt_rejected`, deleted, and regenerated; saves go
+ * through SharingTrace::saveFile's atomic temp-file + rename(), so
+ * concurrent benches sharing CCP_TRACE_DIR never read partial files.
  */
 inline std::vector<trace::SharingTrace>
 loadOrGenerateSuite()
@@ -84,15 +146,26 @@ loadOrGenerateSuite()
 
     std::vector<trace::SharingTrace> suite;
     for (const auto &name : workloads::workloadNames()) {
-        std::ostringstream file;
-        file << dir << '/' << name << "_s" << std::hex << seed
-             << std::dec << "_x" << scale << ".trace";
+        const std::string file =
+            traceCachePath(dir, name, seed, scale);
 
         trace::SharingTrace tr;
-        if (tr.loadFile(file.str())) {
+        obs::Stopwatch load_watch;
+        if (tr.loadFile(file)) {
+            reg.summary("bench.trace_load_seconds")
+                .add(load_watch.elapsedSec());
             ++reg.counter("bench.traces_cached");
             suite.push_back(std::move(tr));
             continue;
+        }
+        if (std::filesystem::exists(file)) {
+            // Present but unloadable: torn write, bit rot, or a stale
+            // format version.  Drop it and regenerate.
+            ++reg.counter("bench.traces_corrupt_rejected");
+            ccp_warn("trace cache: rejecting invalid file ", file,
+                     " (regenerating)");
+            std::error_code ec;
+            std::filesystem::remove(file, ec);
         }
         // Progress goes to stderr so stdout stays a clean table.
         if (logLevel() >= LogLevel::Info)
@@ -105,8 +178,8 @@ loadOrGenerateSuite()
         tr = workloads::generateTrace(name, params);
         gen_timer.stop();
         ++reg.counter("bench.traces_generated");
-        if (!tr.saveFile(file.str()))
-            ccp_warn("cannot cache trace at ", file.str());
+        if (!tr.saveFile(file))
+            ccp_warn("cannot cache trace at ", file);
         suite.push_back(std::move(tr));
     }
     return suite;

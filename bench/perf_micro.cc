@@ -8,6 +8,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <string>
+
 #include "common/rng.hh"
 #include "mem/protocol.hh"
 #include "predict/evaluator.hh"
@@ -132,6 +135,44 @@ BM_ProtocolOps(benchmark::State &state)
 }
 
 BENCHMARK(BM_ProtocolOps);
+
+void
+BM_TraceSaveFile(benchmark::State &state)
+{
+    const auto &tr = syntheticTrace();
+    const std::string path = "/tmp/ccp_perf_micro.trace";
+    std::uint64_t bytes = 0;
+    for (auto _ : state) {
+        tr.saveFile(path);
+        bytes += 64 + 104 + tr.events().size() * 64;
+    }
+    state.SetBytesProcessed(bytes);
+    std::remove(path.c_str());
+}
+
+BENCHMARK(BM_TraceSaveFile)->Unit(benchmark::kMillisecond);
+
+void
+BM_TraceLoadFile(benchmark::State &state, bool mapped)
+{
+    const std::string path = "/tmp/ccp_perf_micro_load.trace";
+    syntheticTrace().saveFile(path);
+    std::uint64_t bytes = 0;
+    for (auto _ : state) {
+        trace::SharingTrace tr;
+        bool ok = mapped ? tr.loadFileMapped(path)
+                         : tr.loadFileStream(path);
+        benchmark::DoNotOptimize(ok);
+        bytes += 64 + 104 + tr.events().size() * 64;
+    }
+    state.SetBytesProcessed(bytes);
+    std::remove(path.c_str());
+}
+
+BENCHMARK_CAPTURE(BM_TraceLoadFile, stream, false)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_TraceLoadFile, mmap, true)
+    ->Unit(benchmark::kMillisecond);
 
 void
 BM_WorkloadGeneration(benchmark::State &state)

@@ -11,6 +11,7 @@
  *   trace_tool dump    <file> [count]   # print the first N events
  *   trace_tool eval    <file> <scheme> [direct|forwarded|ordered]
  *   trace_tool analyze <file>           # sharing-pattern breakdown
+ *   trace_tool verify  <file>           # validate format + checksum
  */
 
 #include <cstdio>
@@ -19,6 +20,7 @@
 #include <string>
 
 #include "analysis/patterns.hh"
+#include "obs/timer.hh"
 #include "predict/evaluator.hh"
 #include "sweep/name.hh"
 #include "workloads/registry.hh"
@@ -38,7 +40,8 @@ usage()
         "  trace_tool dump    <file> [count]\n"
         "  trace_tool eval    <file> <scheme> "
         "[direct|forwarded|ordered]\n"
-        "  trace_tool analyze <file>\n");
+        "  trace_tool analyze <file>\n"
+        "  trace_tool verify  <file>\n");
     return 2;
 }
 
@@ -194,6 +197,44 @@ cmdAnalyze(int argc, char **argv)
     return 0;
 }
 
+int
+cmdVerify(int argc, char **argv)
+{
+    if (argc < 3)
+        return usage();
+    const char *path = argv[2];
+
+    trace::SharingTrace via_stream;
+    obs::Stopwatch stream_watch;
+    const bool stream_ok = via_stream.loadFileStream(path);
+    const double stream_sec = stream_watch.elapsedSec();
+
+    trace::SharingTrace via_map;
+    obs::Stopwatch map_watch;
+    const bool map_ok = via_map.loadFileMapped(path);
+    const double map_sec = map_watch.elapsedSec();
+
+    std::printf("stream read: %s (%.3f ms)\n",
+                stream_ok ? "ok" : "INVALID", 1e3 * stream_sec);
+    std::printf("mmap read:   %s (%.3f ms)\n",
+                map_ok ? "ok" : "INVALID", 1e3 * map_sec);
+    if (!stream_ok || !map_ok) {
+        std::fprintf(stderr,
+                     "%s: not a valid v4 trace (corrupt, truncated, "
+                     "or an old format version)\n", path);
+        return 1;
+    }
+    if (via_stream.events().size() != via_map.events().size() ||
+        via_stream.nNodes() != via_map.nNodes()) {
+        std::fprintf(stderr, "%s: read paths disagree\n", path);
+        return 1;
+    }
+    std::printf("trace '%s': %u nodes, %llu events — checksum ok\n",
+                via_map.name().c_str(), via_map.nNodes(),
+                (unsigned long long)via_map.storeMisses());
+    return 0;
+}
+
 } // namespace
 
 int
@@ -211,5 +252,7 @@ main(int argc, char **argv)
         return cmdEval(argc, argv);
     if (!std::strcmp(argv[1], "analyze"))
         return cmdAnalyze(argc, argv);
+    if (!std::strcmp(argv[1], "verify"))
+        return cmdVerify(argc, argv);
     return usage();
 }

@@ -1,34 +1,70 @@
 #include "trace/trace.hh"
 
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <istream>
+#include <optional>
 #include <ostream>
+#include <utility>
 
 #include "common/logging.hh"
+#include "trace/format.hh"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define CCP_TRACE_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
 
 namespace ccp::trace {
 
 namespace {
 
-constexpr std::uint32_t traceMagic = 0x43435054; // "CCPT"
-// v3: TraceMeta grew the generation-time protocol counters.  Loading
-// rejects other versions, so stale caches regenerate transparently.
-constexpr std::uint32_t traceVersion = 3;
+/** Events per I/O chunk on the stream paths (64 KiB buffers). */
+constexpr std::size_t eventChunk = 1024;
 
-template <typename T>
-void
-put(std::ostream &os, const T &v)
+bool
+writeBytes(std::ostream &os, const void *data, std::size_t n)
 {
-    os.write(reinterpret_cast<const char *>(&v), sizeof(T));
+    os.write(static_cast<const char *>(data),
+             static_cast<std::streamsize>(n));
+    return bool(os);
 }
 
-template <typename T>
 bool
-get(std::istream &is, T &v)
+readBytes(std::istream &is, void *data, std::size_t n)
 {
-    is.read(reinterpret_cast<char *>(&v), sizeof(T));
+    is.read(static_cast<char *>(data),
+            static_cast<std::streamsize>(n));
     return bool(is);
+}
+
+/**
+ * Bytes left in @p is from the current position, or nullopt when the
+ * stream is not seekable.  Restores the read position either way.
+ */
+std::optional<std::uint64_t>
+remainingBytes(std::istream &is)
+{
+    const std::istream::pos_type cur = is.tellg();
+    if (cur == std::istream::pos_type(-1)) {
+        is.clear();
+        return std::nullopt;
+    }
+    is.seekg(0, std::ios::end);
+    const std::istream::pos_type end = is.tellg();
+    is.seekg(cur);
+    if (end == std::istream::pos_type(-1) || !is) {
+        is.clear();
+        is.seekg(cur);
+        return std::nullopt;
+    }
+    return static_cast<std::uint64_t>(end - cur);
 }
 
 } // namespace
@@ -61,111 +97,300 @@ SharingTrace::prevalence() const
 bool
 SharingTrace::save(std::ostream &os) const
 {
-    put(os, traceMagic);
-    put(os, traceVersion);
-
-    std::uint32_t name_len = static_cast<std::uint32_t>(name_.size());
-    put(os, name_len);
-    os.write(name_.data(), name_len);
-
-    put(os, nNodes_);
-    put(os, meta_.maxStaticStoresPerNode);
-    put(os, meta_.maxPredictedStoresPerNode);
-    put(os, meta_.blocksTouched);
-    put(os, meta_.totalOps);
-    put(os, meta_.reads);
-    put(os, meta_.writes);
-    put(os, meta_.readMisses);
-    put(os, meta_.writeMisses);
-    put(os, meta_.writeFaults);
-    put(os, meta_.silentUpgrades);
-    put(os, meta_.invalidationsSent);
-    put(os, meta_.downgrades);
-    put(os, meta_.interventions);
-
-    std::uint64_t count = events_.size();
-    put(os, count);
-    for (const auto &ev : events_) {
-        put(os, ev.pid);
-        put(os, ev.dir);
-        put(os, ev.pc);
-        put(os, ev.block);
-        put(os, ev.invalidated.raw());
-        put(os, ev.readers.raw());
-        put(os, ev.prevWriterPc);
-        put(os, ev.prevWriterPid);
-        std::uint8_t has_prev = ev.hasPrevWriter ? 1 : 0;
-        put(os, has_prev);
-        put(os, ev.prevEvent);
+    if (nNodes_ == 0 || nNodes_ > maxNodes) {
+        ccp_warn("trace '", name_, "': cannot save with nNodes ",
+                 nNodes_, " (want 1..", maxNodes, ")");
+        return false;
     }
-    return bool(os);
+    if (name_.size() > maxTraceNameBytes)
+        return false;
+
+    TraceHeader h;
+    h.nNodes = nNodes_;
+    h.nameBytes = static_cast<std::uint32_t>(name_.size());
+    h.eventCount = events_.size();
+    h.payloadBytes = expectedPayloadBytes(h.eventCount, h.nameBytes);
+    if (h.payloadBytes == 0)
+        return false;
+
+    const PackedMeta meta = packMeta(meta_);
+
+    // Pass 1: checksum the file exactly as it will be written
+    // (header with zeroed checksum field, then the payload).
+    Fnv1a sum = checksumSeed(h);
+    sum.update(meta.data(), sizeof(meta));
+    for (const auto &ev : events_) {
+        const PackedEvent p = packEvent(ev);
+        sum.update(&p, sizeof(p));
+    }
+    sum.update(name_.data(), name_.size());
+    h.checksum = sum.digest();
+
+    // Pass 2: header, then the payload in chunked writes.
+    if (!writeBytes(os, &h, sizeof(h)) ||
+        !writeBytes(os, meta.data(), sizeof(meta)))
+        return false;
+    std::vector<PackedEvent> buf;
+    buf.reserve(std::min(events_.size(), eventChunk));
+    for (std::size_t i = 0; i < events_.size();) {
+        buf.clear();
+        const std::size_t n =
+            std::min(eventChunk, events_.size() - i);
+        for (std::size_t k = 0; k < n; ++k)
+            buf.push_back(packEvent(events_[i + k]));
+        if (!writeBytes(os, buf.data(), n * sizeof(PackedEvent)))
+            return false;
+        i += n;
+    }
+    return writeBytes(os, name_.data(), name_.size());
 }
 
 bool
 SharingTrace::load(std::istream &is)
 {
-    std::uint32_t magic = 0, version = 0;
-    if (!get(is, magic) || magic != traceMagic)
+    TraceHeader h;
+    if (!readBytes(is, &h, sizeof(h)))
         return false;
-    if (!get(is, version) || version != traceVersion)
+    if (!validateHeader(h)) {
+        if (h.magic == traceMagic &&
+            h.version != traceFormatVersion)
+            ccp_debug("trace load: rejecting format v", h.version,
+                      " (want v", traceFormatVersion, ")");
+        else if (h.magic == traceMagic &&
+                 (h.nNodes == 0 || h.nNodes > maxNodes))
+            ccp_warn("trace load: bad node count ", h.nNodes,
+                     " (want 1..", maxNodes, ")");
         return false;
-
-    std::uint32_t name_len = 0;
-    if (!get(is, name_len) || name_len > (1u << 20))
-        return false;
-    name_.resize(name_len);
-    is.read(name_.data(), name_len);
-    if (!is)
-        return false;
-
-    if (!get(is, nNodes_))
-        return false;
-    if (!get(is, meta_.maxStaticStoresPerNode) ||
-        !get(is, meta_.maxPredictedStoresPerNode) ||
-        !get(is, meta_.blocksTouched) || !get(is, meta_.totalOps))
-        return false;
-    if (!get(is, meta_.reads) || !get(is, meta_.writes) ||
-        !get(is, meta_.readMisses) || !get(is, meta_.writeMisses) ||
-        !get(is, meta_.writeFaults) || !get(is, meta_.silentUpgrades) ||
-        !get(is, meta_.invalidationsSent) ||
-        !get(is, meta_.downgrades) || !get(is, meta_.interventions))
-        return false;
-
-    std::uint64_t count = 0;
-    if (!get(is, count))
-        return false;
-    events_.clear();
-    events_.reserve(count);
-    for (std::uint64_t i = 0; i < count; ++i) {
-        CoherenceEvent ev;
-        std::uint64_t inv_raw = 0, readers_raw = 0;
-        std::uint8_t has_prev = 0;
-        if (!get(is, ev.pid) || !get(is, ev.dir) || !get(is, ev.pc) ||
-            !get(is, ev.block) || !get(is, inv_raw) ||
-            !get(is, readers_raw) || !get(is, ev.prevWriterPc) ||
-            !get(is, ev.prevWriterPid) || !get(is, has_prev) ||
-            !get(is, ev.prevEvent))
-            return false;
-        ev.invalidated = SharingBitmap(inv_raw);
-        ev.readers = SharingBitmap(readers_raw);
-        ev.hasPrevWriter = has_prev != 0;
-        events_.push_back(ev);
     }
+
+    // Bound the event count by the bytes actually present before any
+    // allocation: a corrupt count field must not drive a huge
+    // reserve().  Unseekable streams fall back to chunked growth.
+    const auto remaining = remainingBytes(is);
+    if (remaining && *remaining < h.payloadBytes)
+        return false;
+
+    Fnv1a sum = checksumSeed(h);
+
+    PackedMeta meta_words;
+    if (!readBytes(is, meta_words.data(), sizeof(meta_words)))
+        return false;
+    sum.update(meta_words.data(), sizeof(meta_words));
+
+    std::vector<CoherenceEvent> events;
+    events.reserve(remaining
+                       ? h.eventCount
+                       : std::min<std::uint64_t>(h.eventCount,
+                                                 eventChunk));
+    std::vector<PackedEvent> buf;
+    buf.resize(std::min<std::uint64_t>(h.eventCount, eventChunk));
+    for (std::uint64_t left = h.eventCount; left > 0;) {
+        const std::size_t n = static_cast<std::size_t>(
+            std::min<std::uint64_t>(left, eventChunk));
+        if (!readBytes(is, buf.data(), n * sizeof(PackedEvent)))
+            return false;
+        sum.update(buf.data(), n * sizeof(PackedEvent));
+        for (std::size_t k = 0; k < n; ++k)
+            events.push_back(unpackEvent(buf[k]));
+        left -= n;
+    }
+
+    std::string name(h.nameBytes, '\0');
+    if (h.nameBytes > 0 && !readBytes(is, name.data(), h.nameBytes))
+        return false;
+    sum.update(name.data(), name.size());
+
+    if (sum.digest() != h.checksum) {
+        ccp_warn("trace load: checksum mismatch for '", name, "'");
+        return false;
+    }
+
+    // Full success: only now touch the destination trace.
+    name_ = std::move(name);
+    nNodes_ = h.nNodes;
+    meta_ = unpackMeta(meta_words);
+    events_ = std::move(events);
     return true;
 }
 
 bool
 SharingTrace::saveFile(const std::string &path) const
 {
-    std::ofstream os(path, std::ios::binary);
-    return os && save(os);
+    // Unique-per-writer temp name in the same directory, so rename()
+    // is atomic and concurrent writers of the same cache entry never
+    // clobber each other's half-written bytes.
+    static std::atomic<unsigned> seq{0};
+    std::string tmp = path + ".tmp.";
+#if CCP_TRACE_HAVE_MMAP
+    tmp += std::to_string(static_cast<long>(::getpid())) + ".";
+#endif
+    tmp += std::to_string(seq.fetch_add(1, std::memory_order_relaxed));
+
+    {
+        std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+        if (!os || !save(os)) {
+            os.close();
+            std::remove(tmp.c_str());
+            return false;
+        }
+        os.flush();
+        if (!os) {
+            os.close();
+            std::remove(tmp.c_str());
+            return false;
+        }
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        return false;
+    }
+    return true;
 }
 
 bool
 SharingTrace::loadFile(const std::string &path)
 {
+    switch (loadMappedImpl(path)) {
+      case MapLoad::Ok:
+        return true;
+      case MapLoad::Invalid:
+        return false;
+      case MapLoad::Unavailable:
+        break;
+    }
+    return loadFileStream(path);
+}
+
+bool
+SharingTrace::loadFileStream(const std::string &path)
+{
     std::ifstream is(path, std::ios::binary);
     return is && load(is);
 }
+
+bool
+SharingTrace::loadFileMapped(const std::string &path)
+{
+    return loadMappedImpl(path) == MapLoad::Ok;
+}
+
+#if CCP_TRACE_HAVE_MMAP
+
+namespace {
+
+/** RAII mapping of a whole file, read-only. */
+struct FileMapping
+{
+    const unsigned char *data = nullptr;
+    std::uint64_t size = 0;
+
+    ~FileMapping()
+    {
+        if (data)
+            ::munmap(const_cast<unsigned char *>(data), size);
+    }
+};
+
+} // namespace
+
+SharingTrace::MapLoad
+SharingTrace::loadMappedImpl(const std::string &path)
+{
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0)
+        return MapLoad::Unavailable;
+    struct stat st;
+    if (::fstat(fd, &st) != 0 || !S_ISREG(st.st_mode)) {
+        ::close(fd);
+        return MapLoad::Unavailable;
+    }
+    const std::uint64_t size = static_cast<std::uint64_t>(st.st_size);
+    if (size < sizeof(TraceHeader)) {
+        ::close(fd);
+        return MapLoad::Invalid;
+    }
+    int flags = MAP_PRIVATE;
+#ifdef MAP_POPULATE
+    // Prefault the whole mapping in one syscall instead of ~size/4K
+    // minor faults during the scan.
+    flags |= MAP_POPULATE;
+#endif
+    void *map = ::mmap(nullptr, size, PROT_READ, flags, fd, 0);
+#ifdef MAP_POPULATE
+    if (map == MAP_FAILED)
+        map = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+#endif
+    ::close(fd);
+    if (map == MAP_FAILED)
+        return MapLoad::Unavailable;
+    FileMapping m;
+    m.data = static_cast<const unsigned char *>(map);
+    m.size = size;
+#ifdef MADV_SEQUENTIAL
+    ::madvise(map, size, MADV_SEQUENTIAL);
+#endif
+
+    TraceHeader h;
+    std::memcpy(&h, m.data, sizeof(h));
+    if (!validateHeader(h))
+        return MapLoad::Invalid;
+    // The file must be exactly header + payload: a truncated *or*
+    // padded file is corrupt, not loadable.
+    if (size != sizeof(TraceHeader) + h.payloadBytes)
+        return MapLoad::Invalid;
+
+    // Single pass: checksum and unpack interleaved in chunks, so each
+    // mapped page is touched once and stays cache-hot between the two
+    // uses.
+    const unsigned char *payload = m.data + sizeof(TraceHeader);
+    Fnv1a sum = checksumSeed(h);
+
+    PackedMeta meta_words;
+    std::memcpy(meta_words.data(), payload, sizeof(meta_words));
+    sum.update(payload, traceMetaBytes);
+    const unsigned char *records = payload + traceMetaBytes;
+
+    std::vector<CoherenceEvent> events;
+    events.reserve(h.eventCount);
+    for (std::uint64_t i = 0; i < h.eventCount;) {
+        const std::uint64_t n =
+            std::min<std::uint64_t>(h.eventCount - i, 1024);
+        const unsigned char *chunk =
+            records + i * sizeof(PackedEvent);
+        sum.update(chunk, n * sizeof(PackedEvent));
+        for (std::uint64_t k = 0; k < n; ++k) {
+            PackedEvent p;
+            std::memcpy(&p, chunk + k * sizeof(PackedEvent),
+                        sizeof(p));
+            events.push_back(unpackEvent(p));
+        }
+        i += n;
+    }
+
+    const unsigned char *name_bytes =
+        records + h.eventCount * sizeof(PackedEvent);
+    sum.update(name_bytes, h.nameBytes);
+    if (sum.digest() != h.checksum) {
+        ccp_warn("trace mmap load: checksum mismatch in ", path);
+        return MapLoad::Invalid;
+    }
+
+    name_.assign(reinterpret_cast<const char *>(name_bytes),
+                 h.nameBytes);
+    nNodes_ = h.nNodes;
+    meta_ = unpackMeta(meta_words);
+    events_ = std::move(events);
+    return MapLoad::Ok;
+}
+
+#else // !CCP_TRACE_HAVE_MMAP
+
+SharingTrace::MapLoad
+SharingTrace::loadMappedImpl(const std::string &)
+{
+    return MapLoad::Unavailable;
+}
+
+#endif
 
 } // namespace ccp::trace

@@ -96,16 +96,60 @@ class SharingTrace
     /** Fraction of decisions that are reads: sharingEvents/decisions. */
     double prevalence() const;
 
-    /** Serialize to a binary stream.  @return false on I/O error. */
+    /**
+     * Serialize in trace format v4 (see docs/TRACE_FORMAT.md): a
+     * fixed validated header plus a checksummed payload of packed
+     * 64-byte event records.  @return false on I/O error or an
+     * unrepresentable trace (nNodes outside [1, maxNodes], name too
+     * long).
+     */
     bool save(std::ostream &os) const;
-    /** Deserialize from a binary stream.  @return false on error. */
+
+    /**
+     * Deserialize a v4 trace.  The header is fully validated (magic,
+     * version, nNodes ∈ [1, maxNodes], event count bounded by the
+     * actual remaining stream bytes) *before* any allocation, and the
+     * payload checksum must match.  On any failure the destination
+     * trace is left completely unchanged.  @return false on error.
+     */
     bool load(std::istream &is);
 
-    /** Convenience file-based wrappers. */
+    /**
+     * Save to @p path atomically: the bytes are written to a
+     * temporary file in the same directory and rename()d into place
+     * only once complete, so concurrent readers and writers of a
+     * shared trace cache never observe a partial file.  The temporary
+     * is removed on any failure.
+     */
     bool saveFile(const std::string &path) const;
+
+    /**
+     * Load from @p path, preferring the memory-mapped zero-copy
+     * reader and falling back to the stream reader where mapping is
+     * unavailable.  Same validation guarantees as load().
+     */
     bool loadFile(const std::string &path);
 
+    /**
+     * Memory-mapped read path: maps the file read-only, validates the
+     * header against the true file size, checksums the payload, and
+     * unpacks the fixed-width event records in place — no per-event
+     * istream reads.  @return false if mapping is unavailable on this
+     * platform or the file is invalid; the destination trace is left
+     * unchanged on failure.
+     */
+    bool loadFileMapped(const std::string &path);
+
+    /** Portable stream-based file reader (the loadFile fallback). */
+    bool loadFileStream(const std::string &path);
+
   private:
+    /** loadFileMapped internals: Unavailable means "mapping is not
+     *  possible here, try the stream path"; Invalid means the file
+     *  exists but fails validation. */
+    enum class MapLoad { Ok, Unavailable, Invalid };
+    MapLoad loadMappedImpl(const std::string &path);
+
     std::string name_;
     unsigned nNodes_ = 0;
     TraceMeta meta_;

@@ -6,8 +6,11 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <sstream>
 
+#include "trace/format.hh"
 #include "trace/trace.hh"
 
 namespace {
@@ -144,6 +147,269 @@ TEST(SharingTrace, LoadMissingFileFails)
 {
     SharingTrace tr;
     EXPECT_FALSE(tr.loadFile("/nonexistent/path/trace.bin"));
+}
+
+// ---------------------------------------------------------------------
+// Format v4 validation: corruption in any form is rejected without a
+// crash and without touching the destination trace.
+
+/** A small but non-trivial trace exercising every serialized field. */
+SharingTrace
+sampleTrace()
+{
+    SharingTrace tr("sample", 16);
+    tr.meta().maxStaticStoresPerNode = 12;
+    tr.meta().blocksTouched = 99;
+    tr.meta().totalOps = 12345;
+    tr.meta().invalidationsSent = 7;
+    for (int i = 0; i < 3; ++i) {
+        CoherenceEvent ev = makeEvent(i, 0x400 + 4 * i, 10 + i,
+                                      0b1010 >> i);
+        ev.invalidated = SharingBitmap(0b0100);
+        ev.prevWriterPid = 2;
+        ev.prevWriterPc = 0x43c;
+        ev.hasPrevWriter = i > 0;
+        ev.prevEvent = i > 0 ? i - 1 : trace::noEvent;
+        tr.append(ev);
+    }
+    return tr;
+}
+
+std::string
+serialized(const SharingTrace &tr)
+{
+    std::stringstream ss;
+    EXPECT_TRUE(tr.save(ss));
+    return ss.str();
+}
+
+/** A destination pre-filled with sentinel state, to detect partial
+ *  writes by a failing load. */
+SharingTrace
+sentinelTrace()
+{
+    SharingTrace tr("sentinel", 8);
+    tr.meta().totalOps = 777;
+    tr.append(makeEvent(5, 0x999, 42, 0b1));
+    return tr;
+}
+
+void
+expectUnchangedSentinel(const SharingTrace &tr)
+{
+    EXPECT_EQ(tr.name(), "sentinel");
+    EXPECT_EQ(tr.nNodes(), 8u);
+    EXPECT_EQ(tr.meta().totalOps, 777u);
+    ASSERT_EQ(tr.events().size(), 1u);
+    EXPECT_EQ(tr.events()[0].block, 42u);
+}
+
+/** load() from raw bytes. */
+bool
+loadBytes(SharingTrace &tr, const std::string &bytes)
+{
+    std::stringstream ss(bytes);
+    return tr.load(ss);
+}
+
+TEST(TraceFormatV4, HeaderGeometry)
+{
+    EXPECT_EQ(sizeof(trace::TraceHeader), 64u);
+    EXPECT_EQ(sizeof(trace::PackedEvent), 64u);
+    const std::string bytes = serialized(sampleTrace());
+    EXPECT_EQ(bytes.size(), sizeof(trace::TraceHeader) +
+                                trace::traceMetaBytes + 3 * 64 +
+                                std::strlen("sample"));
+}
+
+TEST(TraceFormatV4, RejectsTruncationAtEveryBoundary)
+{
+    const std::string whole = serialized(sampleTrace());
+    // Every header byte, every section boundary, every event record
+    // boundary, a mid-record cut, and one-byte-short.
+    std::vector<std::size_t> cuts;
+    for (std::size_t i = 0; i < sizeof(trace::TraceHeader); ++i)
+        cuts.push_back(i);
+    const std::size_t payload = sizeof(trace::TraceHeader);
+    cuts.push_back(payload);                         // before meta
+    cuts.push_back(payload + trace::traceMetaBytes); // before events
+    for (std::size_t e = 0; e <= 3; ++e)
+        cuts.push_back(payload + trace::traceMetaBytes + e * 64);
+    cuts.push_back(payload + trace::traceMetaBytes + 64 + 13);
+    cuts.push_back(whole.size() - 1); // inside the name
+    for (std::size_t cut : cuts) {
+        ASSERT_LT(cut, whole.size());
+        SharingTrace dst = sentinelTrace();
+        EXPECT_FALSE(loadBytes(dst, whole.substr(0, cut)))
+            << "cut at " << cut;
+        expectUnchangedSentinel(dst);
+    }
+}
+
+TEST(TraceFormatV4, RejectsEverySingleFlippedByte)
+{
+    const std::string whole = serialized(sampleTrace());
+    for (std::size_t i = 0; i < whole.size(); ++i) {
+        std::string bad = whole;
+        bad[i] = static_cast<char>(bad[i] ^ 0x40);
+        SharingTrace dst = sentinelTrace();
+        EXPECT_FALSE(loadBytes(dst, bad)) << "flip at byte " << i;
+        expectUnchangedSentinel(dst);
+    }
+}
+
+TEST(TraceFormatV4, RejectsBadMagicAndOldVersions)
+{
+    const std::string whole = serialized(sampleTrace());
+    {
+        std::string bad = whole;
+        bad[0] = 'X';
+        SharingTrace dst;
+        EXPECT_FALSE(loadBytes(dst, bad));
+    }
+    // Every other version number, notably v3, is rejected — stale
+    // caches regenerate instead of misparsing.
+    for (std::uint32_t v : {0u, 1u, 2u, 3u, 5u, 0xffffffffu}) {
+        std::string bad = whole;
+        std::memcpy(bad.data() + 4, &v, sizeof(v));
+        SharingTrace dst;
+        EXPECT_FALSE(loadBytes(dst, bad)) << "version " << v;
+    }
+}
+
+TEST(TraceFormatV4, RejectsOversizedEventCount)
+{
+    const std::string whole = serialized(sampleTrace());
+    // Huge count with stale payloadBytes: inconsistent header.
+    {
+        std::string bad = whole;
+        const std::uint64_t huge = std::uint64_t(1) << 62;
+        std::memcpy(bad.data() + 16, &huge, sizeof(huge));
+        SharingTrace dst;
+        EXPECT_FALSE(loadBytes(dst, bad));
+    }
+    // Consistent huge count + payloadBytes: must be bounded by the
+    // actual remaining bytes before any allocation happens.
+    {
+        std::string bad = whole;
+        const std::uint64_t count = std::uint64_t(1) << 32;
+        const std::uint64_t payload =
+            trace::expectedPayloadBytes(count, 6);
+        ASSERT_NE(payload, 0u);
+        std::memcpy(bad.data() + 16, &count, sizeof(count));
+        std::memcpy(bad.data() + 24, &payload, sizeof(payload));
+        SharingTrace dst;
+        EXPECT_FALSE(loadBytes(dst, bad));
+    }
+}
+
+TEST(TraceFormatV4, RejectsBadNodeCounts)
+{
+    const std::string whole = serialized(sampleTrace());
+    for (std::uint32_t nodes : {0u, 65u, 1000u}) {
+        std::string bad = whole;
+        std::memcpy(bad.data() + 8, &nodes, sizeof(nodes));
+        SharingTrace dst = sentinelTrace();
+        EXPECT_FALSE(loadBytes(dst, bad)) << "nNodes " << nodes;
+        expectUnchangedSentinel(dst);
+    }
+}
+
+TEST(TraceFormatV4, SaveRejectsUnrepresentableNodeCounts)
+{
+    std::stringstream ss;
+    EXPECT_FALSE(SharingTrace("x", 0).save(ss));
+    EXPECT_FALSE(SharingTrace("x", 65).save(ss));
+    EXPECT_TRUE(SharingTrace("x", 64).save(ss));
+}
+
+TEST(TraceFormatV4, MappedLoadMatchesStreamLoad)
+{
+    SharingTrace tr = sampleTrace();
+    const std::string path =
+        ::testing::TempDir() + "/ccp_trace_mmap_eq.trace";
+    ASSERT_TRUE(tr.saveFile(path));
+
+    SharingTrace via_stream, via_map;
+    ASSERT_TRUE(via_stream.loadFileStream(path));
+    ASSERT_TRUE(via_map.loadFileMapped(path));
+    std::remove(path.c_str());
+
+    EXPECT_EQ(via_map.name(), via_stream.name());
+    EXPECT_EQ(via_map.nNodes(), via_stream.nNodes());
+    EXPECT_EQ(via_map.meta().totalOps, via_stream.meta().totalOps);
+    EXPECT_EQ(via_map.meta().invalidationsSent,
+              via_stream.meta().invalidationsSent);
+    ASSERT_EQ(via_map.events().size(), via_stream.events().size());
+    for (std::size_t i = 0; i < via_map.events().size(); ++i) {
+        const auto &a = via_map.events()[i];
+        const auto &b = via_stream.events()[i];
+        EXPECT_EQ(a.pid, b.pid);
+        EXPECT_EQ(a.dir, b.dir);
+        EXPECT_EQ(a.pc, b.pc);
+        EXPECT_EQ(a.block, b.block);
+        EXPECT_EQ(a.invalidated.raw(), b.invalidated.raw());
+        EXPECT_EQ(a.readers.raw(), b.readers.raw());
+        EXPECT_EQ(a.prevWriterPc, b.prevWriterPc);
+        EXPECT_EQ(a.prevWriterPid, b.prevWriterPid);
+        EXPECT_EQ(a.hasPrevWriter, b.hasPrevWriter);
+        EXPECT_EQ(a.prevEvent, b.prevEvent);
+    }
+}
+
+TEST(TraceFormatV4, MappedLoadRejectsCorruptFiles)
+{
+    const std::string whole = serialized(sampleTrace());
+    const std::string path =
+        ::testing::TempDir() + "/ccp_trace_mmap_bad.trace";
+
+    auto write_file = [&](const std::string &bytes) {
+        std::ofstream os(path, std::ios::binary | std::ios::trunc);
+        os.write(bytes.data(),
+                 static_cast<std::streamsize>(bytes.size()));
+    };
+
+    // Flipped byte, truncation, and trailing garbage all rejected.
+    std::string flipped = whole;
+    flipped[100] = static_cast<char>(flipped[100] ^ 0x01);
+    for (const std::string &bytes :
+         {flipped, whole.substr(0, whole.size() / 2),
+          whole + "junk"}) {
+        write_file(bytes);
+        SharingTrace dst = sentinelTrace();
+        EXPECT_FALSE(dst.loadFileMapped(path));
+        expectUnchangedSentinel(dst);
+    }
+    write_file(whole);
+    SharingTrace ok;
+    EXPECT_TRUE(ok.loadFileMapped(path));
+    EXPECT_EQ(ok.events().size(), 3u);
+    std::remove(path.c_str());
+}
+
+TEST(TraceFormatV4, LoadFileUsesMappedPathTransparently)
+{
+    SharingTrace tr = sampleTrace();
+    const std::string path =
+        ::testing::TempDir() + "/ccp_trace_loadfile.trace";
+    ASSERT_TRUE(tr.saveFile(path));
+    SharingTrace back;
+    ASSERT_TRUE(back.loadFile(path));
+    EXPECT_EQ(back.name(), "sample");
+    EXPECT_EQ(back.events().size(), 3u);
+    std::remove(path.c_str());
+}
+
+TEST(TraceFormatV4, EmptyTraceRoundTripsWithChecksum)
+{
+    SharingTrace tr("empty", 4);
+    std::stringstream ss;
+    ASSERT_TRUE(tr.save(ss));
+    SharingTrace back;
+    ASSERT_TRUE(back.load(ss));
+    EXPECT_EQ(back.name(), "empty");
+    EXPECT_EQ(back.nNodes(), 4u);
+    EXPECT_TRUE(back.events().empty());
 }
 
 } // namespace
