@@ -15,6 +15,10 @@
  *   --threads <n>     worker threads for scheme sweeps (default: all
  *                     hardware threads; 1 = the sequential path; 0 is
  *                     the same as the default)
+ *   --kernel <k>      sweep evaluation kernel: "batched" (the
+ *                     event-major default) or "reference" (the
+ *                     per-scheme oracle); output is byte-identical
+ *                     either way
  *
  * Environment knobs:
  *   CCP_TRACE_DIR  cache directory (default ./ccp_traces)
@@ -43,6 +47,7 @@
 #include "obs/timer.hh"
 #include "predict/evaluator.hh"
 #include "sweep/name.hh"
+#include "sweep/parallel.hh"
 #include "trace/format.hh"
 #include "trace/trace.hh"
 #include "workloads/registry.hh"
@@ -369,10 +374,16 @@ class BenchContext
                               "' (want 0..4096; 0 = all hardware "
                               "threads)");
                 threads_ = static_cast<unsigned>(n);
+            } else if (takesValue(arg, "--kernel", i, argc, argv,
+                                  value)) {
+                if (!sweep::parseSweepKernel(value, kernel_))
+                    ccp_fatal("bad --kernel value '", value,
+                              "' (want batched|reference)");
             } else if (arg == "--help" || arg == "-h") {
                 std::printf(
                     "usage: %s [--report <out.json>] "
-                    "[--log quiet|warn|info|debug] [--threads <n>]\n",
+                    "[--log quiet|warn|info|debug] [--threads <n>] "
+                    "[--kernel batched|reference]\n",
                     report_.tool().c_str());
                 std::exit(0);
             } else {
@@ -388,6 +399,7 @@ class BenchContext
         config["trace_dir"] = obs::Json(traceDir());
         config["threads"] = obs::Json(std::uint64_t(
             threads_ > 0 ? threads_ : ThreadPool::defaultThreads()));
+        config["kernel"] = obs::Json(sweep::sweepKernelName(kernel_));
     }
 
     obs::RunReport &report() { return report_; }
@@ -395,6 +407,9 @@ class BenchContext
     /** Sweep worker count from --threads (0 = hardware concurrency,
      *  the value the sweep layer resolves itself). */
     unsigned threads() const { return threads_; }
+
+    /** Sweep evaluation kernel from --kernel (default batched). */
+    sweep::SweepKernel kernel() const { return kernel_; }
 
     /** Shorthand for report().section("results"). */
     obs::Json &results() { return report_.section("results"); }
@@ -487,6 +502,8 @@ class BenchContext
     std::string reportPath_;
     /** --threads value; 0 = all hardware threads (the default). */
     unsigned threads_ = 0;
+    /** --kernel value (sweep inner-loop implementation). */
+    sweep::SweepKernel kernel_ = sweep::SweepKernel::Batched;
 };
 
 /** The paper's Table 5 rows (per benchmark). */

@@ -74,7 +74,8 @@ runFigure(BenchContext &ctx, const char *title,
                       predict::UpdateMode::Forwarded,
                       predict::UpdateMode::Ordered}) {
         auto points = sweep::evaluateFigure(suite, series, kind, depth,
-                                            mode, ctx.threads());
+                                            mode, ctx.threads(),
+                                            ctx.kernel());
         printSeries(predict::updateModeName(mode), points);
         writeSeriesCsv(predict::functionKindName(kind),
                        predict::updateModeName(mode), points);

@@ -4,17 +4,31 @@
  * lookup/update throughput per function family, full-trace evaluation
  * rate, protocol-engine op rate, and torus accounting — the numbers
  * that bound how large a design-space sweep is practical.
+ *
+ * After the registered benchmarks, main() runs the sweep-kernel perf
+ * gate: the event-major batched kernel and the reference per-scheme
+ * evaluator over the standard 16-node sweep fixture (48 window
+ * schemes x the 200k-event synthetic trace), writing the measured
+ * rates to BENCH_sweep.json (override with CCP_BENCH_JSON) and
+ * exiting non-zero if the batched kernel is slower than the
+ * reference.  Pass --benchmark_filter='^$' to run only the gate.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <string>
 
 #include "common/rng.hh"
+#include "common/thread_pool.hh"
 #include "mem/protocol.hh"
+#include "obs/json.hh"
 #include "predict/evaluator.hh"
+#include "sweep/batch.hh"
 #include "sweep/name.hh"
+#include "sweep/parallel.hh"
 #include "workloads/registry.hh"
 
 namespace {
@@ -114,6 +128,72 @@ BENCHMARK_CAPTURE(BM_EvaluateTrace, union1_ordered, "last(pid+add8)1",
                   2);
 BENCHMARK_CAPTURE(BM_EvaluateTrace, pas2_direct, "pas(pid+add4)2", 0);
 
+/**
+ * The standard 16-node sweep fixture: 48 window schemes (the families
+ * that dominate the enumerated design space) over the synthetic
+ * trace.  Both kernels are benchmarked — and gated — on exactly this
+ * batch.
+ */
+std::vector<predict::SchemeSpec>
+sweepFixture()
+{
+    const char *shapes[] = {"add8",     "add12",        "dir+add8",
+                            "pid+add8", "pc8",          "pid+pc8",
+                            "pc4+add6", "pid+pc4+add6"};
+    std::vector<predict::SchemeSpec> schemes;
+    for (const char *fn : {"union", "inter"}) {
+        for (unsigned depth : {1u, 2u, 4u}) {
+            for (const char *shape : shapes)
+                schemes.push_back(
+                    schemeOf((std::string(fn) + "(" + shape + ")" +
+                              std::to_string(depth))
+                                 .c_str()));
+        }
+    }
+    return schemes;
+}
+
+void
+BM_BatchedSweepFixture(benchmark::State &state, int mode_int)
+{
+    const auto &tr = syntheticTrace();
+    auto schemes = sweepFixture();
+    sweep::BatchEvaluator batch(schemes, tr.nNodes());
+    auto mode = static_cast<predict::UpdateMode>(mode_int);
+    for (auto _ : state) {
+        auto res = batch.evaluateTrace(tr, mode);
+        benchmark::DoNotOptimize(res);
+    }
+    state.SetItemsProcessed(state.iterations() * tr.events().size() *
+                            schemes.size());
+}
+
+BENCHMARK_CAPTURE(BM_BatchedSweepFixture, direct, 0)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_BatchedSweepFixture, ordered, 2)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_ReferenceSweepFixture(benchmark::State &state, int mode_int)
+{
+    const auto &tr = syntheticTrace();
+    auto schemes = sweepFixture();
+    auto mode = static_cast<predict::UpdateMode>(mode_int);
+    for (auto _ : state) {
+        for (const auto &scheme : schemes) {
+            auto conf = predict::evaluateTrace(tr, scheme, mode);
+            benchmark::DoNotOptimize(conf);
+        }
+    }
+    state.SetItemsProcessed(state.iterations() * tr.events().size() *
+                            schemes.size());
+}
+
+BENCHMARK_CAPTURE(BM_ReferenceSweepFixture, direct, 0)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_ReferenceSweepFixture, ordered, 2)
+    ->Unit(benchmark::kMillisecond);
+
 void
 BM_ProtocolOps(benchmark::State &state)
 {
@@ -206,6 +286,134 @@ BM_TorusMessage(benchmark::State &state)
 
 BENCHMARK(BM_TorusMessage);
 
+// ---------------------------------------------------------------------
+// Sweep-kernel perf gate
+
+/** Wall-clock best-of-@p reps for one sweep over the fixture. */
+template <typename Fn>
+double
+bestOf(unsigned reps, Fn &&fn)
+{
+    double best = 0;
+    for (unsigned r = 0; r < reps; ++r) {
+        auto t0 = std::chrono::steady_clock::now();
+        fn();
+        std::chrono::duration<double> dt =
+            std::chrono::steady_clock::now() - t0;
+        if (r == 0 || dt.count() < best)
+            best = dt.count();
+    }
+    return best;
+}
+
+/**
+ * Run both kernels over the standard sweep fixture, write the perf
+ * record, and gate: the batched kernel must not be slower than the
+ * reference.  @return the process exit code.
+ */
+int
+runSweepGate()
+{
+    const auto &tr = syntheticTrace();
+    auto schemes = sweepFixture();
+    std::vector<trace::SharingTrace> suite;
+    suite.push_back(tr);
+    const auto mode = predict::UpdateMode::Direct;
+    const double scheme_events =
+        double(tr.events().size()) * double(schemes.size());
+    const unsigned reps = 3;
+    const unsigned mt_threads = ThreadPool::defaultThreads();
+
+    std::fprintf(stderr,
+                 "[gate] sweep fixture: %zu schemes x %zu events, "
+                 "%u nodes, direct update\n",
+                 schemes.size(), tr.events().size(), tr.nNodes());
+
+    std::vector<predict::SuiteResult> ref_results, batched_results;
+    double ref_sec = bestOf(reps, [&] {
+        ref_results =
+            sweep::ParallelSweep(1, sweep::SweepKernel::Reference)
+                .evaluate(suite, schemes, mode);
+    });
+    double batched_sec = bestOf(reps, [&] {
+        batched_results =
+            sweep::ParallelSweep(1, sweep::SweepKernel::Batched)
+                .evaluate(suite, schemes, mode);
+    });
+    double mt_sec = bestOf(reps, [&] {
+        auto res =
+            sweep::ParallelSweep(mt_threads,
+                                 sweep::SweepKernel::Batched)
+                .evaluate(suite, schemes, mode);
+        benchmark::DoNotOptimize(res);
+    });
+
+    // The gate also cross-checks the kernels on the fixture: a fast
+    // wrong kernel must not pass.
+    for (std::size_t i = 0; i < schemes.size(); ++i) {
+        if (!(ref_results[i].pooled == batched_results[i].pooled)) {
+            std::fprintf(stderr,
+                         "[gate] FAIL: kernels disagree on %s\n",
+                         sweep::formatScheme(schemes[i]).c_str());
+            return 1;
+        }
+    }
+
+    const double speedup = ref_sec / batched_sec;
+    obs::Json doc = obs::Json::object();
+    obs::Json fixture = obs::Json::object();
+    fixture["trace"] = obs::Json(tr.name());
+    fixture["events"] = obs::Json(std::uint64_t(tr.events().size()));
+    fixture["n_nodes"] = obs::Json(tr.nNodes());
+    fixture["schemes"] = obs::Json(std::uint64_t(schemes.size()));
+    fixture["mode"] = obs::Json(predict::updateModeName(mode));
+    fixture["reps"] = obs::Json(reps);
+    doc["fixture"] = std::move(fixture);
+    auto record = [&](const char *key, unsigned threads,
+                      double seconds) {
+        obs::Json j = obs::Json::object();
+        j["threads"] = obs::Json(threads);
+        j["seconds"] = obs::Json(seconds);
+        j["scheme_events_per_sec"] =
+            obs::Json(scheme_events / seconds);
+        doc[key] = std::move(j);
+    };
+    record("reference", 1, ref_sec);
+    record("batched", 1, batched_sec);
+    record("batched_parallel", mt_threads, mt_sec);
+    doc["speedup"] = obs::Json(speedup);
+
+    const char *env_path = std::getenv("CCP_BENCH_JSON");
+    const std::string path = env_path ? env_path : "BENCH_sweep.json";
+    std::ofstream os(path, std::ios::binary);
+    os << doc.dump(2) << "\n";
+    if (!os.good()) {
+        std::fprintf(stderr, "[gate] FAIL: cannot write %s\n",
+                     path.c_str());
+        return 1;
+    }
+
+    std::fprintf(stderr,
+                 "[gate] reference %.3fs (%.1fM scheme-events/s), "
+                 "batched %.3fs (%.1fM), x%u threads %.3fs (%.1fM): "
+                 "speedup %.2fx -> %s\n",
+                 ref_sec, scheme_events / ref_sec / 1e6, batched_sec,
+                 scheme_events / batched_sec / 1e6, mt_threads, mt_sec,
+                 scheme_events / mt_sec / 1e6, speedup,
+                 speedup >= 1.0 ? "ok" : "FAIL (batched slower than "
+                                         "reference)");
+    return speedup >= 1.0 ? 0 : 1;
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return runSweepGate();
+}

@@ -49,7 +49,7 @@ runTopTen(BenchContext &ctx, const char *title, predict::UpdateMode mode,
     auto top = sweep::rankSchemes(
         suite, schemes, mode, by, 10,
         [&reporter](const obs::Progress &p) { reporter(p); },
-        ctx.threads());
+        ctx.threads(), ctx.kernel());
 
     std::printf("%s\n\n", title);
     Table t({"#", "scheme", "size", "prev", "pvp", "sens", "| paper",

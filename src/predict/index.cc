@@ -40,6 +40,41 @@ IndexSpec::index(NodeId pid, Pc pc, NodeId dir, Addr block,
     return idx;
 }
 
+IndexPlan
+makeIndexPlan(const IndexSpec &spec, unsigned node_bits)
+{
+    // Mirrors the field order of IndexSpec::index() exactly:
+    // addr, dir, pc, pid from the low bits up.
+    auto mask_of = [](unsigned bits) {
+        return bits ? (std::uint64_t(1) << bits) - 1 : 0;
+    };
+    IndexPlan plan;
+    unsigned shift = 0;
+    if (spec.addrBits > 0) {
+        plan.addrMask = mask_of(spec.addrBits);
+        plan.addrShift = shift;
+        shift += spec.addrBits;
+    }
+    if (spec.useDir) {
+        plan.dirMask = mask_of(node_bits);
+        plan.dirShift = shift;
+        shift += node_bits;
+    }
+    if (spec.pcBits > 0) {
+        plan.pcMask = mask_of(spec.pcBits);
+        plan.pcShift = shift;
+        shift += spec.pcBits;
+    }
+    if (spec.usePid) {
+        plan.pidMask = mask_of(node_bits);
+        plan.pidShift = shift;
+        shift += node_bits;
+    }
+    ccp_assert(shift == spec.indexBits(node_bits),
+               "index plan packing mismatch");
+    return plan;
+}
+
 unsigned
 IndexSpec::tableOneCase() const
 {

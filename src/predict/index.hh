@@ -85,6 +85,50 @@ struct IndexSpec
     bool operator==(const IndexSpec &) const = default;
 };
 
+/**
+ * A compiled index-extraction plan: the shift/mask pipeline of one
+ * IndexSpec, precomputed once per scheme so the per-event index is a
+ * fixed branch-free expression (four mask-and-shift terms, absent
+ * fields contributing zero through a zero mask).  Produces bit-for-bit
+ * the same index as IndexSpec::index() for every tuple.
+ */
+struct IndexPlan
+{
+    std::uint64_t addrMask = 0;
+    std::uint64_t dirMask = 0;
+    std::uint64_t pcMask = 0;
+    std::uint64_t pidMask = 0;
+    unsigned addrShift = 0;
+    unsigned dirShift = 0;
+    unsigned pcShift = 0;
+    unsigned pidShift = 0;
+
+    /**
+     * Index from pre-decoded words; @p pc_word is the word-aligned pc
+     * (pc >> 2), hoisted out so event-major kernels shift it once per
+     * event instead of once per scheme.
+     */
+    std::uint64_t
+    fromWords(std::uint64_t pid, std::uint64_t pc_word,
+              std::uint64_t dir, std::uint64_t block) const
+    {
+        return ((block & addrMask) << addrShift) |
+               ((dir & dirMask) << dirShift) |
+               ((pc_word & pcMask) << pcShift) |
+               ((pid & pidMask) << pidShift);
+    }
+
+    /** Index for a raw access tuple (same contract as IndexSpec). */
+    std::uint64_t
+    index(NodeId pid, Pc pc, NodeId dir, Addr block) const
+    {
+        return fromWords(pid, pc >> 2, dir, block);
+    }
+};
+
+/** Compile @p spec into its branch-free extraction plan. */
+IndexPlan makeIndexPlan(const IndexSpec &spec, unsigned node_bits);
+
 /** Convenience builders for the common schemes. */
 IndexSpec addressIndex(unsigned addr_bits, bool use_dir = true);
 IndexSpec instructionIndex(unsigned pc_bits, bool use_pid = true);

@@ -20,6 +20,18 @@ Confusion::add(const SharingBitmap &predicted,
     tn += n_nodes - tp_now - fp_now - fn_now;
 }
 
+Confusion
+Confusion::fromPositives(std::uint64_t tp, std::uint64_t fp,
+                         std::uint64_t fn, std::uint64_t decisions)
+{
+    Confusion c;
+    c.tp = tp;
+    c.fp = fp;
+    c.fn = fn;
+    c.tn = decisions - tp - fp - fn;
+    return c;
+}
+
 void
 Confusion::merge(const Confusion &other)
 {

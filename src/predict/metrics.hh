@@ -38,6 +38,18 @@ struct Confusion
     void add(const SharingBitmap &predicted, const SharingBitmap &actual,
              unsigned n_nodes);
 
+    /**
+     * Rebuild full counts from the three positive-side popcount
+     * tallies plus the total decision count.  Word-wise kernels
+     * accumulate only tp/fp/fn per event (three popcounts on the
+     * 64-bit bitmaps, no per-bit branches); TN falls out by
+     * conservation: tn = decisions - tp - fp - fn.  Produces exactly
+     * the counts per-event add() calls would.
+     */
+    static Confusion fromPositives(std::uint64_t tp, std::uint64_t fp,
+                                   std::uint64_t fn,
+                                   std::uint64_t decisions);
+
     void merge(const Confusion &other);
 
     std::uint64_t decisions() const { return tp + fp + tn + fn; }

@@ -18,13 +18,6 @@ nodeBitsFor(unsigned n_nodes)
     return bits;
 }
 
-namespace {
-
-/** Hard cap on index width so a mistyped sweep cannot eat all RAM. */
-constexpr unsigned maxIndexBits = 26;
-
-} // namespace
-
 PredictorTable::PredictorTable(
     const IndexSpec &spec,
     std::shared_ptr<const PredictionFunction> function, unsigned n_nodes)
@@ -33,7 +26,8 @@ PredictorTable::PredictorTable(
 {
     ccp_assert(function_ != nullptr, "table needs a function");
     unsigned bits = spec_.indexBits(nodeBits_);
-    ccp_assert(bits <= maxIndexBits, "index too wide: ", bits, " bits");
+    ccp_assert(bits <= maxTableIndexBits, "index too wide: ", bits,
+               " bits");
     entries_ = std::uint64_t(1) << bits;
     entryWords_ = function_->entryWords();
     state_.assign(entries_ * entryWords_, 0);

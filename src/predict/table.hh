@@ -20,6 +20,10 @@
 
 namespace ccp::predict {
 
+/** Hard cap on index width so a mistyped sweep cannot eat all RAM
+ *  (shared by PredictorTable and the batched sweep kernel). */
+inline constexpr unsigned maxTableIndexBits = 26;
+
 /**
  * A complete prediction scheme instance.
  *

@@ -78,7 +78,8 @@ figureLabel(const IndexSpec &index)
 std::vector<FigurePoint>
 evaluateFigure(const std::vector<trace::SharingTrace> &traces,
                const std::vector<IndexSpec> &series, FunctionKind kind,
-               unsigned depth, UpdateMode mode, unsigned threads)
+               unsigned depth, UpdateMode mode, unsigned threads,
+               SweepKernel kernel)
 {
     std::vector<predict::SchemeSpec> schemes;
     schemes.reserve(series.size());
@@ -86,7 +87,7 @@ evaluateFigure(const std::vector<trace::SharingTrace> &traces,
         schemes.push_back({idx, kind, depth});
 
     std::vector<predict::SuiteResult> results =
-        ParallelSweep(threads).evaluate(traces, schemes, mode);
+        ParallelSweep(threads, kernel).evaluate(traces, schemes, mode);
 
     std::vector<FigurePoint> points;
     points.reserve(series.size());

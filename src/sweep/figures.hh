@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "predict/evaluator.hh"
+#include "sweep/parallel.hh"
 #include "trace/trace.hh"
 
 namespace ccp::sweep {
@@ -40,14 +41,15 @@ std::vector<predict::IndexSpec> figureIndexSeries12();
  * Evaluate one figure: the given function/depth over the label
  * series, averaging sensitivity and PVP across the suite.  The
  * series positions are evaluated on @p threads workers (0 = one per
- * hardware thread, 1 = sequential); the point order is the series
- * order either way.
+ * hardware thread, 1 = sequential) under @p kernel; the point order
+ * is the series order either way.
  */
 std::vector<FigurePoint>
 evaluateFigure(const std::vector<trace::SharingTrace> &traces,
                const std::vector<predict::IndexSpec> &series,
                predict::FunctionKind kind, unsigned depth,
-               predict::UpdateMode mode, unsigned threads = 1);
+               predict::UpdateMode mode, unsigned threads = 1,
+               SweepKernel kernel = SweepKernel::Batched);
 
 /** Render the addr/dir/pc/pid label of a series position. */
 std::string figureLabel(const predict::IndexSpec &index);

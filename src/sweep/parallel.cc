@@ -3,7 +3,9 @@
 #include <atomic>
 #include <mutex>
 
+#include "common/logging.hh"
 #include "obs/registry.hh"
+#include "sweep/batch.hh"
 
 namespace ccp::sweep {
 
@@ -11,10 +13,47 @@ using predict::SchemeSpec;
 using predict::SuiteResult;
 using predict::UpdateMode;
 
+const char *
+sweepKernelName(SweepKernel kernel)
+{
+    switch (kernel) {
+      case SweepKernel::Batched:
+        return "batched";
+      case SweepKernel::Reference:
+        return "reference";
+    }
+    ccp_panic("bad SweepKernel");
+}
+
+bool
+parseSweepKernel(const std::string &text, SweepKernel &kernel)
+{
+    if (text == "batched") {
+        kernel = SweepKernel::Batched;
+        return true;
+    }
+    if (text == "reference") {
+        kernel = SweepKernel::Reference;
+        return true;
+    }
+    return false;
+}
+
 std::vector<SuiteResult>
 ParallelSweep::evaluate(const std::vector<trace::SharingTrace> &traces,
                         const std::vector<SchemeSpec> &schemes,
                         UpdateMode mode, const obs::ProgressFn &progress)
+{
+    return kernel_ == SweepKernel::Batched
+               ? evaluateBatched(traces, schemes, mode, progress)
+               : evaluateReference(traces, schemes, mode, progress);
+}
+
+std::vector<SuiteResult>
+ParallelSweep::evaluateReference(
+    const std::vector<trace::SharingTrace> &traces,
+    const std::vector<SchemeSpec> &schemes, UpdateMode mode,
+    const obs::ProgressFn &progress)
 {
     std::vector<SuiteResult> results(schemes.size());
 
@@ -47,6 +86,65 @@ ParallelSweep::evaluate(const std::vector<trace::SharingTrace> &traces,
             if (progress) {
                 // The meter's high-water mark keeps done monotonic
                 // even when workers reach this lock out of order.
+                std::lock_guard<std::mutex> lock(progress_mutex);
+                progress(meter.tick(done));
+            }
+        },
+        1);
+
+    obs::StatsRegistry &parent = obs::StatsRegistry::current();
+    for (const auto &shard : shards)
+        parent.merge(shard);
+    return results;
+}
+
+std::vector<SuiteResult>
+ParallelSweep::evaluateBatched(
+    const std::vector<trace::SharingTrace> &traces,
+    const std::vector<SchemeSpec> &schemes, UpdateMode mode,
+    const obs::ProgressFn &progress)
+{
+    ccp_assert(!traces.empty(), "empty benchmark suite");
+    const unsigned n_nodes = traces.front().nNodes();
+
+    // Batch boundaries depend only on the scheme list (never the
+    // thread count), and every scheme's predictor state is private to
+    // its batch, so results are identical to the reference kernel's
+    // regardless of partitioning or worker interleaving.
+    auto batches = planBatches(schemes, n_nodes);
+
+    std::vector<SuiteResult> results(schemes.size());
+    std::vector<obs::StatsRegistry> shards(pool_.threads());
+
+    obs::ProgressMeter meter(schemes.size());
+    std::atomic<std::size_t> completed{0};
+    std::mutex progress_mutex;
+
+    pool_.forEach(
+        batches.size(),
+        [&](std::size_t job, unsigned worker) {
+            obs::StatsRegistry &shard = shards[worker];
+            obs::ScopedRegistry route(shard);
+            auto [first, last] = batches[job];
+            {
+                obs::ScopedTimer timer(shard,
+                                       "sweep.batch_eval_seconds");
+                BatchEvaluator batch(
+                    {schemes.begin() +
+                         static_cast<std::ptrdiff_t>(first),
+                     schemes.begin() +
+                         static_cast<std::ptrdiff_t>(last)},
+                    n_nodes);
+                auto batch_results = batch.evaluateSuite(traces, mode);
+                for (std::size_t i = 0; i < batch_results.size(); ++i)
+                    results[first + i] = std::move(batch_results[i]);
+            }
+            ++shard.counter("sweep.batches_evaluated");
+            shard.counter("sweep.schemes_evaluated") += last - first;
+
+            std::size_t done =
+                completed.fetch_add(last - first) + (last - first);
+            if (progress) {
                 std::lock_guard<std::mutex> lock(progress_mutex);
                 progress(meter.tick(done));
             }

@@ -31,22 +31,58 @@
 
 namespace ccp::sweep {
 
+/**
+ * Which evaluation kernel drives the sweep inner loop.
+ *
+ *  - Batched:   the event-major BatchEvaluator (sweep/batch.hh) — a
+ *               batch of schemes per worker task, each trace event
+ *               decoded once for the whole batch.  The default.
+ *  - Reference: the scheme-major per-scheme Evaluator
+ *               (predict/evaluator.hh) — the original loop, kept as
+ *               the differential-testing oracle and for `--kernel
+ *               reference` A/B runs.
+ *
+ * Both kernels produce bit-identical Confusion counts for every
+ * (scheme, trace, mode), so rankings and printed tables never depend
+ * on the kernel choice.
+ */
+enum class SweepKernel : std::uint8_t
+{
+    Batched,
+    Reference,
+};
+
+const char *sweepKernelName(SweepKernel kernel);
+
+/** Parse "batched" / "reference"; @return false on anything else. */
+bool parseSweepKernel(const std::string &text, SweepKernel &kernel);
+
 class ParallelSweep
 {
   public:
     /** @param threads total workers, caller included; 0 = one per
      *  hardware thread, 1 = sequential in the calling thread. */
-    explicit ParallelSweep(unsigned threads = 0) : pool_(threads) {}
+    explicit ParallelSweep(unsigned threads = 0,
+                           SweepKernel kernel = SweepKernel::Batched)
+        : pool_(threads), kernel_(kernel)
+    {
+    }
 
     unsigned threads() const { return pool_.threads(); }
+    SweepKernel kernel() const { return kernel_; }
 
     /**
-     * Evaluate every scheme over the suite; results in scheme order
-     * (identical to the sequential loop bit for bit).  Per-scheme
-     * timing lands in "sweep.scheme_eval_seconds" and the count in
-     * "sweep.schemes_evaluated", exactly as the sequential path
-     * records them; @p progress (if set) observes completions with
-     * monotonically advancing done counts.
+     * Evaluate every scheme over the suite; results in scheme order,
+     * bit-identical across kernels, thread counts and completion
+     * orders.  The reference kernel hands one scheme per task and
+     * records "sweep.scheme_eval_seconds" / "sweep.schemes_evaluated"
+     * exactly as the sequential path did; the batched kernel hands a
+     * batch of schemes per task (see planBatches), records
+     * "sweep.batch_eval_seconds" / "sweep.batches_evaluated" plus the
+     * same "sweep.schemes_evaluated" total, and its per-walk
+     * throughput lands in "batch.*".  @p progress (if set) observes
+     * completions with monotonically advancing scheme done counts
+     * under either kernel.
      */
     std::vector<predict::SuiteResult>
     evaluate(const std::vector<trace::SharingTrace> &traces,
@@ -55,7 +91,19 @@ class ParallelSweep
              const obs::ProgressFn &progress = {});
 
   private:
+    std::vector<predict::SuiteResult>
+    evaluateReference(const std::vector<trace::SharingTrace> &traces,
+                      const std::vector<predict::SchemeSpec> &schemes,
+                      predict::UpdateMode mode,
+                      const obs::ProgressFn &progress);
+    std::vector<predict::SuiteResult>
+    evaluateBatched(const std::vector<trace::SharingTrace> &traces,
+                    const std::vector<predict::SchemeSpec> &schemes,
+                    predict::UpdateMode mode,
+                    const obs::ProgressFn &progress);
+
     ThreadPool pool_;
+    SweepKernel kernel_;
 };
 
 } // namespace ccp::sweep

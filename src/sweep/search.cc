@@ -37,13 +37,13 @@ std::vector<RankedScheme>
 rankSchemes(const std::vector<trace::SharingTrace> &traces,
             const std::vector<SchemeSpec> &schemes, UpdateMode mode,
             RankBy by, std::size_t n, const obs::ProgressFn &progress,
-            unsigned threads)
+            unsigned threads, SweepKernel kernel)
 {
     checkSweepInputs("rankSchemes", traces, schemes);
 
     std::vector<SuiteResult> results =
-        ParallelSweep(threads).evaluate(traces, schemes, mode,
-                                        progress);
+        ParallelSweep(threads, kernel)
+            .evaluate(traces, schemes, mode, progress);
 
     // Precomputed sort keys: a total order (score, table size,
     // secondary metric, canonical name, input position) so the top-N
@@ -98,10 +98,11 @@ rankSchemes(const std::vector<trace::SharingTrace> &traces,
 std::vector<SuiteResult>
 evaluateSchemes(const std::vector<trace::SharingTrace> &traces,
                 const std::vector<SchemeSpec> &schemes, UpdateMode mode,
-                unsigned threads)
+                unsigned threads, SweepKernel kernel)
 {
     checkSweepInputs("evaluateSchemes", traces, schemes);
-    return ParallelSweep(threads).evaluate(traces, schemes, mode);
+    return ParallelSweep(threads, kernel)
+        .evaluate(traces, schemes, mode);
 }
 
 } // namespace ccp::sweep

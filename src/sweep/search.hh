@@ -12,6 +12,7 @@
 
 #include "obs/timer.hh"
 #include "predict/evaluator.hh"
+#include "sweep/parallel.hh"
 #include "trace/trace.hh"
 
 namespace ccp::sweep {
@@ -39,10 +40,11 @@ struct RankedScheme
  * orders.
  *
  * Evaluation runs on @p threads workers (0 = one per hardware
- * thread, 1 = the sequential path); each scheme's evaluation time
- * lands in the calling thread's stats registry
- * ("sweep.scheme_eval_seconds" summary, "sweep.schemes_evaluated"
- * counter) regardless, so sweep throughput is visible in run reports.
+ * thread, 1 = the sequential path) under @p kernel (the event-major
+ * batched kernel by default; the reference per-scheme evaluator for
+ * A/B oracle runs — both produce bit-identical results); sweep
+ * throughput lands in the calling thread's stats registry either way,
+ * so it is visible in run reports.
  *
  * Fails fast (fatal) on an empty suite or an empty scheme list.
  *
@@ -57,17 +59,20 @@ std::vector<RankedScheme>
 rankSchemes(const std::vector<trace::SharingTrace> &traces,
             const std::vector<predict::SchemeSpec> &schemes,
             predict::UpdateMode mode, RankBy by, std::size_t n,
-            const obs::ProgressFn &progress = {}, unsigned threads = 1);
+            const obs::ProgressFn &progress = {}, unsigned threads = 1,
+            SweepKernel kernel = SweepKernel::Batched);
 
 /**
  * Evaluate one named list of schemes (no ranking), e.g. Table 7, in
- * input order, on @p threads workers (0 = hardware concurrency).
- * Fails fast (fatal) on an empty suite or an empty scheme list.
+ * input order, on @p threads workers (0 = hardware concurrency)
+ * under @p kernel.  Fails fast (fatal) on an empty suite or an empty
+ * scheme list.
  */
 std::vector<predict::SuiteResult>
 evaluateSchemes(const std::vector<trace::SharingTrace> &traces,
                 const std::vector<predict::SchemeSpec> &schemes,
-                predict::UpdateMode mode, unsigned threads = 1);
+                predict::UpdateMode mode, unsigned threads = 1,
+                SweepKernel kernel = SweepKernel::Batched);
 
 } // namespace ccp::sweep
 

@@ -78,7 +78,10 @@ class Fnv1a
             h *= prime;
         }
         hash_ = h;
-        while (n > 0) {
+        // pending_len_ is 0 here (the initial drain either emptied the
+        // buffer or consumed all input) and n < wordBytes, so the bound
+        // never binds -- it exists to make the invariant checkable.
+        while (n > 0 && pending_len_ < wordBytes) {
             pending_[pending_len_++] = *p++;
             --n;
         }

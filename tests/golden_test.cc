@@ -1,0 +1,321 @@
+/**
+ * @file
+ * Golden-file regression tests for the sweep's ranked (Table-8-style)
+ * output.
+ *
+ * Two tiny deterministic traces and the expected ranked tables are
+ * checked in under tests/golden/.  The test re-runs the sweep over the
+ * checked-in traces and byte-compares the rendered tables against the
+ * golden text — under the batched kernel at one and several threads
+ * and under the reference kernel — so *any* drift in evaluation
+ * semantics, ranking tie-breaks, or formatting is caught, and the two
+ * kernels are pinned to byte-identical output.
+ *
+ * To refresh after an intentional change:
+ *
+ *     CCP_REGOLD=1 ./build/tests/golden_test
+ *
+ * which rebuilds the traces, re-renders the tables with the batched
+ * kernel, and rewrites everything under tests/golden/ (see
+ * docs/KERNELS.md).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "predict/evaluator.hh"
+#include "sweep/name.hh"
+#include "sweep/search.hh"
+#include "trace/trace.hh"
+
+#ifndef CCP_GOLDEN_DIR
+#error "golden_test requires the CCP_GOLDEN_DIR compile definition"
+#endif
+
+namespace {
+
+using namespace ccp;
+using predict::FunctionKind;
+using predict::IndexSpec;
+using predict::SchemeSpec;
+using predict::UpdateMode;
+using trace::CoherenceEvent;
+using trace::SharingTrace;
+
+/** Builder that wires invalidation/last-writer chains automatically. */
+class TraceBuilder
+{
+  public:
+    explicit TraceBuilder(const char *name, unsigned n_nodes)
+        : trace_(name, n_nodes)
+    {
+    }
+
+    TraceBuilder &
+    writeEvent(NodeId pid, Pc pc, Addr block, std::uint64_t readers)
+    {
+        CoherenceEvent ev;
+        ev.pid = pid;
+        ev.pc = pc;
+        ev.dir = static_cast<NodeId>(block % trace_.nNodes());
+        ev.block = block;
+        ev.readers = SharingBitmap(readers);
+
+        auto it = lastOnBlock_.find(block);
+        if (it != lastOnBlock_.end()) {
+            const CoherenceEvent &prev = trace_.events()[it->second];
+            ev.invalidated = prev.readers;
+            ev.prevWriterPid = prev.pid;
+            ev.prevWriterPc = prev.pc;
+            ev.hasPrevWriter = true;
+            ev.prevEvent = it->second;
+        }
+        lastOnBlock_[block] = trace_.append(ev);
+        return *this;
+    }
+
+    SharingTrace take() { return std::move(trace_); }
+
+  private:
+    SharingTrace trace_;
+    std::unordered_map<Addr, EventSeq> lastOnBlock_;
+};
+
+/** Producer/consumer sharing with two stable groups (48 events). */
+SharingTrace
+stableTrace()
+{
+    TraceBuilder b("stable", 16);
+    for (int round = 0; round < 8; ++round) {
+        b.writeEvent(0, 0x400, 1, 0b0000'0000'0000'0110);
+        b.writeEvent(0, 0x404, 2, 0b0000'0000'0011'0000);
+        b.writeEvent(1, 0x400, 3, 0b0000'0001'0000'0000);
+        b.writeEvent(4, 0x410, 4, 0b1100'0000'0000'0000);
+        b.writeEvent(4, 0x414, 1, 0b0000'0000'0000'0110);
+        b.writeEvent(7, 0x420, 5, 0b0000'0010'0000'0010);
+    }
+    return b.take();
+}
+
+/** Migratory blocks + alternating writers (64 events). */
+SharingTrace
+migratoryTrace()
+{
+    TraceBuilder b("migratory", 16);
+    for (int round = 0; round < 8; ++round) {
+        // A token migrates 0 -> 1 -> 2 -> 3: the next writer is the
+        // only reader of each version.
+        for (unsigned hop = 0; hop < 4; ++hop)
+            b.writeEvent(static_cast<NodeId>(hop), 0x500 + 4 * hop, 9,
+                         std::uint64_t(1) << ((hop + 1) % 4));
+        // Two writers alternate on one block with disjoint reader
+        // sets (the Figure-3 pathology for direct update).
+        b.writeEvent(5, 0x600, 10, 0b0000'0000'0100'0000);
+        b.writeEvent(6, 0x604, 10, 0b0000'0000'1000'0000);
+        // An unstable block: readers flip every version.
+        b.writeEvent(2, 0x608, 11,
+                     round % 2 ? 0b0010'0000'0000'0000
+                               : 0b0000'0100'0000'0000);
+        b.writeEvent(3, 0x60c, 12, 0b1000'0000'0000'1000);
+    }
+    return b.take();
+}
+
+/** The fixed scheme space the golden tables rank (literal, so golden
+ *  output never moves under space-enumeration changes). */
+std::vector<SchemeSpec>
+goldenSpace()
+{
+    auto idx = [](bool pid, unsigned pc, bool dir, unsigned addr) {
+        IndexSpec i;
+        i.usePid = pid;
+        i.pcBits = pc;
+        i.useDir = dir;
+        i.addrBits = addr;
+        return i;
+    };
+    const IndexSpec shapes[] = {
+        idx(false, 0, false, 6), idx(false, 0, true, 4),
+        idx(false, 6, false, 0), idx(true, 4, false, 0),
+        idx(true, 4, false, 4),  idx(true, 0, true, 4),
+    };
+    std::vector<SchemeSpec> space;
+    for (FunctionKind kind :
+         {FunctionKind::Union, FunctionKind::Inter,
+          FunctionKind::OverlapLast, FunctionKind::PAs}) {
+        for (unsigned depth : {1u, 2u, 4u}) {
+            if (kind == FunctionKind::OverlapLast && depth != 1)
+                continue;
+            for (const IndexSpec &shape : shapes)
+                space.push_back(SchemeSpec{shape, kind, depth});
+        }
+    }
+    return space;
+}
+
+/**
+ * Render the Table-8-style ranked tables for a suite: for each update
+ * mode, the top ten by PVP and by sensitivity.  Uses only integer
+ * fields and %.6f of correctly-rounded doubles, so the text is
+ * platform-stable byte for byte.
+ */
+std::string
+renderTables(const std::vector<SharingTrace> &suite,
+             const std::vector<SchemeSpec> &space, unsigned threads,
+             sweep::SweepKernel kernel)
+{
+    std::string out;
+    char line[256];
+    for (UpdateMode mode :
+         {UpdateMode::Direct, UpdateMode::Forwarded,
+          UpdateMode::Ordered}) {
+        for (sweep::RankBy by :
+             {sweep::RankBy::Pvp, sweep::RankBy::Sensitivity}) {
+            std::snprintf(line, sizeof line,
+                          "top10 by %s, %s update\n",
+                          by == sweep::RankBy::Pvp ? "pvp" : "sens",
+                          predict::updateModeName(mode));
+            out += line;
+            out += "rank scheme                          bits"
+                   "     prev       pvp      sens\n";
+            auto top = sweep::rankSchemes(suite, space, mode, by, 10,
+                                          {}, threads, kernel);
+            for (std::size_t i = 0; i < top.size(); ++i) {
+                const auto &r = top[i].result;
+                std::snprintf(
+                    line, sizeof line,
+                    "%2zu   %-28s %8llu  %.6f  %.6f  %.6f\n", i + 1,
+                    sweep::formatScheme(r.scheme).c_str(),
+                    static_cast<unsigned long long>(
+                        r.scheme.sizeBits(16)),
+                    r.avgPrevalence(), r.avgPvp(),
+                    r.avgSensitivity());
+                out += line;
+            }
+            out += "\n";
+        }
+    }
+    return out;
+}
+
+std::string
+goldenPath(const char *file)
+{
+    return std::string(CCP_GOLDEN_DIR) + "/" + file;
+}
+
+bool
+readFile(const std::string &path, std::string &out)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        return false;
+    std::ostringstream ss;
+    ss << is.rdbuf();
+    out = ss.str();
+    return true;
+}
+
+bool
+regoldRequested()
+{
+    const char *v = std::getenv("CCP_REGOLD");
+    return v && *v && *v != '0';
+}
+
+constexpr const char *kTableFile = "table8.txt";
+constexpr const char *kTraceFiles[] = {"stable.trace",
+                                       "migratory.trace"};
+
+TEST(Golden, RankedTablesMatchGoldenFileUnderBothKernels)
+{
+    if (regoldRequested()) {
+        auto stable = stableTrace();
+        auto migratory = migratoryTrace();
+        ASSERT_TRUE(stable.saveFile(goldenPath(kTraceFiles[0])));
+        ASSERT_TRUE(migratory.saveFile(goldenPath(kTraceFiles[1])));
+        std::vector<SharingTrace> suite;
+        suite.push_back(std::move(stable));
+        suite.push_back(std::move(migratory));
+        std::string text = renderTables(suite, goldenSpace(), 1,
+                                        sweep::SweepKernel::Batched);
+        std::ofstream os(goldenPath(kTableFile), std::ios::binary);
+        ASSERT_TRUE(os.good());
+        os << text;
+        ASSERT_TRUE(os.good());
+        GTEST_SKIP() << "regenerated golden files in "
+                     << CCP_GOLDEN_DIR;
+    }
+
+    // Fixtures come from disk, so the validated trace-file round trip
+    // is in the loop being pinned.
+    std::vector<SharingTrace> suite;
+    for (const char *file : kTraceFiles) {
+        SharingTrace tr;
+        ASSERT_TRUE(tr.loadFile(goldenPath(file)))
+            << "missing or corrupt " << goldenPath(file)
+            << " (regenerate with CCP_REGOLD=1)";
+        suite.push_back(std::move(tr));
+    }
+
+    std::string golden;
+    ASSERT_TRUE(readFile(goldenPath(kTableFile), golden))
+        << "missing " << goldenPath(kTableFile)
+        << " (regenerate with CCP_REGOLD=1)";
+
+    auto space = goldenSpace();
+    EXPECT_EQ(renderTables(suite, space, 1,
+                           sweep::SweepKernel::Batched),
+              golden)
+        << "batched kernel, 1 thread";
+    EXPECT_EQ(renderTables(suite, space, 4,
+                           sweep::SweepKernel::Batched),
+              golden)
+        << "batched kernel, 4 threads";
+    EXPECT_EQ(renderTables(suite, space, 1,
+                           sweep::SweepKernel::Reference),
+              golden)
+        << "reference kernel, 1 thread";
+    EXPECT_EQ(renderTables(suite, space, 4,
+                           sweep::SweepKernel::Reference),
+              golden)
+        << "reference kernel, 4 threads";
+}
+
+TEST(Golden, CheckedInTracesMatchTheirBuilders)
+{
+    if (regoldRequested())
+        GTEST_SKIP() << "regold run";
+    // The golden traces must stay exactly what the builders above
+    // produce — otherwise a regold would silently change fixtures.
+    const SharingTrace built[] = {stableTrace(), migratoryTrace()};
+    for (std::size_t i = 0; i < 2; ++i) {
+        SharingTrace loaded;
+        ASSERT_TRUE(loaded.loadFile(goldenPath(kTraceFiles[i])));
+        EXPECT_EQ(loaded.name(), built[i].name());
+        ASSERT_EQ(loaded.nNodes(), built[i].nNodes());
+        ASSERT_EQ(loaded.events().size(), built[i].events().size());
+        for (std::size_t e = 0; e < built[i].events().size(); ++e) {
+            const auto &a = loaded.events()[e];
+            const auto &b = built[i].events()[e];
+            EXPECT_EQ(a.pid, b.pid) << "event " << e;
+            EXPECT_EQ(a.pc, b.pc) << "event " << e;
+            EXPECT_EQ(a.block, b.block) << "event " << e;
+            EXPECT_EQ(a.readers.raw(), b.readers.raw())
+                << "event " << e;
+            EXPECT_EQ(a.invalidated.raw(), b.invalidated.raw())
+                << "event " << e;
+            EXPECT_EQ(a.hasPrevWriter, b.hasPrevWriter)
+                << "event " << e;
+        }
+    }
+}
+
+} // namespace

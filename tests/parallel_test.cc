@@ -249,11 +249,14 @@ TEST(ParallelSweep, ShardMergeKeepsSweepStatsExact)
     auto suite = smallSuite();
     auto schemes = smallSpace();
 
+    // The per-scheme stats contract below is the *reference* kernel's
+    // (one evaluator pass per scheme); the batched kernel's coarser
+    // accounting has its own test.
     obs::StatsRegistry parent;
     {
         obs::ScopedRegistry route(parent);
-        sweep::ParallelSweep(4).evaluate(suite, schemes,
-                                         UpdateMode::Direct);
+        sweep::ParallelSweep(4, sweep::SweepKernel::Reference)
+            .evaluate(suite, schemes, UpdateMode::Direct);
     }
 
     const auto *evaluated =
@@ -282,13 +285,95 @@ TEST(ParallelSweep, ProgressIsMonotonicAndComplete)
     auto schemes = smallSpace();
 
     std::vector<std::size_t> dones;
-    sweep::ParallelSweep(8).evaluate(
-        suite, schemes, UpdateMode::Direct,
-        [&](const obs::Progress &p) {
-            dones.push_back(p.done);
-            EXPECT_EQ(p.total, schemes.size());
-        });
+    sweep::ParallelSweep(8, sweep::SweepKernel::Reference)
+        .evaluate(suite, schemes, UpdateMode::Direct,
+                  [&](const obs::Progress &p) {
+                      dones.push_back(p.done);
+                      EXPECT_EQ(p.total, schemes.size());
+                  });
     ASSERT_EQ(dones.size(), schemes.size());
+    for (std::size_t i = 1; i < dones.size(); ++i)
+        EXPECT_GE(dones[i], dones[i - 1]) << "tick " << i;
+    EXPECT_EQ(dones.back(), schemes.size());
+}
+
+// ---------------------------------------------------------------------
+// Batched kernel under ParallelSweep
+
+TEST(BatchedSweep, MatchesReferenceKernelExactlyAtAnyThreadCount)
+{
+    auto suite = smallSuite();
+    auto schemes = smallSpace();
+
+    auto reference =
+        sweep::ParallelSweep(1, sweep::SweepKernel::Reference)
+            .evaluate(suite, schemes, UpdateMode::Direct);
+    for (unsigned threads : {1u, 4u}) {
+        auto batched =
+            sweep::ParallelSweep(threads, sweep::SweepKernel::Batched)
+                .evaluate(suite, schemes, UpdateMode::Direct);
+        ASSERT_EQ(batched.size(), reference.size());
+        for (std::size_t i = 0; i < batched.size(); ++i) {
+            expectSameConfusion(batched[i].pooled,
+                                reference[i].pooled,
+                                sweep::formatScheme(
+                                    reference[i].scheme));
+            ASSERT_EQ(batched[i].perTrace.size(),
+                      reference[i].perTrace.size());
+            for (std::size_t t = 0; t < batched[i].perTrace.size();
+                 ++t)
+                expectSameConfusion(
+                    batched[i].perTrace[t].confusion,
+                    reference[i].perTrace[t].confusion,
+                    sweep::formatScheme(reference[i].scheme));
+        }
+    }
+}
+
+TEST(BatchedSweep, StatsCoverEverySchemeAndBatch)
+{
+    auto suite = smallSuite();
+    auto schemes = smallSpace();
+
+    obs::StatsRegistry parent;
+    {
+        obs::ScopedRegistry route(parent);
+        sweep::ParallelSweep(4, sweep::SweepKernel::Batched)
+            .evaluate(suite, schemes, UpdateMode::Direct);
+    }
+
+    const auto *evaluated =
+        parent.findCounter("sweep.schemes_evaluated");
+    ASSERT_NE(evaluated, nullptr);
+    EXPECT_EQ(evaluated->value, schemes.size());
+
+    const auto *batches = parent.findCounter("sweep.batches_evaluated");
+    ASSERT_NE(batches, nullptr);
+    EXPECT_GE(batches->value, 1u);
+
+    // Every (scheme, trace, event) pair is walked exactly once.
+    const auto *scheme_events =
+        parent.findCounter("batch.scheme_events");
+    ASSERT_NE(scheme_events, nullptr);
+    std::uint64_t events = 0;
+    for (const auto &tr : suite)
+        events += tr.events().size();
+    EXPECT_EQ(scheme_events->value, events * schemes.size());
+}
+
+TEST(BatchedSweep, ProgressReachesEverySchemeMonotonically)
+{
+    auto suite = smallSuite();
+    auto schemes = smallSpace();
+
+    std::vector<std::size_t> dones;
+    sweep::ParallelSweep(8, sweep::SweepKernel::Batched)
+        .evaluate(suite, schemes, UpdateMode::Direct,
+                  [&](const obs::Progress &p) {
+                      dones.push_back(p.done);
+                      EXPECT_EQ(p.total, schemes.size());
+                  });
+    ASSERT_GE(dones.size(), 1u);
     for (std::size_t i = 1; i < dones.size(); ++i)
         EXPECT_GE(dones[i], dones[i - 1]) << "tick " << i;
     EXPECT_EQ(dones.back(), schemes.size());

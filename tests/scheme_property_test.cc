@@ -9,8 +9,11 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <unordered_map>
 
+#include "common/rng.hh"
 #include "predict/evaluator.hh"
+#include "sweep/batch.hh"
 #include "sweep/name.hh"
 #include "sweep/space.hh"
 #include "workloads/registry.hh"
@@ -151,6 +154,138 @@ TEST(SchemeSpace, EveryEnumeratedSchemeIsConstructible)
         auto table = s.makeTable(16);
         EXPECT_EQ(table.sizeBits(), s.sizeBits(16))
             << sweep::formatScheme(s);
+    }
+}
+
+// ---------------------------------------------------------------------
+// The same invariants, asserted through the event-major batched kernel
+// (sweep::BatchEvaluator) — the kernel must uphold every scheme
+// property the reference evaluator does.
+
+/** Builder that wires invalidation/last-writer chains (needed so
+ *  forwarded and ordered update see real writer history). */
+class ChainedTraceBuilder
+{
+  public:
+    explicit ChainedTraceBuilder(unsigned n_nodes)
+        : trace_("built", n_nodes)
+    {
+    }
+
+    void
+    writeEvent(NodeId pid, Pc pc, Addr block, std::uint64_t readers)
+    {
+        trace::CoherenceEvent ev;
+        ev.pid = pid;
+        ev.pc = pc;
+        ev.dir = static_cast<NodeId>(block % trace_.nNodes());
+        ev.block = block;
+        ev.readers = SharingBitmap(readers);
+        auto it = lastOnBlock_.find(block);
+        if (it != lastOnBlock_.end()) {
+            const auto &prev = trace_.events()[it->second];
+            ev.invalidated = prev.readers;
+            ev.prevWriterPid = prev.pid;
+            ev.prevWriterPc = prev.pc;
+            ev.hasPrevWriter = true;
+            ev.prevEvent = it->second;
+        }
+        lastOnBlock_[block] = trace_.append(ev);
+    }
+
+    trace::SharingTrace take() { return std::move(trace_); }
+
+  private:
+    trace::SharingTrace trace_;
+    std::unordered_map<Addr, EventSeq> lastOnBlock_;
+};
+
+TEST(BatchedKernelProperty, PureAddressSchemesImmuneToUpdateMode)
+{
+    // Paper section 3.4: schemes whose index carries no writer
+    // identity (no pid, no pc) and maps blocks without aliasing see
+    // the same feedback stream under all three update mechanisms.
+    // The reference evaluator asserts this per scheme; here the whole
+    // batch must agree, and match the reference.
+    Rng rng(7);
+    ChainedTraceBuilder b(16);
+    for (int i = 0; i < 1000; ++i)
+        b.writeEvent(static_cast<NodeId>(rng.below(16)),
+                     0x400 + 4 * rng.below(64), rng.below(64),
+                     rng() & 0xffff);
+    auto tr = b.take();
+
+    std::vector<SchemeSpec> schemes;
+    for (bool use_dir : {false, true}) {
+        predict::IndexSpec idx;
+        idx.useDir = use_dir;
+        idx.addrBits = 6; // full width for blocks < 64: no aliasing
+        for (auto kind : {FunctionKind::Union, FunctionKind::Inter,
+                          FunctionKind::PAs,
+                          FunctionKind::OverlapLast}) {
+            for (unsigned depth : {1u, 2u, 4u}) {
+                if (kind == FunctionKind::OverlapLast && depth != 1)
+                    continue;
+                schemes.push_back(SchemeSpec{idx, kind, depth});
+            }
+        }
+    }
+
+    sweep::BatchEvaluator batch(schemes, 16);
+    auto direct = batch.evaluateTrace(tr, UpdateMode::Direct);
+    auto fwd = batch.evaluateTrace(tr, UpdateMode::Forwarded);
+    auto ord = batch.evaluateTrace(tr, UpdateMode::Ordered);
+    for (std::size_t i = 0; i < schemes.size(); ++i) {
+        EXPECT_EQ(direct[i], fwd[i]) << sweep::formatScheme(schemes[i]);
+        EXPECT_EQ(direct[i], ord[i]) << sweep::formatScheme(schemes[i]);
+        EXPECT_EQ(direct[i], evaluateTrace(tr, schemes[i],
+                                           UpdateMode::Direct))
+            << sweep::formatScheme(schemes[i]);
+    }
+}
+
+TEST(BatchedKernelProperty, BoundsAndConservationOnRandomizedBatches)
+{
+    // Randomized batches over the real workload trace: every scheme's
+    // counts must conserve decisions and actual positives
+    // (TP + FN == the trace's sharing events), and every derived
+    // metric must be a probability.
+    const auto &tr = sharedTrace();
+    Rng rng(43);
+    std::vector<SchemeSpec> schemes;
+    for (unsigned cs = 0; cs < 16; ++cs) {
+        for (auto kind : {FunctionKind::Union, FunctionKind::Inter,
+                          FunctionKind::OverlapLast,
+                          FunctionKind::PAs}) {
+            predict::IndexSpec idx;
+            idx.usePid = (cs & 8) != 0;
+            idx.pcBits = cs & 4 ? 1 + unsigned(rng.below(4)) : 0;
+            idx.useDir = (cs & 2) != 0;
+            idx.addrBits = cs & 1 ? 1 + unsigned(rng.below(4)) : 0;
+            unsigned depth = kind == FunctionKind::PAs
+                                 ? 1 + unsigned(rng.below(2))
+                                 : 1 + unsigned(rng.below(4));
+            schemes.push_back(SchemeSpec{idx, kind, depth});
+        }
+    }
+
+    sweep::BatchEvaluator batch(schemes, tr.nNodes());
+    for (auto mode : {UpdateMode::Direct, UpdateMode::Forwarded,
+                      UpdateMode::Ordered}) {
+        auto results = batch.evaluateTrace(tr, mode);
+        ASSERT_EQ(results.size(), schemes.size());
+        for (std::size_t i = 0; i < results.size(); ++i) {
+            const Confusion &c = results[i];
+            const auto what = sweep::formatScheme(schemes[i], mode);
+            EXPECT_EQ(c.decisions(), tr.decisions()) << what;
+            EXPECT_EQ(c.actualPositives(), tr.sharingEvents()) << what;
+            EXPECT_EQ(c.tp + c.fn, tr.sharingEvents()) << what;
+            for (double m : {c.prevalence(), c.sensitivity(), c.pvp(),
+                             c.specificity(), c.pvn(), c.accuracy()}) {
+                EXPECT_GE(m, 0.0) << what;
+                EXPECT_LE(m, 1.0) << what;
+            }
+        }
     }
 }
 

@@ -241,6 +241,8 @@ TEST(Search, ProgressCallbackCoversAllSchemes)
         SchemeSpec{{}, FunctionKind::Union, 2},
         SchemeSpec{{}, FunctionKind::Union, 3},
     };
+    // Per-scheme tick granularity is the reference kernel's contract;
+    // the batched kernel ticks per batch (see parallel_test.cc).
     std::size_t calls = 0, last_total = 0;
     rankSchemes(suite, schemes, UpdateMode::Direct, RankBy::Pvp, 1,
                 [&](const ccp::obs::Progress &p) {
@@ -248,7 +250,8 @@ TEST(Search, ProgressCallbackCoversAllSchemes)
                     EXPECT_EQ(p.done, calls);
                     EXPECT_GE(p.elapsedSec, 0.0);
                     last_total = p.total;
-                });
+                },
+                /*threads=*/1, sweep::SweepKernel::Reference);
     EXPECT_EQ(calls, 3u);
     EXPECT_EQ(last_total, 3u);
 }
