@@ -54,9 +54,8 @@ main(int argc, char **argv)
         shallow.depth = 1;
         specs.push_back(shallow);
 
-        auto results = sweep::evaluateSchemes(
-            suite, specs, predict::UpdateMode::Forwarded,
-            ctx.threads());
+        auto results = evaluateAllOrExit(
+            ctx, suite, specs, predict::UpdateMode::Forwarded);
         const auto &base = results.front();
 
         std::printf("Knockout from %s [forwarded]:\n",

@@ -49,8 +49,8 @@ main(int argc, char **argv)
             return 1;
         specs.push_back(parsed->scheme);
     }
-    auto results = sweep::evaluateSchemes(
-        suite, specs, predict::UpdateMode::Direct, ctx.threads());
+    auto results = evaluateAllOrExit(ctx, suite, specs,
+                                     predict::UpdateMode::Direct);
     for (std::size_t s = 0; s < specs.size(); ++s) {
         t.addRow({schemes[s],
                   fmt(std::log2(double(specs[s].sizeBits(16))), 0),

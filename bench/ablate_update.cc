@@ -49,8 +49,7 @@ main(int argc, char **argv)
     for (auto mode : {predict::UpdateMode::Direct,
                       predict::UpdateMode::Forwarded,
                       predict::UpdateMode::Ordered})
-        by_mode[m++] = sweep::evaluateSchemes(suite, specs, mode,
-                                              ctx.threads());
+        by_mode[m++] = evaluateAllOrExit(ctx, suite, specs, mode);
 
     std::printf("Ablation: update mechanism per scheme family\n\n");
     Table t({"scheme", "metric", "direct", "forwarded", "ordered",

@@ -20,6 +20,22 @@
  *                     per-scheme oracle); output is byte-identical
  *                     either way
  *
+ * Resilience flags (any of them routes the sweep through
+ * sweep::ResilientRunner — see docs/RESILIENCE.md):
+ *   --checkpoint <base>        periodic atomic checkpoints; the file
+ *                              written is <base>.<key>.ckpt, keyed on
+ *                              trace/scheme/kernel identity
+ *   --resume                   skip scheme batches already covered by
+ *                              a valid checkpoint
+ *   --checkpoint-interval <s>  seconds between checkpoint writes
+ *                              (default 30; 0 = after every batch)
+ *   --mem-budget <bytes>       cap on total predictor state per batch;
+ *                              accepts suffixes K/M/G (e.g. 512M);
+ *                              oversized schemes are skipped and
+ *                              reported, never silently dropped
+ *   --batch-deadline <s>       advisory per-batch wall-clock deadline;
+ *                              overruns are recorded, results kept
+ *
  * Environment knobs:
  *   CCP_TRACE_DIR  cache directory (default ./ccp_traces)
  *   CCP_SCALE      workload iteration scale (default 1.0)
@@ -41,6 +57,7 @@
 #include <vector>
 
 #include "common/logging.hh"
+#include "common/mem_budget.hh"
 #include "common/thread_pool.hh"
 #include "mem/protocol.hh"
 #include "obs/report.hh"
@@ -48,6 +65,8 @@
 #include "predict/evaluator.hh"
 #include "sweep/name.hh"
 #include "sweep/parallel.hh"
+#include "sweep/runner.hh"
+#include "sweep/search.hh"
 #include "trace/format.hh"
 #include "trace/trace.hh"
 #include "workloads/registry.hh"
@@ -379,11 +398,45 @@ class BenchContext
                 if (!sweep::parseSweepKernel(value, kernel_))
                     ccp_fatal("bad --kernel value '", value,
                               "' (want batched|reference)");
+            } else if (takesValue(arg, "--checkpoint", i, argc, argv,
+                                  value)) {
+                if (value.empty())
+                    ccp_fatal("--checkpoint needs a non-empty path");
+                checkpointPath_ = value;
+            } else if (arg == "--resume") {
+                resume_ = true;
+            } else if (takesValue(arg, "--checkpoint-interval", i,
+                                  argc, argv, value)) {
+                char *end = nullptr;
+                double sec = std::strtod(value.c_str(), &end);
+                if (end == value.c_str() || *end != '\0' || sec < 0)
+                    ccp_fatal("bad --checkpoint-interval '", value,
+                              "' (want seconds >= 0)");
+                checkpointIntervalSec_ = sec;
+            } else if (takesValue(arg, "--mem-budget", i, argc, argv,
+                                  value)) {
+                std::uint64_t bytes = 0;
+                if (!parseByteSize(value, bytes) || bytes == 0)
+                    ccp_fatal("bad --mem-budget '", value,
+                              "' (want bytes, suffixes K/M/G ok)");
+                memBudgetBytes_ = bytes;
+            } else if (takesValue(arg, "--batch-deadline", i, argc,
+                                  argv, value)) {
+                char *end = nullptr;
+                double sec = std::strtod(value.c_str(), &end);
+                if (end == value.c_str() || *end != '\0' || sec < 0)
+                    ccp_fatal("bad --batch-deadline '", value,
+                              "' (want seconds >= 0)");
+                batchDeadlineSec_ = sec;
             } else if (arg == "--help" || arg == "-h") {
                 std::printf(
                     "usage: %s [--report <out.json>] "
                     "[--log quiet|warn|info|debug] [--threads <n>] "
-                    "[--kernel batched|reference]\n",
+                    "[--kernel batched|reference] "
+                    "[--checkpoint <base>] [--resume] "
+                    "[--checkpoint-interval <sec>] "
+                    "[--mem-budget <bytes>] "
+                    "[--batch-deadline <sec>]\n",
                     report_.tool().c_str());
                 std::exit(0);
             } else {
@@ -391,6 +444,10 @@ class BenchContext
                           "' (try --help)");
             }
         }
+
+        if (resume_ && checkpointPath_.empty())
+            ccp_fatal("--resume needs --checkpoint <base> so there is "
+                      "a checkpoint to resume from");
 
         obs::Json &config = report_.section("config");
         config["machine"] = machineConfigJson(mem::MachineConfig{});
@@ -400,6 +457,16 @@ class BenchContext
         config["threads"] = obs::Json(std::uint64_t(
             threads_ > 0 ? threads_ : ThreadPool::defaultThreads()));
         config["kernel"] = obs::Json(sweep::sweepKernelName(kernel_));
+        if (usesResilience()) {
+            obs::Json &r = config["resilience"];
+            r = obs::Json::object();
+            r["checkpoint"] = obs::Json(checkpointPath_);
+            r["resume"] = obs::Json(resume_);
+            r["checkpoint_interval_sec"] =
+                obs::Json(checkpointIntervalSec_);
+            r["mem_budget_bytes"] = obs::Json(memBudgetBytes_);
+            r["batch_deadline_sec"] = obs::Json(batchDeadlineSec_);
+        }
     }
 
     obs::RunReport &report() { return report_; }
@@ -410,6 +477,64 @@ class BenchContext
 
     /** Sweep evaluation kernel from --kernel (default batched). */
     sweep::SweepKernel kernel() const { return kernel_; }
+
+    /**
+     * True when any resilience flag was given, i.e. the sweep should
+     * run through sweep::ResilientRunner instead of the plain
+     * ParallelSweep path.  The plain path stays the default so runs
+     * without these flags are byte-identical to earlier releases.
+     */
+    bool
+    usesResilience() const
+    {
+        return !checkpointPath_.empty() || resume_ ||
+               memBudgetBytes_ > 0 || batchDeadlineSec_ > 0;
+    }
+
+    /** The resilience flags assembled into RunnerOptions. */
+    sweep::RunnerOptions
+    runnerOptions() const
+    {
+        sweep::RunnerOptions opts;
+        opts.threads = threads_;
+        opts.kernel = kernel_;
+        opts.checkpointPath = checkpointPath_;
+        opts.resume = resume_;
+        opts.checkpointIntervalSec = checkpointIntervalSec_;
+        opts.memBudgetBytes = memBudgetBytes_;
+        opts.batchDeadlineSec = batchDeadlineSec_;
+        return opts;
+    }
+
+    /**
+     * Record a resilient run's outcome in the report: resumed scheme
+     * counts, the checkpoint files used, whether any phase was
+     * interrupted, and the structured failure list (empty array when
+     * everything completed — its presence marks a resilient run).
+     * Multi-phase benches call this once per evaluate(); the section
+     * accumulates across calls.
+     */
+    void
+    addOutcome(const sweep::ResilientOutcome &outcome)
+    {
+        schemesResumed_ += outcome.schemesResumed;
+        anyInterrupted_ = anyInterrupted_ || outcome.interrupted;
+        anyIncomplete_ = anyIncomplete_ || !outcome.allCompleted();
+        failures_.insert(failures_.end(), outcome.failures.begin(),
+                         outcome.failures.end());
+
+        obs::Json &r = report_.section("resilience");
+        obs::Json &files = r["checkpoint_files"];
+        if (outcomes_++ == 0)
+            files = obs::Json::array();
+        if (!outcome.checkpointFile.empty())
+            files.append(obs::Json(outcome.checkpointFile));
+        r["schemes_resumed"] =
+            obs::Json(std::uint64_t(schemesResumed_));
+        r["interrupted"] = obs::Json(anyInterrupted_);
+        r["all_completed"] = obs::Json(!anyIncomplete_);
+        r["failures"] = sweep::failuresJson(failures_);
+    }
 
     /** Shorthand for report().section("results"). */
     obs::Json &results() { return report_.section("results"); }
@@ -479,6 +604,18 @@ class BenchContext
         return 0;
     }
 
+    /**
+     * finish(), but exit with @p code — for resilient runs that were
+     * interrupted (75) or saw scheme failures.  The report is still
+     * written first, so a partial run always leaves its evidence.
+     */
+    int
+    finishWith(int code)
+    {
+        finish();
+        return code;
+    }
+
   private:
     static bool
     takesValue(const std::string &arg, const std::string &flag, int &i,
@@ -504,7 +641,97 @@ class BenchContext
     unsigned threads_ = 0;
     /** --kernel value (sweep inner-loop implementation). */
     sweep::SweepKernel kernel_ = sweep::SweepKernel::Batched;
+    /** --checkpoint base path; empty = no checkpointing. */
+    std::string checkpointPath_;
+    /** --resume: load a matching checkpoint before sweeping. */
+    bool resume_ = false;
+    /** --checkpoint-interval seconds (0 = after every batch). */
+    double checkpointIntervalSec_ = 30.0;
+    /** --mem-budget bytes (0 = unlimited). */
+    std::uint64_t memBudgetBytes_ = 0;
+    /** --batch-deadline seconds (0 = none). */
+    double batchDeadlineSec_ = 0.0;
+    /** addOutcome() accumulators (multi-phase benches). */
+    std::size_t outcomes_ = 0;
+    std::size_t schemesResumed_ = 0;
+    bool anyInterrupted_ = false;
+    bool anyIncomplete_ = false;
+    std::vector<sweep::SchemeFailure> failures_;
 };
+
+/**
+ * Evaluate @p schemes over @p suite the way the bench's flags ask:
+ * the plain ParallelSweep path by default (byte-identical to earlier
+ * releases), or sweep::ResilientRunner when any resilience flag was
+ * given.  The runner's outcome (resume counts, failures, interrupt
+ * state) is recorded in the report; @p outcome_out receives it so the
+ * caller can rank around failed schemes and honour exit code 75.
+ *
+ * Returns the per-scheme SuiteResults in scheme order.  On the plain
+ * path @p outcome_out is a fully-completed synthetic outcome, so
+ * callers can treat both paths uniformly.
+ */
+inline std::vector<predict::SuiteResult>
+evaluateSchemesResilient(BenchContext &ctx,
+                         const std::vector<trace::SharingTrace> &suite,
+                         const std::vector<predict::SchemeSpec>
+                             &schemes,
+                         predict::UpdateMode mode,
+                         const obs::ProgressFn &progress,
+                         sweep::ResilientOutcome &outcome_out)
+{
+    if (suite.empty())
+        ccp_fatal("cannot sweep an empty trace suite");
+    if (schemes.empty())
+        ccp_fatal("cannot sweep an empty scheme list");
+    if (ctx.usesResilience()) {
+        sweep::ResilientRunner runner(ctx.runnerOptions());
+        outcome_out = runner.evaluate(suite, schemes, mode, progress);
+        ctx.addOutcome(outcome_out);
+        return std::move(outcome_out.results);
+    }
+    sweep::ParallelSweep sweeper(ctx.threads(), ctx.kernel());
+    auto results = sweeper.evaluate(suite, schemes, mode, progress);
+    outcome_out = sweep::ResilientOutcome{};
+    outcome_out.completed.assign(schemes.size(), 1);
+    return results;
+}
+
+/**
+ * evaluateSchemesResilient for benches whose tables index results
+ * positionally and therefore need every scheme to complete (Table 7,
+ * the ablations).  An interrupted sweep exits 75 ("rerun with
+ * --resume"); a scheme failure exits 1 — both after writing the
+ * report, so the failure evidence is never lost.  Top-N style benches
+ * that can rank around holes should use evaluateSchemesResilient and
+ * the completed mask instead.
+ */
+inline std::vector<predict::SuiteResult>
+evaluateAllOrExit(BenchContext &ctx,
+                  const std::vector<trace::SharingTrace> &suite,
+                  const std::vector<predict::SchemeSpec> &schemes,
+                  predict::UpdateMode mode)
+{
+    sweep::ResilientOutcome outcome;
+    auto results =
+        evaluateSchemesResilient(ctx, suite, schemes, mode, {},
+                                 outcome);
+    if (outcome.interrupted) {
+        std::fprintf(stderr,
+                     "[bench] sweep interrupted — rerun with "
+                     "--resume to continue from %s\n",
+                     outcome.checkpointFile.c_str());
+        std::exit(ctx.finishWith(outcome.exitCode()));
+    }
+    if (!outcome.allCompleted()) {
+        std::fprintf(stderr,
+                     "[bench] %zu scheme(s) failed and this table "
+                     "needs every row (see the report's resilience "
+                     "section)\n", outcome.failures.size());
+        std::exit(ctx.finishWith(1));
+    }
+    return results;
+}
 
 /** The paper's Table 5 rows (per benchmark). */
 struct PaperTable5

@@ -42,12 +42,10 @@ main(int argc, char **argv)
                                              : forwarded_specs)
             .push_back(parsed->scheme);
     }
-    auto direct_res = sweep::evaluateSchemes(
-        suite, direct_specs, predict::UpdateMode::Direct,
-        ctx.threads());
-    auto forwarded_res = sweep::evaluateSchemes(
-        suite, forwarded_specs, predict::UpdateMode::Forwarded,
-        ctx.threads());
+    auto direct_res = evaluateAllOrExit(
+        ctx, suite, direct_specs, predict::UpdateMode::Direct);
+    auto forwarded_res = evaluateAllOrExit(
+        ctx, suite, forwarded_specs, predict::UpdateMode::Forwarded);
 
     obs::Json &rows = ctx.results()["schemes"];
     rows = obs::Json::array();

@@ -46,10 +46,28 @@ runTopTen(BenchContext &ctx, const char *title, predict::UpdateMode mode,
         std::fprintf(stderr, "[bench] sweeping %zu schemes...\n",
                      schemes.size());
     obs::ProgressReporter reporter("sweep");
-    auto top = sweep::rankSchemes(
-        suite, schemes, mode, by, 10,
+    sweep::ResilientOutcome outcome;
+    auto results_vec = evaluateSchemesResilient(
+        ctx, suite, schemes, mode,
         [&reporter](const obs::Progress &p) { reporter(p); },
-        ctx.threads(), ctx.kernel());
+        outcome);
+    if (outcome.interrupted) {
+        // Drained early: the checkpoint holds everything finished so
+        // far; a partial top-10 would be misleading, so don't rank.
+        std::fprintf(stderr,
+                     "[bench] sweep interrupted — rerun with "
+                     "--resume to continue from %s\n",
+                     outcome.checkpointFile.c_str());
+        return ctx.finishWith(outcome.exitCode());
+    }
+    if (!outcome.failures.empty())
+        std::fprintf(stderr,
+                     "[bench] %zu scheme(s) failed and are excluded "
+                     "from the ranking (see the report's resilience "
+                     "section)\n", outcome.failures.size());
+    auto top = sweep::rankResults(results_vec, by, 10,
+                                  suite.front().nNodes(),
+                                  &outcome.completed);
 
     std::printf("%s\n\n", title);
     Table t({"#", "scheme", "size", "prev", "pvp", "sens", "| paper",

@@ -1,0 +1,131 @@
+#include "common/fault.hh"
+
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+#include "common/logging.hh"
+
+namespace ccp::fault {
+
+namespace {
+
+struct Point
+{
+    std::uint64_t value = 0;
+    bool fired = false;
+};
+
+struct State
+{
+    std::map<std::string, Point> points;
+    bool enabled = false;
+};
+
+std::mutex g_mutex;
+State g_state;
+bool g_initialized = false;
+
+/** Parse "name=value,name=value"; malformed clauses are warned about
+ *  and skipped so a typo cannot silently disable a whole test run. */
+void
+parseSpec(const char *spec, State &state)
+{
+    std::string text = spec;
+    std::size_t pos = 0;
+    while (pos < text.size()) {
+        std::size_t comma = text.find(',', pos);
+        if (comma == std::string::npos)
+            comma = text.size();
+        std::string clause = text.substr(pos, comma - pos);
+        pos = comma + 1;
+        if (clause.empty())
+            continue;
+        std::size_t eq = clause.find('=');
+        if (eq == std::string::npos || eq == 0) {
+            ccp_warn("CCP_FAULT_INJECT: ignoring malformed clause '",
+                     clause, "' (want point=value)");
+            continue;
+        }
+        char *end = nullptr;
+        std::uint64_t value =
+            std::strtoull(clause.c_str() + eq + 1, &end, 0);
+        if (end == clause.c_str() + eq + 1 || *end != '\0') {
+            ccp_warn("CCP_FAULT_INJECT: ignoring clause '", clause,
+                     "' with non-numeric value");
+            continue;
+        }
+        state.points[clause.substr(0, eq)] = Point{value, false};
+    }
+    state.enabled = !state.points.empty();
+}
+
+void
+initLocked()
+{
+    if (g_initialized)
+        return;
+    g_initialized = true;
+    g_state = State{};
+    if (const char *spec = std::getenv("CCP_FAULT_INJECT"))
+        parseSpec(spec, g_state);
+}
+
+} // namespace
+
+bool
+enabled()
+{
+    std::lock_guard<std::mutex> lock(g_mutex);
+    initLocked();
+    return g_state.enabled;
+}
+
+std::optional<std::uint64_t>
+armed(const std::string &point)
+{
+    std::lock_guard<std::mutex> lock(g_mutex);
+    initLocked();
+    auto it = g_state.points.find(point);
+    if (it == g_state.points.end())
+        return std::nullopt;
+    return it->second.value;
+}
+
+bool
+fireAt(const std::string &point, std::uint64_t index)
+{
+    std::lock_guard<std::mutex> lock(g_mutex);
+    initLocked();
+    auto it = g_state.points.find(point);
+    if (it == g_state.points.end() || it->second.fired ||
+        it->second.value != index)
+        return false;
+    it->second.fired = true;
+    ccp_warn("fault injection: firing '", point, "' at ", index);
+    return true;
+}
+
+std::optional<std::uint64_t>
+consume(const std::string &point)
+{
+    std::lock_guard<std::mutex> lock(g_mutex);
+    initLocked();
+    auto it = g_state.points.find(point);
+    if (it == g_state.points.end() || it->second.fired)
+        return std::nullopt;
+    it->second.fired = true;
+    ccp_warn("fault injection: consuming '", point, "' (value ",
+             it->second.value, ")");
+    return it->second.value;
+}
+
+void
+reinit()
+{
+    std::lock_guard<std::mutex> lock(g_mutex);
+    g_initialized = false;
+    initLocked();
+}
+
+} // namespace ccp::fault

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Deterministic fault injection for resilience testing.
+ *
+ * Every recovery path in the sweep runner (torn checkpoint writes,
+ * worker exceptions, allocation-budget failures, signal drain) must be
+ * exercised by tests, not just claimed.  This module provides the
+ * trigger mechanism: named injection points, armed through the
+ * CCP_FAULT_INJECT environment variable, that fire exactly once at a
+ * caller-chosen ordinal so a failing run is reproducible bit for bit.
+ *
+ *   CCP_FAULT_INJECT="sweep.worker_throw=3,checkpoint.torn_write=100"
+ *
+ * arms point "sweep.worker_throw" to fire at index 3 and
+ * "checkpoint.torn_write" with value 100 (the meaning of the value is
+ * the injection site's — a batch ordinal, a byte count, ...).  Points
+ * that are not armed cost one pointer load behind an `enabled()`
+ * check, so production runs pay nothing measurable.
+ *
+ * Armed points (see docs/RESILIENCE.md for the catalogue):
+ *   sweep.worker_throw=K    worker evaluating batch K throws once
+ *   sweep.interrupt_at=K    runner requests interrupt when batch K starts
+ *   mem.alloc_fail=M        memory-budget admission of plan M fails once
+ *   checkpoint.torn_write=N checkpoint write persists only the first
+ *                           N bytes, once
+ */
+
+#ifndef CCP_COMMON_FAULT_HH
+#define CCP_COMMON_FAULT_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace ccp::fault {
+
+/** True if CCP_FAULT_INJECT armed at least one point. */
+bool enabled();
+
+/** The armed value of @p point, or nullopt if not armed. */
+std::optional<std::uint64_t> armed(const std::string &point);
+
+/**
+ * True exactly once: when @p index equals the armed value of
+ * @p point and the point has not fired yet.  Thread-safe; at most one
+ * caller observes true for a given point per arming.
+ */
+bool fireAt(const std::string &point, std::uint64_t index);
+
+/**
+ * Consume the armed value of @p point: returns it on the first call
+ * (marking the point fired) and nullopt afterwards or when unarmed.
+ * For value-carrying faults (torn write byte counts).
+ */
+std::optional<std::uint64_t> consume(const std::string &point);
+
+/** Re-read CCP_FAULT_INJECT and reset all fired flags (tests). */
+void reinit();
+
+} // namespace ccp::fault
+
+#endif // CCP_COMMON_FAULT_HH

@@ -1,0 +1,73 @@
+#include "common/mem_budget.hh"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/fault.hh"
+
+namespace ccp {
+
+bool
+parseByteSize(const std::string &text, std::uint64_t &bytes)
+{
+    if (text.empty())
+        return false;
+    char *end = nullptr;
+    unsigned long long value = std::strtoull(text.c_str(), &end, 10);
+    if (end == text.c_str())
+        return false;
+    std::uint64_t shift = 0;
+    if (*end != '\0') {
+        switch (std::tolower(static_cast<unsigned char>(*end))) {
+          case 'k':
+            shift = 10;
+            break;
+          case 'm':
+            shift = 20;
+            break;
+          case 'g':
+            shift = 30;
+            break;
+          default:
+            return false;
+        }
+        if (end[1] != '\0')
+            return false;
+    }
+    // Reject shifts that would silently wrap.
+    if (shift > 0 && value > (~0ull >> shift))
+        return false;
+    bytes = static_cast<std::uint64_t>(value) << shift;
+    return true;
+}
+
+std::string
+formatByteSize(std::uint64_t bytes)
+{
+    char buf[32];
+    if (bytes < (1ull << 10)) {
+        std::snprintf(buf, sizeof(buf), "%lluB",
+                      (unsigned long long)bytes);
+    } else if (bytes < (1ull << 20)) {
+        std::snprintf(buf, sizeof(buf), "%.1fK",
+                      double(bytes) / double(1ull << 10));
+    } else if (bytes < (1ull << 30)) {
+        std::snprintf(buf, sizeof(buf), "%.1fM",
+                      double(bytes) / double(1ull << 20));
+    } else {
+        std::snprintf(buf, sizeof(buf), "%.1fG",
+                      double(bytes) / double(1ull << 30));
+    }
+    return buf;
+}
+
+bool
+MemBudget::admit(std::uint64_t index, std::uint64_t bytes) const
+{
+    if (fault::enabled() && fault::fireAt("mem.alloc_fail", index))
+        return false;
+    return fits(bytes);
+}
+
+} // namespace ccp

@@ -61,10 +61,36 @@ class ThreadPool
     /**
      * Run fn(job, worker) for every job in [0, nJobs), blocking until
      * all jobs finish.  @p chunk jobs are claimed at a time (0 picks a
-     * chunk that gives each worker ~8 turns).  The first exception
-     * thrown by any job cancels the unclaimed remainder and is
-     * rethrown here once the loop has quiesced.  Not reentrant: one
+     * chunk that gives each worker ~8 turns).  Not reentrant: one
      * loop at a time per pool.
+     *
+     * Exception-propagation contract (what resilient callers rely on,
+     * locked down by tests/parallel_test.cc):
+     *
+     *  1. The FIRST exception thrown by any job wins; every later one
+     *     (concurrent jobs may also throw) is swallowed.  "First"
+     *     means first to reach the pool's error latch — when several
+     *     workers throw concurrently the winner is one of them, not
+     *     necessarily the lowest job index.
+     *  2. A throw cancels the unclaimed remainder of the loop; chunks
+     *     already in flight on other workers run to completion.  Jobs
+     *     are therefore either fully run or never started — a job is
+     *     never begun after the cancellation point, and never torn
+     *     down mid-flight from outside.
+     *  3. The winning exception is rethrown on the CALLING thread,
+     *     only after every worker has quiesced, so caller RAII sees a
+     *     fully stopped loop and worker-id-indexed state (registry
+     *     shards) is safe to read immediately.
+     *  4. The error latch resets per forEach(): the pool remains
+     *     usable and a subsequent loop is unaffected by a previous
+     *     one's failure.
+     *  5. A one-thread pool runs jobs sequentially on the calling
+     *     thread and lets exceptions propagate out of forEach()
+     *     directly — same observable contract, zero machinery.
+     *
+     * Callers that must not lose sibling work to one bad job (the
+     * resilient sweep runner) catch inside the job body instead; the
+     * pool-level contract above is the fail-fast default.
      */
     void forEach(std::size_t nJobs, const JobFn &fn,
                  std::size_t chunk = 0);

@@ -67,18 +67,27 @@ ProgressReporter::operator()(const Progress &p)
     lastPct_ = pct;
     lastDone_ = p.done;
 
+    // Resumed runs carry their checkpoint baseline on every line so
+    // "34/40 (85%)" right after startup reads as resume, not magic.
+    char resumed[48] = "";
+    if (p.resumed > 0)
+        std::snprintf(resumed, sizeof(resumed), ", %zu resumed",
+                      p.resumed);
+
     if (finished) {
-        std::fprintf(stderr, "[%s] %zu/%zu (100%%) in %s (%.1f/s)\n",
+        std::fprintf(stderr,
+                     "[%s] %zu/%zu (100%%) in %s (%.1f/s%s)\n",
                      label_.c_str(), p.done, p.total,
-                     formatDuration(p.elapsedSec).c_str(), p.perSec);
+                     formatDuration(p.elapsedSec).c_str(), p.perSec,
+                     resumed);
     } else if (p.perSec > 0.0) {
         std::fprintf(stderr,
-                     "[%s] %zu/%zu (%u%%) %.1f/s, ETA %s\n",
+                     "[%s] %zu/%zu (%u%%) %.1f/s, ETA %s%s\n",
                      label_.c_str(), p.done, p.total, pct, p.perSec,
-                     formatDuration(p.etaSec).c_str());
+                     formatDuration(p.etaSec).c_str(), resumed);
     } else {
-        std::fprintf(stderr, "[%s] %zu/%zu (%u%%)\n", label_.c_str(),
-                     p.done, p.total, pct);
+        std::fprintf(stderr, "[%s] %zu/%zu (%u%%%s)\n",
+                     label_.c_str(), p.done, p.total, pct, resumed);
     }
 }
 

@@ -91,8 +91,14 @@ struct Progress
 {
     std::size_t done = 0;
     std::size_t total = 0;
+    /** Items restored from a checkpoint rather than processed this
+     *  run (done includes them, so a resumed sweep's progress line
+     *  starts from the resumed baseline instead of 0%). */
+    std::size_t resumed = 0;
     double elapsedSec = 0.0;
-    /** Items per second since the meter started (0 until measurable). */
+    /** Items per second since the meter started (0 until measurable).
+     *  Measured over freshly processed items only — resumed items are
+     *  free and would otherwise make the rate (and ETA) fantasy. */
     double perSec = 0.0;
     /** Estimated seconds remaining (0 until the rate is known). */
     double etaSec = 0.0;
@@ -112,9 +118,16 @@ using ProgressFn = std::function<void(const Progress &)>;
 class ProgressMeter
 {
   public:
-    explicit ProgressMeter(std::size_t total) : total_(total) {}
+    /** @param resumed Items already done at start (restored from a
+     *  checkpoint); the first tick then reports from this baseline
+     *  and rate/ETA cover only the freshly processed remainder. */
+    explicit ProgressMeter(std::size_t total, std::size_t resumed = 0)
+        : total_(total), resumed_(std::min(resumed, total))
+    {
+    }
 
-    /** Observe completion of @p done items out of the total. */
+    /** Observe completion of @p done items out of the total (resumed
+     *  items count as done). */
     Progress
     tick(std::size_t done) const
     {
@@ -128,9 +141,11 @@ class ProgressMeter
         Progress p;
         p.done = done;
         p.total = total_;
+        p.resumed = resumed_;
         p.elapsedSec = watch_.elapsedSec();
-        if (done > 0 && p.elapsedSec > 0.0) {
-            p.perSec = static_cast<double>(done) / p.elapsedSec;
+        const std::size_t fresh = done > resumed_ ? done - resumed_ : 0;
+        if (fresh > 0 && p.elapsedSec > 0.0) {
+            p.perSec = static_cast<double>(fresh) / p.elapsedSec;
             if (total_ > done)
                 p.etaSec =
                     static_cast<double>(total_ - done) / p.perSec;
@@ -140,6 +155,7 @@ class ProgressMeter
 
   private:
     std::size_t total_;
+    std::size_t resumed_;
     /** Furthest completion reported so far (ticks can race). */
     mutable std::atomic<std::size_t> highWater_{0};
     Stopwatch watch_;

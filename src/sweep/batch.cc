@@ -315,23 +315,28 @@ BatchEvaluator::evaluateSuite(
     return results;
 }
 
+std::size_t
+schemeStateWords(const SchemeSpec &s, unsigned n_nodes)
+{
+    const unsigned node_bits = predict::nodeBitsFor(n_nodes);
+    std::size_t entry_words =
+        s.kind == FunctionKind::PAs
+            ? PAsFunction(s.depth, n_nodes).entryWords()
+        : s.kind == FunctionKind::OverlapLast ? 3
+                                              : s.depth + 1;
+    return (std::size_t(1) << s.index.indexBits(node_bits)) *
+           entry_words;
+}
+
 std::vector<std::pair<std::size_t, std::size_t>>
 planBatches(const std::vector<SchemeSpec> &schemes, unsigned n_nodes,
             std::size_t max_state_words, std::size_t max_schemes)
 {
-    const unsigned node_bits = predict::nodeBitsFor(n_nodes);
     std::vector<std::pair<std::size_t, std::size_t>> batches;
     std::size_t first = 0, words = 0;
     for (std::size_t i = 0; i < schemes.size(); ++i) {
-        const SchemeSpec &s = schemes[i];
-        std::size_t entry_words =
-            s.kind == FunctionKind::PAs
-                ? PAsFunction(s.depth, n_nodes).entryWords()
-            : s.kind == FunctionKind::OverlapLast ? 3
-                                                  : s.depth + 1;
         std::size_t scheme_words =
-            (std::size_t(1) << s.index.indexBits(node_bits)) *
-            entry_words;
+            schemeStateWords(schemes[i], n_nodes);
         bool full = i > first && (i - first >= max_schemes ||
                                   words + scheme_words >
                                       max_state_words);

@@ -134,6 +134,17 @@ class BatchEvaluator
 };
 
 /**
+ * Packed predictor-state words one scheme needs in the event-major
+ * kernel: table entries (2^indexBits) x words per entry.  This is the
+ * footprint planBatches accumulates and the memory-budget guard
+ * (common/mem_budget.hh) admits against — a close lower bound on the
+ * reference kernel's PredictorTable as well (which adds per-entry
+ * bookkeeping on top of the same state).
+ */
+std::size_t schemeStateWords(const predict::SchemeSpec &scheme,
+                             unsigned n_nodes);
+
+/**
  * Partition a scheme list into contiguous batches for the event-major
  * kernel: schemes accumulate into a batch until its packed state
  * would exceed @p max_state_words or @p max_schemes, so one in-flight

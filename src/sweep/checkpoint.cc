@@ -1,0 +1,305 @@
+#include "sweep/checkpoint.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include <unistd.h>
+
+#include "common/fault.hh"
+#include "common/logging.hh"
+#include "sweep/name.hh"
+#include "trace/format.hh"
+
+namespace ccp::sweep {
+
+using trace::Fnv1a;
+
+namespace {
+
+void
+hashWord(Fnv1a &h, std::uint64_t v)
+{
+    h.update(&v, sizeof(v));
+}
+
+void
+hashString(Fnv1a &h, const std::string &s)
+{
+    h.update(s.data(), s.size());
+    h.update("\0", 1);
+}
+
+/** Header checksum seed: the header with its checksum field zeroed. */
+Fnv1a
+headerChecksumSeed(const CheckpointHeader &h)
+{
+    CheckpointHeader zeroed = h;
+    zeroed.checksum = 0;
+    Fnv1a sum;
+    sum.update(&zeroed, sizeof(zeroed));
+    return sum;
+}
+
+bool
+validHeaderStructure(const CheckpointHeader &h)
+{
+    if (h.magic != checkpointMagic ||
+        h.version != checkpointFormatVersion)
+        return false;
+    if (h.nNodes == 0 || h.nNodes > maxNodes)
+        return false;
+    if (h.kernel > 1)
+        return false;
+    if (h.nTraces == 0 || h.nTraces > maxCheckpointTraces)
+        return false;
+    if (h.reserved0 != 0)
+        return false;
+    for (std::uint8_t b : h.reserved)
+        if (b != 0)
+            return false;
+    if (h.entryCount > h.schemeCount)
+        return false;
+    const std::uint64_t entry_bytes = checkpointEntryBytes(h.nTraces);
+    if (h.entryCount > ~std::uint64_t(0) / entry_bytes)
+        return false;
+    return h.payloadBytes == h.entryCount * entry_bytes;
+}
+
+void
+putWord(std::vector<char> &out, std::uint64_t v)
+{
+    char buf[8];
+    std::memcpy(buf, &v, 8);
+    out.insert(out.end(), buf, buf + 8);
+}
+
+std::uint64_t
+getWord(const char *p)
+{
+    std::uint64_t v;
+    std::memcpy(&v, p, 8);
+    return v;
+}
+
+} // namespace
+
+CheckpointKey
+makeCheckpointKey(const std::vector<trace::SharingTrace> &traces,
+                  const std::vector<predict::SchemeSpec> &schemes,
+                  predict::UpdateMode mode, SweepKernel kernel)
+{
+    ccp_assert(!traces.empty(), "checkpoint key over empty suite");
+
+    CheckpointKey key;
+    key.nNodes = traces.front().nNodes();
+    key.kernel = static_cast<std::uint32_t>(kernel);
+    key.nTraces = static_cast<std::uint32_t>(traces.size());
+    key.schemeCount = schemes.size();
+
+    // Trace identity: name, geometry, and the canonical packed form
+    // of every event (the same 64-byte records the v4 trace file
+    // stores), so any change to the evaluated inputs changes the key.
+    Fnv1a th;
+    hashWord(th, traces.size());
+    for (const auto &tr : traces) {
+        hashString(th, tr.name());
+        hashWord(th, tr.nNodes());
+        hashWord(th, tr.events().size());
+        for (const auto &ev : tr.events()) {
+            trace::PackedEvent p = trace::packEvent(ev);
+            th.update(&p, sizeof(p));
+        }
+    }
+    key.traceSetHash = th.digest();
+
+    // Scheme-set identity: the canonical notation of every scheme in
+    // order, plus the update mode.  Order matters — checkpoint
+    // entries are keyed by position in this list.
+    Fnv1a sh;
+    hashWord(sh, schemes.size());
+    for (const auto &s : schemes)
+        hashString(sh, formatScheme(s));
+    hashString(sh, predict::updateModeName(mode));
+    key.schemeSetHash = sh.digest();
+    return key;
+}
+
+const char *
+checkpointLoadName(CheckpointLoad status)
+{
+    switch (status) {
+      case CheckpointLoad::Ok:
+        return "ok";
+      case CheckpointLoad::Missing:
+        return "missing";
+      case CheckpointLoad::Invalid:
+        return "invalid";
+      case CheckpointLoad::KeyMismatch:
+        return "key-mismatch";
+    }
+    ccp_panic("bad CheckpointLoad");
+}
+
+bool
+saveCheckpoint(const std::string &path, const CheckpointKey &key,
+               std::vector<CheckpointEntry> entries)
+{
+    std::sort(entries.begin(), entries.end(),
+              [](const CheckpointEntry &a, const CheckpointEntry &b) {
+                  return a.schemeIndex < b.schemeIndex;
+              });
+
+    CheckpointHeader header;
+    header.nNodes = key.nNodes;
+    header.kernel = key.kernel;
+    header.traceSetHash = key.traceSetHash;
+    header.schemeSetHash = key.schemeSetHash;
+    header.schemeCount = key.schemeCount;
+    header.nTraces = key.nTraces;
+    header.entryCount = entries.size();
+    header.payloadBytes =
+        entries.size() * checkpointEntryBytes(key.nTraces);
+
+    std::vector<char> payload;
+    payload.reserve(header.payloadBytes);
+    for (const auto &e : entries) {
+        ccp_assert(e.schemeIndex < key.schemeCount,
+                   "checkpoint entry out of scheme range");
+        ccp_assert(e.perTrace.size() == key.nTraces,
+                   "checkpoint entry trace-count mismatch");
+        putWord(payload, e.schemeIndex);
+        for (const auto &c : e.perTrace) {
+            putWord(payload, c.tp);
+            putWord(payload, c.fp);
+            putWord(payload, c.tn);
+            putWord(payload, c.fn);
+        }
+    }
+
+    Fnv1a sum = headerChecksumSeed(header);
+    sum.update(payload.data(), payload.size());
+    header.checksum = sum.digest();
+
+    // Full file image, so a torn write can be simulated as a byte
+    // prefix regardless of where header/payload boundaries fall.
+    std::vector<char> image(sizeof(header) + payload.size());
+    std::memcpy(image.data(), &header, sizeof(header));
+    std::memcpy(image.data() + sizeof(header), payload.data(),
+                payload.size());
+
+    std::size_t write_bytes = image.size();
+    if (fault::enabled()) {
+        if (auto torn = fault::consume("checkpoint.torn_write"))
+            write_bytes = std::min<std::size_t>(write_bytes, *torn);
+    }
+
+    // Unique-per-writer temp name in the same directory, so rename()
+    // stays on one filesystem and is atomic (the trace-cache pattern).
+    static std::atomic<unsigned> seq{0};
+    std::string tmp = path + ".tmp." +
+                      std::to_string(static_cast<long>(::getpid())) +
+                      "." +
+                      std::to_string(seq.fetch_add(
+                          1, std::memory_order_relaxed));
+    {
+        std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+        if (!os) {
+            std::remove(tmp.c_str());
+            return false;
+        }
+        os.write(image.data(),
+                 static_cast<std::streamsize>(write_bytes));
+        os.flush();
+        if (!os.good()) {
+            std::remove(tmp.c_str());
+            return false;
+        }
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        return false;
+    }
+    return true;
+}
+
+CheckpointLoad
+loadCheckpoint(const std::string &path, const CheckpointKey &key,
+               std::vector<CheckpointEntry> &entries)
+{
+    entries.clear();
+
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        return CheckpointLoad::Missing;
+
+    CheckpointHeader header;
+    if (!is.read(reinterpret_cast<char *>(&header), sizeof(header)))
+        return CheckpointLoad::Invalid;
+    if (!validHeaderStructure(header))
+        return CheckpointLoad::Invalid;
+
+    // Bound by the real file size before allocating anything.
+    std::error_code ec;
+    const std::uint64_t file_size =
+        std::filesystem::file_size(path, ec);
+    if (ec || file_size != sizeof(header) + header.payloadBytes)
+        return CheckpointLoad::Invalid;
+
+    std::vector<char> payload(header.payloadBytes);
+    if (header.payloadBytes > 0 &&
+        !is.read(payload.data(),
+                 static_cast<std::streamsize>(payload.size())))
+        return CheckpointLoad::Invalid;
+
+    Fnv1a sum = headerChecksumSeed(header);
+    sum.update(payload.data(), payload.size());
+    if (sum.digest() != header.checksum)
+        return CheckpointLoad::Invalid;
+
+    // The container is intact; now check it belongs to *this* sweep.
+    CheckpointKey file_key;
+    file_key.traceSetHash = header.traceSetHash;
+    file_key.schemeSetHash = header.schemeSetHash;
+    file_key.schemeCount = header.schemeCount;
+    file_key.nNodes = header.nNodes;
+    file_key.kernel = header.kernel;
+    file_key.nTraces = header.nTraces;
+    if (!(file_key == key))
+        return CheckpointLoad::KeyMismatch;
+
+    const std::uint64_t entry_bytes =
+        checkpointEntryBytes(header.nTraces);
+    std::vector<CheckpointEntry> loaded;
+    loaded.reserve(header.entryCount);
+    const char *p = payload.data();
+    std::uint64_t prev_index = 0;
+    for (std::uint64_t i = 0; i < header.entryCount;
+         ++i, p += entry_bytes) {
+        CheckpointEntry e;
+        e.schemeIndex = getWord(p);
+        if (e.schemeIndex >= header.schemeCount)
+            return CheckpointLoad::Invalid;
+        // Strictly increasing: rejects duplicates and non-canonical
+        // orderings a hand-edited file could smuggle in.
+        if (i > 0 && e.schemeIndex <= prev_index)
+            return CheckpointLoad::Invalid;
+        prev_index = e.schemeIndex;
+        e.perTrace.resize(header.nTraces);
+        for (std::uint32_t t = 0; t < header.nTraces; ++t) {
+            const char *q = p + 8 + std::uint64_t(t) * 32;
+            e.perTrace[t].tp = getWord(q);
+            e.perTrace[t].fp = getWord(q + 8);
+            e.perTrace[t].tn = getWord(q + 16);
+            e.perTrace[t].fn = getWord(q + 24);
+        }
+        loaded.push_back(std::move(e));
+    }
+    entries = std::move(loaded);
+    return CheckpointLoad::Ok;
+}
+
+} // namespace ccp::sweep

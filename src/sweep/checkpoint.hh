@@ -1,0 +1,159 @@
+/**
+ * @file
+ * On-disk sweep checkpoints (see docs/RESILIENCE.md).
+ *
+ * A checkpoint records the per-scheme, per-trace Confusion counts of
+ * every scheme a sweep has fully evaluated, so an interrupted run can
+ * be resumed with `--resume` and produce a final ranked table that is
+ * byte-identical to an uninterrupted run — the counts are the exact
+ * integers the evaluation produced, nothing is re-derived.
+ *
+ * The container follows the hardened trace-v4 pattern
+ * (src/trace/format.hh): a fixed validated header, a whole-file
+ * FNV-1a checksum, fixed-size little-endian records, and atomic
+ * temp-file + rename() writes.  The header additionally carries the
+ * *identity* of the sweep — a hash of the trace set, a hash of the
+ * scheme set + update mode, the kernel, and the machine size — so a
+ * stale checkpoint (different traces, schemes, or configuration) is
+ * rejected as a key mismatch and regenerated rather than silently
+ * resumed into wrong results.
+ *
+ * Layout:
+ *
+ *   CheckpointHeader (96 bytes)
+ *   entryCount x { u64 schemeIndex,
+ *                  nTraces x { u64 tp, fp, tn, fn } }
+ *
+ * Entries are sorted by schemeIndex, so the file is deterministic in
+ * the set of completed schemes alone (never in worker interleaving).
+ */
+
+#ifndef CCP_SWEEP_CHECKPOINT_HH
+#define CCP_SWEEP_CHECKPOINT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "predict/evaluator.hh"
+#include "sweep/parallel.hh"
+#include "trace/trace.hh"
+
+namespace ccp::sweep {
+
+/** "CCPC" — sweep checkpoint container. */
+inline constexpr std::uint32_t checkpointMagic = 0x43435043;
+
+/** Current (and only accepted) checkpoint format version. */
+inline constexpr std::uint32_t checkpointFormatVersion = 1;
+
+/** Upper bound on traces per suite (sanity, not a real limit). */
+inline constexpr std::uint32_t maxCheckpointTraces = 4096;
+
+/**
+ * What a checkpoint must match to be resumed: everything that
+ * determines the evaluation's output (trace contents, scheme set,
+ * update mode, machine size) plus the kernel, so an A/B kernel study
+ * never cross-pollinates its runs.
+ */
+struct CheckpointKey
+{
+    std::uint64_t traceSetHash = 0;
+    /** Scheme list + update mode, order-sensitive. */
+    std::uint64_t schemeSetHash = 0;
+    std::uint64_t schemeCount = 0;
+    std::uint32_t nNodes = 0;
+    std::uint32_t kernel = 0;
+    std::uint32_t nTraces = 0;
+
+    bool operator==(const CheckpointKey &) const = default;
+};
+
+/**
+ * Compute the key of one sweep: an FNV-1a pass over every trace's
+ * name, geometry and packed events, and over the canonical names of
+ * every scheme plus the update mode.
+ */
+CheckpointKey makeCheckpointKey(
+    const std::vector<trace::SharingTrace> &traces,
+    const std::vector<predict::SchemeSpec> &schemes,
+    predict::UpdateMode mode, SweepKernel kernel);
+
+/** The fixed 96-byte file header; little-endian, reserved zero. */
+struct CheckpointHeader
+{
+    std::uint32_t magic = checkpointMagic;
+    std::uint32_t version = checkpointFormatVersion;
+    std::uint32_t nNodes = 0;
+    std::uint32_t kernel = 0;
+    std::uint64_t traceSetHash = 0;
+    std::uint64_t schemeSetHash = 0;
+    std::uint64_t schemeCount = 0;
+    std::uint32_t nTraces = 0;
+    std::uint32_t reserved0 = 0;
+    std::uint64_t entryCount = 0;
+    /** Exact byte size of everything after the header. */
+    std::uint64_t payloadBytes = 0;
+    /** FNV-1a 64 over the header (this field zeroed) + payload. */
+    std::uint64_t checksum = 0;
+    std::uint8_t reserved[24] = {};
+};
+
+static_assert(sizeof(CheckpointHeader) == 96,
+              "checkpoint header must stay 96 bytes");
+
+/** One completed scheme: its index in the sweep's scheme list plus
+ *  the per-trace confusion counts, in suite trace order. */
+struct CheckpointEntry
+{
+    std::uint64_t schemeIndex = 0;
+    std::vector<predict::Confusion> perTrace;
+};
+
+/** On-disk size of one entry for an @p n_traces suite. */
+inline constexpr std::uint64_t
+checkpointEntryBytes(std::uint32_t n_traces)
+{
+    return 8 + std::uint64_t(n_traces) * 4 * 8;
+}
+
+/**
+ * Write @p entries atomically (unique temp file in the same
+ * directory, then rename()), sorted by scheme index.  Honors the
+ * "checkpoint.torn_write" fault point: when armed with byte count N,
+ * exactly one write persists only its first N bytes — simulating a
+ * torn write that the loader must reject.  @return false on I/O
+ * failure (the temp file is removed; any previous checkpoint at
+ * @p path survives untouched).
+ */
+bool saveCheckpoint(const std::string &path, const CheckpointKey &key,
+                    std::vector<CheckpointEntry> entries);
+
+enum class CheckpointLoad : std::uint8_t
+{
+    Ok,
+    /** No file at the path (a fresh run, not an error). */
+    Missing,
+    /** Structurally invalid: bad magic/version/bounds, size or
+     *  checksum mismatch, out-of-range or unsorted entries. */
+    Invalid,
+    /** Valid container for a *different* sweep (stale key). */
+    KeyMismatch,
+};
+
+const char *checkpointLoadName(CheckpointLoad status);
+
+/**
+ * Load and fully validate the checkpoint at @p path against @p key.
+ * On Ok, @p entries holds the completed schemes sorted by index; on
+ * any other status @p entries is left empty.  Validation bounds every
+ * count against the real file size before allocating, exactly like
+ * the trace loader.
+ */
+CheckpointLoad loadCheckpoint(const std::string &path,
+                              const CheckpointKey &key,
+                              std::vector<CheckpointEntry> &entries);
+
+} // namespace ccp::sweep
+
+#endif // CCP_SWEEP_CHECKPOINT_HH

@@ -34,17 +34,10 @@ checkSweepInputs(const char *who,
 } // namespace
 
 std::vector<RankedScheme>
-rankSchemes(const std::vector<trace::SharingTrace> &traces,
-            const std::vector<SchemeSpec> &schemes, UpdateMode mode,
-            RankBy by, std::size_t n, const obs::ProgressFn &progress,
-            unsigned threads, SweepKernel kernel)
+rankResults(std::vector<SuiteResult> &results, RankBy by,
+            std::size_t n, unsigned n_nodes,
+            const std::vector<std::uint8_t> *completed)
 {
-    checkSweepInputs("rankSchemes", traces, schemes);
-
-    std::vector<SuiteResult> results =
-        ParallelSweep(threads, kernel)
-            .evaluate(traces, schemes, mode, progress);
-
     // Precomputed sort keys: a total order (score, table size,
     // secondary metric, canonical name, input position) so the top-N
     // cut is unique on every platform and thread count, and the
@@ -58,10 +51,11 @@ rankSchemes(const std::vector<trace::SharingTrace> &traces,
         std::string name;
         std::size_t pos;
     };
-    const unsigned n_nodes = traces.front().nNodes();
     std::vector<Key> keys;
     keys.reserve(results.size());
     for (std::size_t i = 0; i < results.size(); ++i) {
+        if (completed && !(*completed)[i])
+            continue;
         const SuiteResult &res = results[i];
         keys.push_back({by == RankBy::Pvp ? res.avgPvp()
                                           : res.avgSensitivity(),
@@ -93,6 +87,20 @@ rankSchemes(const std::vector<trace::SharingTrace> &traces,
         ranked.push_back(
             {std::move(results[keys[i].pos]), keys[i].score});
     return ranked;
+}
+
+std::vector<RankedScheme>
+rankSchemes(const std::vector<trace::SharingTrace> &traces,
+            const std::vector<SchemeSpec> &schemes, UpdateMode mode,
+            RankBy by, std::size_t n, const obs::ProgressFn &progress,
+            unsigned threads, SweepKernel kernel)
+{
+    checkSweepInputs("rankSchemes", traces, schemes);
+
+    std::vector<SuiteResult> results =
+        ParallelSweep(threads, kernel)
+            .evaluate(traces, schemes, mode, progress);
+    return rankResults(results, by, n, traces.front().nNodes());
 }
 
 std::vector<SuiteResult>

@@ -32,6 +32,21 @@ struct RankedScheme
 };
 
 /**
+ * Rank already-evaluated results and return the top @p n by the given
+ * criterion — the ranking half of rankSchemes, split out so engines
+ * that evaluate differently (ResilientRunner's checkpoint/resume path)
+ * rank through the exact same total order.  @p completed, when
+ * non-null, masks results to rank (completed->at(i) != 0); schemes
+ * that failed or were skipped never enter the order, so a partial
+ * outcome cannot smuggle default-constructed confusions into a table.
+ * Moves the kept results out of @p results.
+ */
+std::vector<RankedScheme>
+rankResults(std::vector<predict::SuiteResult> &results, RankBy by,
+            std::size_t n, unsigned n_nodes,
+            const std::vector<std::uint8_t> *completed = nullptr);
+
+/**
  * Evaluate every scheme over the suite and return the top @p n by the
  * given criterion.  The ranking is a total order — ties broken toward
  * smaller tables, then toward the other metric, then by canonical

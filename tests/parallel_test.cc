@@ -120,6 +120,77 @@ TEST(ThreadPool, ExceptionCancelsUnclaimedJobs)
     EXPECT_LE(calls.load(), 2);
 }
 
+// The exception-propagation contract documented on forEach() —
+// regression tests for what the resilient sweep runner relies on.
+
+TEST(ThreadPool, FirstExceptionWinsWhenEveryJobThrows)
+{
+    // Every job throws its own index; exactly ONE escapes per loop and
+    // it is one of the thrown values, never a mangled or second one.
+    ThreadPool pool(4);
+    for (int round = 0; round < 3; ++round) {
+        std::atomic<int> thrown{0};
+        bool caught = false;
+        try {
+            pool.forEach(
+                64,
+                [&](std::size_t job, unsigned) {
+                    ++thrown;
+                    throw std::size_t(job);
+                },
+                1);
+        } catch (std::size_t job) {
+            caught = true;
+            EXPECT_LT(job, 64u);
+        }
+        EXPECT_TRUE(caught) << "round " << round;
+        EXPECT_GE(thrown.load(), 1);
+    }
+}
+
+TEST(ThreadPool, JobsAreNeverTornMidFlight)
+{
+    // Contract point 2: in-flight chunks on other workers run to
+    // completion — every started job finishes even when a sibling
+    // throws, so started == finished after the rethrow.
+    ThreadPool pool(4);
+    std::atomic<int> started{0};
+    std::atomic<int> finished{0};
+    EXPECT_THROW(pool.forEach(1000,
+                              [&](std::size_t job, unsigned) {
+                                  ++started;
+                                  if (job == 7)
+                                      throw std::runtime_error("boom");
+                                  ++finished;
+                              },
+                              1),
+                 std::runtime_error);
+    // The thrower "finishes" by throwing; everyone else must have
+    // completed its body before forEach returned.
+    EXPECT_EQ(started.load(), finished.load() + 1);
+}
+
+TEST(ThreadPool, ErrorLatchResetsBetweenLoops)
+{
+    // Contract point 4: a failed loop must not poison later ones —
+    // alternate failing and clean loops on one pool.
+    ThreadPool pool(4);
+    for (int round = 0; round < 3; ++round) {
+        EXPECT_THROW(pool.forEach(50,
+                                  [&](std::size_t job, unsigned) {
+                                      if (job % 10 == 3)
+                                          throw std::runtime_error("x");
+                                  },
+                                  1),
+                     std::runtime_error)
+            << "round " << round;
+
+        std::atomic<int> calls{0};
+        pool.forEach(50, [&](std::size_t, unsigned) { ++calls; });
+        EXPECT_EQ(calls.load(), 50) << "round " << round;
+    }
+}
+
 // ---------------------------------------------------------------------
 // Sequential-vs-parallel sweep equivalence
 
