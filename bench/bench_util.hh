@@ -20,6 +20,18 @@
  *                     per-scheme oracle); output is byte-identical
  *                     either way
  *
+ * Tracing flags (docs/OBSERVABILITY.md, "Tracing & profiling"):
+ *   --trace-out <path>  record execution spans (thread-pool chunks,
+ *                       batch kernels, checkpoint I/O, trace-cache
+ *                       load) and write Chrome trace-event JSON there
+ *                       on exit — load it in Perfetto or
+ *                       chrome://tracing
+ *   --perf-counters     additionally sample hardware counters
+ *                       (cycles, instructions, cache & branch misses)
+ *                       per span; needs --trace-out and a kernel that
+ *                       allows perf_event_open (silently no-op
+ *                       otherwise)
+ *
  * Resilience flags (any of them routes the sweep through
  * sweep::ResilientRunner — see docs/RESILIENCE.md):
  *   --checkpoint <base>        periodic atomic checkpoints; the file
@@ -60,8 +72,10 @@
 #include "common/mem_budget.hh"
 #include "common/thread_pool.hh"
 #include "mem/protocol.hh"
+#include "obs/perf.hh"
 #include "obs/report.hh"
 #include "obs/timer.hh"
+#include "obs/trace.hh"
 #include "predict/evaluator.hh"
 #include "sweep/name.hh"
 #include "sweep/parallel.hh"
@@ -166,6 +180,7 @@ loadOrGenerateSuite()
     std::filesystem::create_directories(dir);
 
     auto &reg = obs::StatsRegistry::root();
+    CCP_TRACE_SPAN("bench", "bench.suite_load");
     obs::ScopedTimer suite_timer(reg, "bench.suite_load_seconds");
 
     std::vector<trace::SharingTrace> suite;
@@ -428,6 +443,13 @@ class BenchContext
                     ccp_fatal("bad --batch-deadline '", value,
                               "' (want seconds >= 0)");
                 batchDeadlineSec_ = sec;
+            } else if (takesValue(arg, "--trace-out", i, argc, argv,
+                                  value)) {
+                if (value.empty())
+                    ccp_fatal("--trace-out needs a non-empty path");
+                traceOutPath_ = value;
+            } else if (arg == "--perf-counters") {
+                perfCounters_ = true;
             } else if (arg == "--help" || arg == "-h") {
                 std::printf(
                     "usage: %s [--report <out.json>] "
@@ -436,7 +458,8 @@ class BenchContext
                     "[--checkpoint <base>] [--resume] "
                     "[--checkpoint-interval <sec>] "
                     "[--mem-budget <bytes>] "
-                    "[--batch-deadline <sec>]\n",
+                    "[--batch-deadline <sec>] "
+                    "[--trace-out <trace.json>] [--perf-counters]\n",
                     report_.tool().c_str());
                 std::exit(0);
             } else {
@@ -448,6 +471,20 @@ class BenchContext
         if (resume_ && checkpointPath_.empty())
             ccp_fatal("--resume needs --checkpoint <base> so there is "
                       "a checkpoint to resume from");
+        if (perfCounters_ && traceOutPath_.empty())
+            ccp_fatal("--perf-counters samples per-span deltas, so it "
+                      "needs --trace-out <path>");
+
+        if (!traceOutPath_.empty()) {
+            if (perfCounters_ && !obs::PerfCounters::available())
+                ccp_warn("hardware perf counters unavailable "
+                         "(perf_event_open denied or unsupported); "
+                         "spans record timestamps only");
+            obs::Tracer::Options topts;
+            topts.path = traceOutPath_;
+            topts.perfCounters = perfCounters_;
+            obs::Tracer::instance().enable(std::move(topts));
+        }
 
         obs::Json &config = report_.section("config");
         config["machine"] = machineConfigJson(mem::MachineConfig{});
@@ -457,6 +494,12 @@ class BenchContext
         config["threads"] = obs::Json(std::uint64_t(
             threads_ > 0 ? threads_ : ThreadPool::defaultThreads()));
         config["kernel"] = obs::Json(sweep::sweepKernelName(kernel_));
+        if (!traceOutPath_.empty()) {
+            obs::Json &t = config["tracing"];
+            t = obs::Json::object();
+            t["trace_out"] = obs::Json(traceOutPath_);
+            t["perf_counters"] = obs::Json(perfCounters_);
+        }
         if (usesResilience()) {
             obs::Json &r = config["resilience"];
             r = obs::Json::object();
@@ -592,6 +635,19 @@ class BenchContext
     int
     finish()
     {
+        // Flush the execution trace before snapshotting stats so the
+        // flush's drop accounting (trace.events_dropped) makes the
+        // report.
+        if (!traceOutPath_.empty()) {
+            if (!obs::Tracer::instance().flush())
+                ccp_fatal("cannot write execution trace to ",
+                          traceOutPath_);
+            if (logLevel() >= LogLevel::Info)
+                std::fprintf(stderr,
+                             "[bench] execution trace written to %s "
+                             "(open in Perfetto / chrome://tracing)\n",
+                             traceOutPath_.c_str());
+        }
         report_.setWallSeconds(wall_.elapsedSec());
         report_.addRegistry(obs::StatsRegistry::root());
         if (!reportPath_.empty()) {
@@ -651,6 +707,10 @@ class BenchContext
     std::uint64_t memBudgetBytes_ = 0;
     /** --batch-deadline seconds (0 = none). */
     double batchDeadlineSec_ = 0.0;
+    /** --trace-out path; empty = tracing off. */
+    std::string traceOutPath_;
+    /** --perf-counters: sample hardware counters per span. */
+    bool perfCounters_ = false;
     /** addOutcome() accumulators (multi-phase benches). */
     std::size_t outcomes_ = 0;
     std::size_t schemesResumed_ = 0;

@@ -18,6 +18,9 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
 #include <fstream>
 #include <string>
 
@@ -25,6 +28,7 @@
 #include "common/thread_pool.hh"
 #include "mem/protocol.hh"
 #include "obs/json.hh"
+#include "obs/trace.hh"
 #include "predict/evaluator.hh"
 #include "sweep/batch.hh"
 #include "sweep/name.hh"
@@ -289,6 +293,65 @@ BENCHMARK(BM_TorusMessage);
 // ---------------------------------------------------------------------
 // Sweep-kernel perf gate
 
+/** Trim trailing whitespace/newlines in place. */
+std::string
+rstrip(std::string s)
+{
+    while (!s.empty() &&
+           (s.back() == '\n' || s.back() == '\r' || s.back() == ' '))
+        s.pop_back();
+    return s;
+}
+
+/** The commit this binary measures: CCP_GIT_SHA (CI sets it from the
+ *  checkout) or `git rev-parse HEAD`, else "unknown". */
+std::string
+gitSha()
+{
+    if (const char *env = std::getenv("CCP_GIT_SHA"))
+        return rstrip(env);
+    std::string sha;
+    if (FILE *p = ::popen("git rev-parse HEAD 2>/dev/null", "r")) {
+        char buf[128];
+        if (std::fgets(buf, sizeof(buf), p))
+            sha = rstrip(buf);
+        ::pclose(p);
+    }
+    return sha.empty() ? "unknown" : sha;
+}
+
+/** ISO-8601 UTC timestamp of this run, e.g. "2026-08-08T12:34:56Z". */
+std::string
+isoUtcNow()
+{
+    std::time_t now = std::time(nullptr);
+    std::tm tm = {};
+    gmtime_r(&now, &tm);
+    char buf[32];
+    std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &tm);
+    return buf;
+}
+
+/** Host CPU model from /proc/cpuinfo (Linux), else "unknown". */
+std::string
+cpuModel()
+{
+    std::ifstream is("/proc/cpuinfo");
+    std::string line;
+    while (std::getline(is, line)) {
+        if (line.rfind("model name", 0) != 0)
+            continue;
+        std::size_t colon = line.find(':');
+        if (colon == std::string::npos)
+            break;
+        std::size_t start = line.find_first_not_of(" \t", colon + 1);
+        if (start == std::string::npos)
+            break;
+        return rstrip(line.substr(start));
+    }
+    return "unknown";
+}
+
 /** Wall-clock best-of-@p reps for one sweep over the fixture. */
 template <typename Fn>
 double
@@ -348,6 +411,25 @@ runSweepGate()
         benchmark::DoNotOptimize(res);
     });
 
+    // Tracing overhead: the same single-thread batched sweep with
+    // span recording live.  batched_sec above already measures the
+    // disabled path (instrumentation compiled in, tracing off), so
+    // the pair bounds both costs — and bench_compare gates the
+    // disabled cost against the committed baseline.
+    {
+        obs::Tracer::Options topts;
+        topts.bufferRecords = std::size_t(1) << 20;
+        obs::Tracer::instance().enable(std::move(topts));
+    }
+    double traced_sec = bestOf(reps, [&] {
+        auto res = sweep::ParallelSweep(1, sweep::SweepKernel::Batched)
+                       .evaluate(suite, schemes, mode);
+        benchmark::DoNotOptimize(res);
+    });
+    obs::Tracer::instance().disable();
+    const double trace_overhead_pct =
+        (traced_sec / batched_sec - 1.0) * 100.0;
+
     // The gate also cross-checks the kernels on the fixture: a fast
     // wrong kernel must not pass.
     for (std::size_t i = 0; i < schemes.size(); ++i) {
@@ -361,6 +443,14 @@ runSweepGate()
 
     const double speedup = ref_sec / batched_sec;
     obs::Json doc = obs::Json::object();
+    // Provenance stamp: which commit, when, and on what hardware —
+    // so archived records and regression diffs are comparable.
+    obs::Json meta = obs::Json::object();
+    meta["git_sha"] = obs::Json(gitSha());
+    meta["date_utc"] = obs::Json(isoUtcNow());
+    meta["cpu_model"] = obs::Json(cpuModel());
+    meta["threads"] = obs::Json(mt_threads);
+    doc["meta"] = std::move(meta);
     obs::Json fixture = obs::Json::object();
     fixture["trace"] = obs::Json(tr.name());
     fixture["events"] = obs::Json(std::uint64_t(tr.events().size()));
@@ -382,6 +472,11 @@ runSweepGate()
     record("batched", 1, batched_sec);
     record("batched_parallel", mt_threads, mt_sec);
     doc["speedup"] = obs::Json(speedup);
+    obs::Json tracing = obs::Json::object();
+    tracing["disabled_seconds"] = obs::Json(batched_sec);
+    tracing["enabled_seconds"] = obs::Json(traced_sec);
+    tracing["enabled_overhead_pct"] = obs::Json(trace_overhead_pct);
+    doc["tracing"] = std::move(tracing);
 
     const char *env_path = std::getenv("CCP_BENCH_JSON");
     const std::string path = env_path ? env_path : "BENCH_sweep.json";
@@ -402,6 +497,10 @@ runSweepGate()
                  scheme_events / mt_sec / 1e6, speedup,
                  speedup >= 1.0 ? "ok" : "FAIL (batched slower than "
                                          "reference)");
+    std::fprintf(stderr,
+                 "[gate] tracing enabled %.3fs vs disabled %.3fs "
+                 "(%+.2f%% overhead)\n",
+                 traced_sec, batched_sec, trace_overhead_pct);
     return speedup >= 1.0 ? 0 : 1;
 }
 

@@ -53,6 +53,115 @@ Summary::merge(const Summary &other)
     max_ = std::max(max_, other.max_);
 }
 
+namespace {
+
+/** floor(log2(v)) with 0 mapping to bucket 0. */
+std::size_t
+logBucket(std::uint64_t value)
+{
+    return value ? 63u - static_cast<std::size_t>(
+                             __builtin_clzll(value))
+                 : 0;
+}
+
+} // namespace
+
+void
+LogHistogram::add(std::uint64_t value)
+{
+    ++counts_[logBucket(value)];
+    ++count_;
+    sum_ += value;
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+}
+
+std::uint64_t
+LogHistogram::bucket(std::size_t i) const
+{
+    ccp_assert(i < nBuckets, "log-histogram bucket out of range");
+    return counts_[i];
+}
+
+std::uint64_t
+LogHistogram::bucketLo(std::size_t i)
+{
+    ccp_assert(i < nBuckets, "log-histogram bucket out of range");
+    return i ? std::uint64_t(1) << i : 0;
+}
+
+double
+LogHistogram::quantile(double q) const
+{
+    if (count_ == 0)
+        return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    // Rank of the q-th sample (1-based, nearest-rank ceiling).
+    const double want = q * static_cast<double>(count_);
+    std::uint64_t rank = static_cast<std::uint64_t>(std::ceil(want));
+    rank = std::clamp<std::uint64_t>(rank, 1, count_);
+
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < nBuckets; ++i) {
+        if (counts_[i] == 0)
+            continue;
+        if (seen + counts_[i] < rank) {
+            seen += counts_[i];
+            continue;
+        }
+        // Linear interpolation inside [2^i, 2^(i+1)).
+        const double lo = static_cast<double>(bucketLo(i));
+        const double hi =
+            i + 1 < nBuckets
+                ? static_cast<double>(bucketLo(i + 1))
+                : static_cast<double>(max_);
+        const double frac =
+            static_cast<double>(rank - seen) /
+            static_cast<double>(counts_[i]);
+        double v = lo + (hi - lo) * frac;
+        // Clamp to the observed range so tiny distributions (one
+        // bucket) do not report values never seen.
+        v = std::clamp(v, static_cast<double>(min_),
+                       static_cast<double>(max_));
+        return v;
+    }
+    return static_cast<double>(max_);
+}
+
+void
+LogHistogram::merge(const LogHistogram &other)
+{
+    if (other.count_ == 0)
+        return;
+    for (std::size_t i = 0; i < nBuckets; ++i)
+        counts_[i] += other.counts_[i];
+    count_ += other.count_;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+std::string
+LogHistogram::toString() const
+{
+    std::ostringstream os;
+    bool first = true;
+    for (std::size_t i = 0; i < nBuckets; ++i) {
+        if (!counts_[i])
+            continue;
+        if (!first)
+            os << ' ';
+        first = false;
+        os << '[' << bucketLo(i) << ',';
+        if (i + 1 < nBuckets)
+            os << bucketLo(i + 1);
+        else
+            os << "inf";
+        os << "):" << counts_[i];
+    }
+    return os.str();
+}
+
 Histogram::Histogram(std::size_t buckets) : counts_(buckets, 0)
 {
     ccp_assert(buckets > 0, "histogram needs at least one bucket");

@@ -49,6 +49,66 @@ class Summary
 };
 
 /**
+ * A log2-bucketed histogram for latency-style values spanning many
+ * orders of magnitude (nanoseconds to minutes).  Bucket i counts
+ * samples whose value v satisfies floor(log2(v)) == i, i.e. v in
+ * [2^i, 2^(i+1)); value 0 lands in bucket 0.  With 64 buckets every
+ * uint64 sample is representable, so there is no overflow bucket and
+ * merge() across sharded registries is exact.
+ *
+ * Percentiles are derived from the bucket counts: the bucket holding
+ * the p-th sample is located exactly, and the value is interpolated
+ * linearly inside the bucket (error bounded by the bucket width, i.e.
+ * at most 2x — plenty for p50/p90/p99 reporting on log-scale data).
+ */
+class LogHistogram
+{
+  public:
+    static constexpr std::size_t nBuckets = 64;
+
+    void add(std::uint64_t value);
+
+    std::uint64_t count() const { return count_; }
+    std::uint64_t sum() const { return sum_; }
+    std::uint64_t min() const { return count_ ? min_ : 0; }
+    std::uint64_t max() const { return count_ ? max_ : 0; }
+    double mean() const
+    {
+        return count_ ? static_cast<double>(sum_) /
+                            static_cast<double>(count_)
+                      : 0.0;
+    }
+
+    std::uint64_t bucket(std::size_t i) const;
+
+    /** Lower bound of bucket i: 0 for bucket 0, else 2^i. */
+    static std::uint64_t bucketLo(std::size_t i);
+
+    /**
+     * The q-quantile (q in [0, 1]) by bucket interpolation, clamped
+     * to the observed min/max; 0 with no samples.
+     */
+    double quantile(double q) const;
+
+    double p50() const { return quantile(0.50); }
+    double p90() const { return quantile(0.90); }
+    double p99() const { return quantile(0.99); }
+
+    /** Add another log-histogram into this one (exact). */
+    void merge(const LogHistogram &other);
+
+    /** Render "[lo,hi):count ..." of non-empty buckets for logs. */
+    std::string toString() const;
+
+  private:
+    std::uint64_t counts_[nBuckets] = {};
+    std::uint64_t count_ = 0;
+    std::uint64_t sum_ = 0;
+    std::uint64_t min_ = std::numeric_limits<std::uint64_t>::max();
+    std::uint64_t max_ = 0;
+};
+
+/**
  * A histogram with unit-width integer buckets [0, n) plus an overflow
  * bucket; used for e.g. readers-per-invalidation distributions.
  */

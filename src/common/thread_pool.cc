@@ -4,6 +4,24 @@
 
 namespace ccp {
 
+namespace {
+
+std::atomic<const PoolTraceHooks *> g_poolHooks{nullptr};
+
+} // namespace
+
+void
+setPoolTraceHooks(const PoolTraceHooks *hooks)
+{
+    g_poolHooks.store(hooks, std::memory_order_release);
+}
+
+const PoolTraceHooks *
+poolTraceHooks()
+{
+    return g_poolHooks.load(std::memory_order_acquire);
+}
+
 unsigned
 ThreadPool::defaultThreads()
 {
@@ -38,10 +56,17 @@ ThreadPool::drainChunks(unsigned worker)
         if (begin >= nJobs_)
             return;
         std::size_t end = std::min(begin + chunk_, nJobs_);
+        const PoolTraceHooks *hooks = poolTraceHooks();
+        if (hooks)
+            hooks->chunkBegin(begin, end - begin);
         try {
             for (std::size_t job = begin; job < end; ++job)
                 (*fn_)(job, worker);
+            if (hooks)
+                hooks->chunkEnd();
         } catch (...) {
+            if (hooks)
+                hooks->chunkEnd();
             {
                 std::lock_guard<std::mutex> lock(mutex_);
                 if (!error_)
@@ -61,6 +86,12 @@ ThreadPool::workerLoop(unsigned id)
     // Worker ids 1..n-1; id 0 is the calling thread.
     std::uint64_t seen = 0;
     for (;;) {
+        // Idle gap: reported retroactively at wake through the trace
+        // hooks (the parked thread records nothing in between, so the
+        // backdated span keeps per-thread timestamps monotone).
+        const PoolTraceHooks *hooks = poolTraceHooks();
+        const std::uint64_t idle_begin =
+            hooks ? hooks->nowNs() : 0;
         {
             std::unique_lock<std::mutex> lock(mutex_);
             startCv_.wait(lock, [&] {
@@ -70,6 +101,8 @@ ThreadPool::workerLoop(unsigned id)
                 return;
             seen = generation_;
         }
+        if (hooks)
+            hooks->idle(idle_begin, hooks->nowNs());
         drainChunks(id);
         {
             std::lock_guard<std::mutex> lock(mutex_);

@@ -23,6 +23,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <exception>
 #include <functional>
 #include <mutex>
@@ -30,6 +31,32 @@
 #include <vector>
 
 namespace ccp {
+
+/**
+ * Optional pool instrumentation hooks.  The execution tracer
+ * (obs/trace.hh) installs these when tracing is enabled so Perfetto
+ * shows the pool's task lifecycle — per-chunk run spans and the idle
+ * gaps between loops — without common/ depending on obs/.  All
+ * pointers must be valid; install nullptr to turn instrumentation
+ * off.  Hooks run on the worker thread they describe.
+ */
+struct PoolTraceHooks
+{
+    /** A worker claimed jobs [first, first+count) and starts running
+     *  them (paired with chunkEnd on the same thread). */
+    void (*chunkBegin)(std::size_t first, std::size_t count);
+    void (*chunkEnd)();
+    /** A worker was parked waiting for work for [beginNs, endNs]
+     *  (reported retroactively at wake). */
+    void (*idle)(std::uint64_t beginNs, std::uint64_t endNs);
+    /** The tracer's clock, so idle timestamps share its epoch. */
+    std::uint64_t (*nowNs)();
+};
+
+/** Install @p hooks process-wide (nullptr uninstalls). */
+void setPoolTraceHooks(const PoolTraceHooks *hooks);
+/** The currently installed hooks, or nullptr. */
+const PoolTraceHooks *poolTraceHooks();
 
 class ThreadPool
 {

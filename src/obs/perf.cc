@@ -1,0 +1,159 @@
+#include "obs/perf.hh"
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#endif
+
+namespace ccp::obs {
+
+#if defined(__linux__)
+
+namespace {
+
+long
+perfEventOpen(perf_event_attr *attr, pid_t pid, int cpu, int group_fd,
+              unsigned long flags)
+{
+    return ::syscall(SYS_perf_event_open, attr, pid, cpu, group_fd,
+                     flags);
+}
+
+perf_event_attr
+makeAttr(std::uint32_t type, std::uint64_t config)
+{
+    perf_event_attr attr;
+    std::memset(&attr, 0, sizeof(attr));
+    attr.size = sizeof(attr);
+    attr.type = type;
+    attr.config = config;
+    attr.disabled = 0;
+    attr.exclude_kernel = 1;
+    attr.exclude_hv = 1;
+    attr.read_format = PERF_FORMAT_GROUP |
+                       PERF_FORMAT_TOTAL_TIME_ENABLED |
+                       PERF_FORMAT_TOTAL_TIME_RUNNING;
+    return attr;
+}
+
+} // namespace
+
+PerfCounters::PerfCounters()
+{
+    auto leader = makeAttr(PERF_TYPE_HARDWARE,
+                           PERF_COUNT_HW_CPU_CYCLES);
+    long fd = perfEventOpen(&leader, 0, -1, -1, 0);
+    if (fd < 0)
+        return; // EACCES/ENOENT/EPERM: no counters here, stay no-op
+    fd_ = static_cast<int>(fd);
+
+    const std::uint64_t configs[3] = {
+        PERF_COUNT_HW_INSTRUCTIONS,
+        PERF_COUNT_HW_CACHE_MISSES,
+        PERF_COUNT_HW_BRANCH_MISSES,
+    };
+    for (int i = 0; i < 3; ++i) {
+        auto attr = makeAttr(PERF_TYPE_HARDWARE, configs[i]);
+        long sfd = perfEventOpen(&attr, 0, -1, fd_, 0);
+        siblings_[i] = sfd < 0 ? -1 : static_cast<int>(sfd);
+    }
+    ::ioctl(fd_, PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP);
+    ::ioctl(fd_, PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP);
+}
+
+PerfCounters::~PerfCounters()
+{
+    for (int i = 0; i < 3; ++i)
+        if (siblings_[i] >= 0)
+            ::close(siblings_[i]);
+    if (fd_ >= 0)
+        ::close(fd_);
+}
+
+PerfSample
+PerfCounters::read() const
+{
+    PerfSample s;
+    if (fd_ < 0)
+        return s;
+
+    // PERF_FORMAT_GROUP layout: nr, time_enabled, time_running,
+    // value[nr] in the order the events joined the group (leader
+    // first, then any siblings that opened successfully).
+    std::uint64_t buf[3 + 4];
+    ssize_t n = ::read(fd_, buf, sizeof(buf));
+    if (n < static_cast<ssize_t>(4 * sizeof(std::uint64_t)))
+        return s;
+
+    const std::uint64_t nr = buf[0];
+    const std::uint64_t enabled = buf[1];
+    const std::uint64_t running = buf[2];
+    // Scale for multiplexing; running == 0 means never scheduled.
+    const double scale =
+        running ? static_cast<double>(enabled) /
+                      static_cast<double>(running)
+                : 0.0;
+    auto scaled = [&](std::uint64_t raw) {
+        return static_cast<std::uint64_t>(
+            static_cast<double>(raw) * scale);
+    };
+
+    std::uint64_t values[4] = {0, 0, 0, 0};
+    // Map group slots back to [cycles, instr, cache, branch]: slot 0
+    // is the leader, then one slot per successfully opened sibling.
+    std::uint64_t slot = 0;
+    values[0] = slot < nr ? buf[3 + slot++] : 0;
+    for (int i = 0; i < 3; ++i)
+        if (siblings_[i] >= 0 && slot < nr)
+            values[1 + i] = buf[3 + slot++];
+
+    s.cycles = scaled(values[0]);
+    s.instructions = scaled(values[1]);
+    s.cacheMisses = scaled(values[2]);
+    s.branchMisses = scaled(values[3]);
+    s.valid = true;
+    return s;
+}
+
+bool
+PerfCounters::available()
+{
+    static const bool avail = [] {
+        PerfCounters probe;
+        return probe.ok();
+    }();
+    return avail;
+}
+
+#else // !__linux__
+
+PerfCounters::PerfCounters() {}
+PerfCounters::~PerfCounters() {}
+
+PerfSample
+PerfCounters::read() const
+{
+    return PerfSample{};
+}
+
+bool
+PerfCounters::available()
+{
+    return false;
+}
+
+#endif
+
+PerfCounters &
+PerfCounters::thread()
+{
+    thread_local PerfCounters counters;
+    return counters;
+}
+
+} // namespace ccp::obs

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Hardware performance-counter sampling via perf_event_open(2).
+ *
+ * A PerfCounters object owns one per-thread counter group — cycles
+ * (leader), instructions, cache misses, branch misses — opened with
+ * exclude_kernel so it works at perf_event_paranoid <= 2.  read()
+ * returns a PerfSample snapshot; subtracting two snapshots gives the
+ * deltas for a span, which the tracer (obs/trace.hh) attaches to its
+ * Chrome-trace end events when --perf-counters is on.
+ *
+ * Everything degrades gracefully: on non-Linux builds, in containers
+ * without perf access, or when any event fails to open, ok() is false
+ * and read() returns an invalid sample — callers never branch on the
+ * platform, only on PerfSample::valid.  Counts are scaled by the
+ * kernel's time_enabled/time_running ratio so multiplexed groups
+ * still report meaningful totals.
+ */
+
+#ifndef CCP_OBS_PERF_HH
+#define CCP_OBS_PERF_HH
+
+#include <cstdint>
+
+namespace ccp::obs {
+
+/** One snapshot (or delta) of the four sampled hardware counters. */
+struct PerfSample
+{
+    std::uint64_t cycles = 0;
+    std::uint64_t instructions = 0;
+    std::uint64_t cacheMisses = 0;
+    std::uint64_t branchMisses = 0;
+    /** False when counters are unavailable; all counts then 0. */
+    bool valid = false;
+
+    /** Per-counter delta; valid only when both sides are. */
+    PerfSample
+    operator-(const PerfSample &o) const
+    {
+        PerfSample d;
+        d.valid = valid && o.valid;
+        if (d.valid) {
+            d.cycles = cycles - o.cycles;
+            d.instructions = instructions - o.instructions;
+            d.cacheMisses = cacheMisses - o.cacheMisses;
+            d.branchMisses = branchMisses - o.branchMisses;
+        }
+        return d;
+    }
+
+    /** Instructions per cycle; 0 when invalid or no cycles. */
+    double
+    ipc() const
+    {
+        return valid && cycles
+                   ? static_cast<double>(instructions) /
+                         static_cast<double>(cycles)
+                   : 0.0;
+    }
+};
+
+class PerfCounters
+{
+  public:
+    /** Opens the counter group for the calling thread. */
+    PerfCounters();
+    ~PerfCounters();
+
+    PerfCounters(const PerfCounters &) = delete;
+    PerfCounters &operator=(const PerfCounters &) = delete;
+
+    /** True when the group opened and read() yields valid samples. */
+    bool ok() const { return fd_ >= 0; }
+
+    /** Snapshot the group (one read(2) on Linux). */
+    PerfSample read() const;
+
+    /**
+     * The calling thread's lazily opened counters.  Thread-local, so
+     * every pool worker samples its own group; safe to call from any
+     * thread at any time (the no-perf case is a cheap invalid read).
+     */
+    static PerfCounters &thread();
+
+    /** Whether this build/host can open counters at all (probes once
+     *  per process; false on non-Linux or when the probe fails). */
+    static bool available();
+
+  private:
+    /** Group-leader fd, or -1 when unavailable. */
+    int fd_ = -1;
+    /** Sibling fds (instructions, cache misses, branch misses); -1
+     *  entries were not opened and read as 0. */
+    int siblings_[3] = {-1, -1, -1};
+};
+
+} // namespace ccp::obs
+
+#endif // CCP_OBS_PERF_HH

@@ -20,6 +20,8 @@ kindName(std::size_t index)
         return "summary";
       case 3:
         return "histogram";
+      case 4:
+        return "latency";
     }
     return "?";
 }
@@ -103,6 +105,13 @@ StatsRegistry::histogram(const std::string &path, std::size_t buckets)
     return h;
 }
 
+LogHistogram &
+StatsRegistry::latency(const std::string &path)
+{
+    return std::get<LogHistogram>(
+        lookup(path, LogHistogram{}, "latency"));
+}
+
 bool
 StatsRegistry::has(const std::string &path) const
 {
@@ -133,6 +142,14 @@ StatsRegistry::findHistogram(const std::string &path) const
                               : std::get_if<Histogram>(&it->second);
 }
 
+const LogHistogram *
+StatsRegistry::findLatency(const std::string &path) const
+{
+    auto it = stats_.find(path);
+    return it == stats_.end() ? nullptr
+                              : std::get_if<LogHistogram>(&it->second);
+}
+
 std::vector<std::string>
 StatsRegistry::paths() const
 {
@@ -155,6 +172,8 @@ StatsRegistry::merge(const StatsRegistry &other)
             summary(path).merge(*s);
         } else if (const auto *h = std::get_if<Histogram>(&stat)) {
             histogram(path, h->size()).merge(*h);
+        } else if (const auto *l = std::get_if<LogHistogram>(&stat)) {
+            latency(path).merge(*l);
         }
     }
 }
@@ -187,6 +206,28 @@ histogramJson(const Histogram &h)
 }
 
 Json
+logHistogramJson(const LogHistogram &h)
+{
+    Json j = Json::object();
+    j["count"] = Json(h.count());
+    j["total"] = Json(h.sum());
+    j["mean"] = Json(h.mean());
+    j["min"] = Json(h.min());
+    j["max"] = Json(h.max());
+    j["p50"] = Json(h.p50());
+    j["p90"] = Json(h.p90());
+    j["p99"] = Json(h.p99());
+    Json &buckets = j["buckets"];
+    buckets = Json::object();
+    for (std::size_t i = 0; i < LogHistogram::nBuckets; ++i) {
+        if (h.bucket(i))
+            buckets[std::to_string(LogHistogram::bucketLo(i))] =
+                Json(h.bucket(i));
+    }
+    return j;
+}
+
+Json
 StatsRegistry::toJson() const
 {
     Json root = Json::object();
@@ -209,6 +250,8 @@ StatsRegistry::toJson() const
             leaf = summaryJson(*s);
         else if (const auto *h = std::get_if<Histogram>(&stat))
             leaf = histogramJson(*h);
+        else if (const auto *l = std::get_if<LogHistogram>(&stat))
+            leaf = logHistogramJson(*l);
     }
     return root;
 }
@@ -229,6 +272,10 @@ StatsRegistry::dumpText() const
                << " stddev " << s->stddev();
         } else if (const auto *h = std::get_if<Histogram>(&stat)) {
             os << h->toString();
+        } else if (const auto *l = std::get_if<LogHistogram>(&stat)) {
+            os << "count " << l->count() << " p50 " << l->p50()
+               << " p90 " << l->p90() << " p99 " << l->p99()
+               << " max " << l->max();
         }
         os << '\n';
     }

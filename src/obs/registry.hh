@@ -9,7 +9,10 @@
  *   counter()   — a monotonically growing uint64 (events, messages);
  *   scalar()    — a settable double (configured sizes, final ratios);
  *   summary()   — a ccp::Summary over samples (timings, occupancy);
- *   histogram() — a ccp::Histogram (readers-per-invalidation, ...).
+ *   histogram() — a ccp::Histogram (readers-per-invalidation, ...);
+ *   latency()   — a ccp::LogHistogram over nanosecond samples with
+ *                 log2 buckets and p50/p90/p99 in the dumps (batch
+ *                 and per-scheme evaluation latency).
  *
  * The first access under a path creates the stat and fixes its kind;
  * later accesses must agree (panic otherwise).  A path may not be both
@@ -61,6 +64,7 @@ class StatsRegistry
     double &scalar(const std::string &path);
     Summary &summary(const std::string &path);
     Histogram &histogram(const std::string &path, std::size_t buckets);
+    LogHistogram &latency(const std::string &path);
 
     bool has(const std::string &path) const;
 
@@ -68,6 +72,7 @@ class StatsRegistry
     const Counter *findCounter(const std::string &path) const;
     const Summary *findSummary(const std::string &path) const;
     const Histogram *findHistogram(const std::string &path) const;
+    const LogHistogram *findLatency(const std::string &path) const;
     std::size_t size() const { return stats_.size(); }
     bool empty() const { return stats_.empty(); }
 
@@ -114,7 +119,8 @@ class StatsRegistry
     static StatsRegistry *setCurrent(StatsRegistry *reg);
 
   private:
-    using Stat = std::variant<Counter, double, Summary, Histogram>;
+    using Stat =
+        std::variant<Counter, double, Summary, Histogram, LogHistogram>;
 
     Stat &lookup(const std::string &path, Stat init,
                  const char *kind_name);
@@ -151,6 +157,9 @@ class ScopedRegistry
 Json summaryJson(const Summary &s);
 /** Serialize one Histogram in the registry's JSON shape. */
 Json histogramJson(const Histogram &h);
+/** Serialize one LogHistogram: count/mean/min/max, p50/p90/p99, and
+ *  a sparse {bucket_lo: count} object of non-empty log2 buckets. */
+Json logHistogramJson(const LogHistogram &h);
 
 } // namespace ccp::obs
 

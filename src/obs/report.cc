@@ -1,6 +1,10 @@
 #include "obs/report.hh"
 
+#include <unistd.h>
+
+#include <filesystem>
 #include <fstream>
+#include <system_error>
 
 namespace ccp::obs {
 
@@ -43,11 +47,32 @@ RunReport::toString(int indent) const
 bool
 RunReport::writeFile(const std::string &path) const
 {
-    std::ofstream os(path);
-    if (!os)
+    // Atomic temp + rename (the trace-v4 discipline): concurrent
+    // benches sharing a report path, or a crash mid-write, can never
+    // leave an interleaved or truncated JSON document behind.  The
+    // temp name carries the pid so two writers don't clobber each
+    // other's temp file either; last rename wins with a whole file.
+    const std::string tmp =
+        path + ".tmp." + std::to_string(::getpid());
+    {
+        std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+        if (!os)
+            return false;
+        os << toString();
+        os.flush();
+        if (!os.good()) {
+            std::error_code ec;
+            std::filesystem::remove(tmp, ec);
+            return false;
+        }
+    }
+    std::error_code ec;
+    std::filesystem::rename(tmp, path, ec);
+    if (ec) {
+        std::filesystem::remove(tmp, ec);
         return false;
-    os << toString();
-    return bool(os);
+    }
+    return true;
 }
 
 } // namespace ccp::obs

@@ -75,11 +75,18 @@ ProgressReporter::operator()(const Progress &p)
                       p.resumed);
 
     if (finished) {
+        // The rate already covers freshly processed items only (the
+        // meter subtracts the resumed baseline), so a resumed run's
+        // final line reports true throughput, not checkpoint magic.
         std::fprintf(stderr,
                      "[%s] %zu/%zu (100%%) in %s (%.1f/s%s)\n",
                      label_.c_str(), p.done, p.total,
                      formatDuration(p.elapsedSec).c_str(), p.perSec,
                      resumed);
+        // The final line must land even when stderr is a fully
+        // buffered pipe (CI logs) and the process exits via _exit
+        // or a signal before stdio teardown.
+        std::fflush(stderr);
     } else if (p.perSec > 0.0) {
         std::fprintf(stderr,
                      "[%s] %zu/%zu (%u%%) %.1f/s, ETA %s%s\n",

@@ -122,8 +122,14 @@ class ProgressMeter
      *  checkpoint); the first tick then reports from this baseline
      *  and rate/ETA cover only the freshly processed remainder. */
     explicit ProgressMeter(std::size_t total, std::size_t resumed = 0)
-        : total_(total), resumed_(std::min(resumed, total))
+        : total_(total), resumed_(std::min(resumed, total)),
+          highWater_(resumed_)
     {
+        // The high-water mark starts at the resumed baseline, so a
+        // tick that races in before the initial baseline tick (or
+        // reports only freshly processed items) can never show done
+        // below what the checkpoint already covered — and the
+        // rate/ETA keep measuring the fresh remainder only.
     }
 
     /** Observe completion of @p done items out of the total (resumed
@@ -156,8 +162,9 @@ class ProgressMeter
   private:
     std::size_t total_;
     std::size_t resumed_;
-    /** Furthest completion reported so far (ticks can race). */
-    mutable std::atomic<std::size_t> highWater_{0};
+    /** Furthest completion reported so far (ticks can race);
+     *  starts at the resumed baseline. */
+    mutable std::atomic<std::size_t> highWater_;
     Stopwatch watch_;
 };
 

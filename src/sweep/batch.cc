@@ -6,6 +6,7 @@
 #include "common/logging.hh"
 #include "obs/registry.hh"
 #include "obs/timer.hh"
+#include "obs/trace.hh"
 #include "predict/table.hh"
 
 namespace ccp::sweep {
@@ -260,6 +261,7 @@ BatchEvaluator::evaluateTrace(const trace::SharingTrace &trace,
     if (mode == UpdateMode::Ordered)
         ordered_fb = predict::orderedFeedback(trace);
 
+    CCP_TRACE_SPAN_N("batch", "batch.trace", trace.events().size());
     obs::Stopwatch watch;
     switch (mode) {
       case UpdateMode::Direct:

@@ -5,6 +5,7 @@
 
 #include "common/logging.hh"
 #include "obs/registry.hh"
+#include "obs/trace.hh"
 #include "sweep/batch.hh"
 
 namespace ccp::sweep {
@@ -76,9 +77,13 @@ ParallelSweep::evaluateReference(
             obs::StatsRegistry &shard = shards[worker];
             obs::ScopedRegistry route(shard);
             {
+                CCP_TRACE_SPAN("sweep", "sweep.scheme");
                 obs::ScopedTimer timer(shard,
                                        "sweep.scheme_eval_seconds");
+                obs::Stopwatch lat;
                 results[job] = evaluateSuite(traces, schemes[job], mode);
+                shard.latency("sweep.scheme_latency_ns")
+                    .add(std::uint64_t(lat.elapsedSec() * 1e9));
             }
             ++shard.counter("sweep.schemes_evaluated");
 
@@ -127,8 +132,10 @@ ParallelSweep::evaluateBatched(
             obs::ScopedRegistry route(shard);
             auto [first, last] = batches[job];
             {
+                CCP_TRACE_SPAN_N("sweep", "sweep.batch", last - first);
                 obs::ScopedTimer timer(shard,
                                        "sweep.batch_eval_seconds");
+                obs::Stopwatch lat;
                 BatchEvaluator batch(
                     {schemes.begin() +
                          static_cast<std::ptrdiff_t>(first),
@@ -138,6 +145,8 @@ ParallelSweep::evaluateBatched(
                 auto batch_results = batch.evaluateSuite(traces, mode);
                 for (std::size_t i = 0; i < batch_results.size(); ++i)
                     results[first + i] = std::move(batch_results[i]);
+                shard.latency("sweep.batch_latency_ns")
+                    .add(std::uint64_t(lat.elapsedSec() * 1e9));
             }
             ++shard.counter("sweep.batches_evaluated");
             shard.counter("sweep.schemes_evaluated") += last - first;

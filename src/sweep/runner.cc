@@ -14,6 +14,7 @@
 #include "common/mem_budget.hh"
 #include "common/thread_pool.hh"
 #include "obs/registry.hh"
+#include "obs/trace.hh"
 #include "sweep/batch.hh"
 #include "sweep/checkpoint.hh"
 #include "sweep/name.hh"
@@ -244,6 +245,7 @@ ResilientRunner::evaluate(const std::vector<trace::SharingTrace> &traces,
     std::vector<CheckpointEntry> done;
     std::vector<std::uint8_t> resumed(schemes.size(), 0);
     if (checkpointing && opts_.resume) {
+        CCP_TRACE_SPAN("ckpt", "ckpt.resume_load");
         std::vector<CheckpointEntry> loaded;
         CheckpointLoad status = loadCheckpoint(file, key, loaded);
         switch (status) {
@@ -361,7 +363,12 @@ ResilientRunner::evaluate(const std::vector<trace::SharingTrace> &traces,
     auto writeCheckpointLocked = [&]() {
         if (!checkpointing)
             return;
+        CCP_TRACE_SPAN_N("ckpt", "ckpt.write", done.size());
+        obs::Stopwatch lat;
         if (saveCheckpoint(file, key, done)) {
+            obs::StatsRegistry::current()
+                .latency("sweep.checkpoint_write_latency_ns")
+                .add(std::uint64_t(lat.elapsedSec() * 1e9));
             ++obs::StatsRegistry::current().counter(
                 "sweep.checkpoints_written");
         } else {
@@ -397,8 +404,10 @@ ResilientRunner::evaluate(const std::vector<trace::SharingTrace> &traces,
                                       task.ordinal))
                         throw std::runtime_error(
                             "injected worker fault");
+                    CCP_TRACE_SPAN_N("sweep", "sweep.batch", count);
                     obs::ScopedTimer timer(
                         shard, "sweep.batch_eval_seconds");
+                    obs::Stopwatch lat;
                     if (opts_.kernel == SweepKernel::Batched) {
                         BatchEvaluator batch(
                             {schemes.begin() +
@@ -417,6 +426,8 @@ ResilientRunner::evaluate(const std::vector<trace::SharingTrace> &traces,
                             task_results.push_back(evaluateSuite(
                                 traces, schemes[i], mode));
                     }
+                    shard.latency("sweep.batch_latency_ns")
+                        .add(std::uint64_t(lat.elapsedSec() * 1e9));
                     error.clear();
                     break;
                 } catch (const std::exception &e) {

@@ -11,6 +11,7 @@
 #include <utility>
 
 #include "common/logging.hh"
+#include "obs/trace.hh"
 #include "trace/format.hh"
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -216,6 +217,7 @@ SharingTrace::load(std::istream &is)
 bool
 SharingTrace::saveFile(const std::string &path) const
 {
+    CCP_TRACE_SPAN("trace", "trace.save_file");
     // Unique-per-writer temp name in the same directory, so rename()
     // is atomic and concurrent writers of the same cache entry never
     // clobber each other's half-written bytes.
@@ -264,6 +266,7 @@ SharingTrace::loadFile(const std::string &path)
 bool
 SharingTrace::loadFileStream(const std::string &path)
 {
+    CCP_TRACE_SPAN("trace", "trace.load_stream");
     std::ifstream is(path, std::ios::binary);
     return is && load(is);
 }
@@ -296,6 +299,7 @@ struct FileMapping
 SharingTrace::MapLoad
 SharingTrace::loadMappedImpl(const std::string &path)
 {
+    CCP_TRACE_SPAN("trace", "trace.load_mmap");
     const int fd = ::open(path.c_str(), O_RDONLY);
     if (fd < 0)
         return MapLoad::Unavailable;

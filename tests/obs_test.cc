@@ -6,12 +6,15 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <thread>
+#include <vector>
 
 #include "common/logging.hh"
+#include "common/stats.hh"
 #include "obs/json.hh"
 #include "obs/registry.hh"
 #include "obs/report.hh"
@@ -171,6 +174,8 @@ TEST(Registry, MergeCombinesEveryKind)
     b.summary("t").add(3.0);
     a.histogram("h", 4).add(1);
     b.histogram("h", 4).add(2);
+    a.latency("l").add(100);
+    b.latency("l").add(1000);
     b.counter("only_b") += 7;
 
     a.merge(b);
@@ -179,7 +184,78 @@ TEST(Registry, MergeCombinesEveryKind)
     EXPECT_EQ(a.summary("t").count(), 2u);
     EXPECT_DOUBLE_EQ(a.summary("t").mean(), 2.0);
     EXPECT_EQ(a.histogram("h", 4).total(), 2u);
+    EXPECT_EQ(a.latency("l").count(), 2u);
+    EXPECT_EQ(a.latency("l").min(), 100u);
+    EXPECT_EQ(a.latency("l").max(), 1000u);
     EXPECT_EQ(a.counter("only_b").value, 7u);
+}
+
+TEST(Registry, LatencyMergeAcrossShardsIsExact)
+{
+    // The sweep discipline: one registry shard per worker thread,
+    // merged into a parent at join.  Bucket counts must equal a
+    // single-threaded run over the concatenation, whatever the shard
+    // count or value distribution.
+    constexpr unsigned n_shards = 5;
+    std::vector<StatsRegistry> shards(n_shards);
+    ccp::LogHistogram expect;
+    std::uint64_t v = 1;
+    for (unsigned s = 0; s < n_shards; ++s) {
+        for (unsigned i = 0; i <= 100 * s; ++i) {
+            // Values spanning many log2 buckets, deterministic.
+            v = v * 2862933555777941757ull + 3037000493ull;
+            std::uint64_t sample = v >> (v % 48);
+            shards[s].latency("sweep.batch_latency_ns").add(sample);
+            expect.add(sample);
+        }
+    }
+
+    StatsRegistry parent;
+    for (const auto &shard : shards)
+        parent.merge(shard);
+
+    const ccp::LogHistogram &merged =
+        parent.latency("sweep.batch_latency_ns");
+    EXPECT_EQ(merged.count(), expect.count());
+    EXPECT_EQ(merged.sum(), expect.sum());
+    EXPECT_EQ(merged.min(), expect.min());
+    EXPECT_EQ(merged.max(), expect.max());
+    for (std::size_t i = 0; i < ccp::LogHistogram::nBuckets; ++i)
+        EXPECT_EQ(merged.bucket(i), expect.bucket(i))
+            << "bucket " << i;
+    EXPECT_DOUBLE_EQ(merged.p50(), expect.p50());
+    EXPECT_DOUBLE_EQ(merged.p90(), expect.p90());
+    EXPECT_DOUBLE_EQ(merged.p99(), expect.p99());
+}
+
+TEST(Registry, LatencyJsonCarriesQuantilesAndSparseBuckets)
+{
+    StatsRegistry reg;
+    reg.latency("io.write_ns").add(1000);
+    reg.latency("io.write_ns").add(3000);
+
+    Json j = reg.toJson();
+    const Json *io = j.find("io");
+    ASSERT_NE(io, nullptr);
+    const Json *lat = io->find("write_ns");
+    ASSERT_NE(lat, nullptr);
+    EXPECT_EQ(lat->find("count")->asUInt(), 2u);
+    EXPECT_EQ(lat->find("min")->asUInt(), 1000u);
+    EXPECT_EQ(lat->find("max")->asUInt(), 3000u);
+    ASSERT_NE(lat->find("p50"), nullptr);
+    ASSERT_NE(lat->find("p90"), nullptr);
+    ASSERT_NE(lat->find("p99"), nullptr);
+    // Sparse bucket map: only the touched buckets appear, keyed by
+    // their lower bound (1000 -> [512,1024), 3000 -> [2048,4096)).
+    const Json *buckets = lat->find("buckets");
+    ASSERT_NE(buckets, nullptr);
+    ASSERT_NE(buckets->find("512"), nullptr);
+    EXPECT_EQ(buckets->find("512")->asUInt(), 1u);
+    ASSERT_NE(buckets->find("2048"), nullptr);
+    EXPECT_EQ(buckets->find("2048")->asUInt(), 1u);
+    EXPECT_EQ(buckets->members().size(), 2u);
+
+    EXPECT_TRUE(Json::parse(j.dump(2)).has_value());
 }
 
 TEST(Registry, JsonDumpNestsByDots)
@@ -304,6 +380,33 @@ TEST(Timer, ProgressMeterHandlesZeroTotal)
     EXPECT_EQ(p.etaSec, 0.0);
 }
 
+TEST(Timer, ProgressMeterResumedBaselineFeedsRateAndEta)
+{
+    // A resumed sweep starts with a checkpoint baseline: the first
+    // tick reports from there, the rate covers only fresh items, and
+    // a racing tick below the baseline can never drag done under it.
+    obs::ProgressMeter meter(100, 40);
+    obs::Progress p = meter.tick(40);
+    EXPECT_EQ(p.done, 40u);
+    EXPECT_EQ(p.resumed, 40u);
+    EXPECT_EQ(p.perSec, 0.0); // nothing freshly processed yet
+
+    EXPECT_EQ(meter.tick(10).done, 40u); // below baseline: clamped
+
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    p = meter.tick(70);
+    EXPECT_EQ(p.done, 70u);
+    EXPECT_GT(p.perSec, 0.0);
+    // Rate covers the 30 fresh items, not all 70; ETA for the
+    // remaining 30 at that rate.
+    EXPECT_NEAR(p.perSec * p.elapsedSec, 30.0, 1e-6);
+    EXPECT_NEAR(p.etaSec, 30.0 / p.perSec, 1e-9);
+
+    // A resumed count above the total is clamped to the total.
+    obs::ProgressMeter over(10, 50);
+    EXPECT_EQ(over.tick(10).resumed, 10u);
+}
+
 TEST(Timer, ProgressMeterKeepsDoneMonotonicUnderOutOfOrderTicks)
 {
     // Parallel workers can report completions out of order; the meter
@@ -337,6 +440,25 @@ TEST(Timer, ProgressReporterDropsStaleAndDuplicateTicks)
     std::size_t first = err.find("2/4");
     ASSERT_NE(first, std::string::npos);
     EXPECT_EQ(err.find("2/4", first + 1), std::string::npos);
+}
+
+TEST(Timer, ProgressReporterCarriesResumedBaselineToFinalLine)
+{
+    setLogLevel(LogLevel::Info);
+    obs::ProgressReporter reporter("unit", 0.0, 0);
+    obs::ProgressMeter meter(4, 3);
+
+    testing::internal::CaptureStderr();
+    reporter(meter.tick(3));
+    reporter(meter.tick(4));
+    std::string err = testing::internal::GetCapturedStderr();
+
+    // Every line, including the finish line, names the baseline so a
+    // resumed run's "4/4 in 0.0s" reads as resume, not magic.
+    EXPECT_NE(err.find("3 resumed"), std::string::npos);
+    std::size_t finish = err.find("100%");
+    ASSERT_NE(finish, std::string::npos);
+    EXPECT_NE(err.find("3 resumed", finish), std::string::npos);
 }
 
 TEST(Timer, ProgressReporterHandlesZeroTotal)

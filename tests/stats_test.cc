@@ -5,11 +5,15 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <limits>
+
 #include "common/stats.hh"
 
 namespace {
 
 using ccp::Histogram;
+using ccp::LogHistogram;
 using ccp::Summary;
 
 TEST(Summary, EmptyIsZero)
@@ -164,6 +168,132 @@ TEST(Histogram, BucketOutOfRangeDies)
 {
     Histogram h(2);
     EXPECT_DEATH(h.bucket(2), "out of range");
+}
+
+TEST(LogHistogram, EmptyIsZero)
+{
+    LogHistogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.sum(), 0u);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), 0u);
+    EXPECT_EQ(h.mean(), 0.0);
+    EXPECT_EQ(h.p50(), 0.0);
+    EXPECT_EQ(h.toString(), "");
+}
+
+TEST(LogHistogram, BucketBoundariesAreLog2)
+{
+    // floor(log2(v)) buckets, with 0 landing in bucket 0 alongside 1.
+    LogHistogram h;
+    for (std::uint64_t v : {0ull, 1ull, 2ull, 3ull, 4ull, 7ull, 8ull,
+                            1023ull, 1024ull})
+        h.add(v);
+    EXPECT_EQ(h.bucket(0), 2u); // 0, 1
+    EXPECT_EQ(h.bucket(1), 2u); // 2, 3
+    EXPECT_EQ(h.bucket(2), 2u); // 4, 7
+    EXPECT_EQ(h.bucket(3), 1u); // 8
+    EXPECT_EQ(h.bucket(9), 1u); // 1023
+    EXPECT_EQ(h.bucket(10), 1u); // 1024
+    EXPECT_EQ(h.count(), 9u);
+    EXPECT_EQ(LogHistogram::bucketLo(0), 0u);
+    EXPECT_EQ(LogHistogram::bucketLo(1), 2u);
+    EXPECT_EQ(LogHistogram::bucketLo(10), 1024u);
+}
+
+TEST(LogHistogram, TopBucketHoldsHugeValues)
+{
+    LogHistogram h;
+    const std::uint64_t huge =
+        std::numeric_limits<std::uint64_t>::max();
+    h.add(huge);
+    EXPECT_EQ(h.bucket(LogHistogram::nBuckets - 1), 1u);
+    EXPECT_EQ(h.max(), huge);
+}
+
+TEST(LogHistogram, TracksMomentsExactly)
+{
+    LogHistogram h;
+    for (std::uint64_t v : {10ull, 20ull, 30ull})
+        h.add(v);
+    EXPECT_EQ(h.count(), 3u);
+    EXPECT_EQ(h.sum(), 60u);
+    EXPECT_EQ(h.min(), 10u);
+    EXPECT_EQ(h.max(), 30u);
+    EXPECT_DOUBLE_EQ(h.mean(), 20.0);
+}
+
+TEST(LogHistogram, QuantilesClampToObservedRange)
+{
+    // A single repeated value: every quantile IS that value, even
+    // though its bucket spans [64, 128).
+    LogHistogram h;
+    for (int i = 0; i < 100; ++i)
+        h.add(100);
+    EXPECT_DOUBLE_EQ(h.p50(), 100.0);
+    EXPECT_DOUBLE_EQ(h.p90(), 100.0);
+    EXPECT_DOUBLE_EQ(h.p99(), 100.0);
+}
+
+TEST(LogHistogram, QuantilesAreMonotoneAndBracketed)
+{
+    LogHistogram h;
+    for (std::uint64_t v = 1; v <= 1000; ++v)
+        h.add(v);
+    const double p50 = h.p50(), p90 = h.p90(), p99 = h.p99();
+    EXPECT_LE(p50, p90);
+    EXPECT_LE(p90, p99);
+    EXPECT_GE(p50, 1.0);
+    EXPECT_LE(p99, 1000.0);
+    // Log-bucket interpolation is coarse, but the median of 1..1000
+    // must land in the right power-of-two neighbourhood.
+    EXPECT_GE(p50, 256.0);
+    EXPECT_LE(p50, 1000.0);
+}
+
+TEST(LogHistogram, MergeEqualsConcatenation)
+{
+    LogHistogram a, b, all;
+    for (std::uint64_t v : {1ull, 5ull, 17ull, 1000ull}) {
+        a.add(v);
+        all.add(v);
+    }
+    for (std::uint64_t v : {0ull, 3ull, 3ull, 70000ull}) {
+        b.add(v);
+        all.add(v);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_EQ(a.sum(), all.sum());
+    EXPECT_EQ(a.min(), all.min());
+    EXPECT_EQ(a.max(), all.max());
+    for (std::size_t i = 0; i < LogHistogram::nBuckets; ++i)
+        EXPECT_EQ(a.bucket(i), all.bucket(i)) << "bucket " << i;
+    EXPECT_DOUBLE_EQ(a.p50(), all.p50());
+    EXPECT_DOUBLE_EQ(a.p99(), all.p99());
+}
+
+TEST(LogHistogram, MergeEmptyIsNoop)
+{
+    LogHistogram a, empty;
+    a.add(42);
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 1u);
+    EXPECT_EQ(a.min(), 42u);
+    EXPECT_EQ(a.max(), 42u);
+
+    empty.merge(a); // merge into empty must copy min/max
+    EXPECT_EQ(empty.min(), 42u);
+    EXPECT_EQ(empty.max(), 42u);
+}
+
+TEST(LogHistogram, ToStringListsNonEmptyBuckets)
+{
+    LogHistogram h;
+    h.add(1);
+    h.add(5);
+    h.add(5);
+    EXPECT_EQ(h.toString(), "[0,2):1 [4,8):2");
 }
 
 } // namespace

@@ -1,0 +1,280 @@
+/**
+ * @file
+ * Perf-regression gate over the sweep-kernel records perf_micro
+ * writes (BENCH_sweep.json): compares a current record against a
+ * committed baseline and fails when throughput regressed beyond
+ * tolerance.
+ *
+ *   bench_compare --baseline bench/baselines/BENCH_sweep.json \
+ *                 --current BENCH_sweep.json \
+ *                 [--max-regress 0.10] [--absolute] [--archive <dir>]
+ *
+ * Two comparison modes:
+ *
+ *  - Relative (default): gates metrics that are ratios of two runs on
+ *    the SAME machine — the batched/reference speedup and the tracing
+ *    overhead — so a baseline committed from one host is a valid gate
+ *    on any other (CI runners differ in absolute throughput by design,
+ *    and gating absolute numbers across hosts would only flake).
+ *  - --absolute: additionally gates the absolute scheme-events/s of
+ *    every section (reference, batched, batched_parallel).  Use it
+ *    when baseline and current come from the same machine, e.g. the
+ *    nightly archive.
+ *
+ * --archive <dir> copies the current record into @p dir under a name
+ * stamped from its own metadata (date + git SHA), building the history
+ * the absolute mode can be pointed at.
+ *
+ * Exit codes: 0 pass, 1 regression (or malformed records), 2 usage.
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.hh"
+
+namespace {
+
+using ccp::obs::Json;
+
+struct Options
+{
+    std::string baselinePath;
+    std::string currentPath;
+    double maxRegress = 0.10;
+    bool absolute = false;
+    std::string archiveDir;
+};
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s --baseline <BENCH_sweep.json> "
+        "--current <BENCH_sweep.json>\n"
+        "          [--max-regress <frac>] [--absolute] "
+        "[--archive <dir>]\n",
+        argv0);
+    return 2;
+}
+
+bool
+readFile(const std::string &path, std::string &out)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        return false;
+    std::ostringstream ss;
+    ss << is.rdbuf();
+    out = ss.str();
+    return is.good() || is.eof();
+}
+
+/** Numeric field at doc[section][key] (or doc[key] with empty
+ *  section); nan when absent. */
+double
+field(const Json &doc, const std::string &section,
+      const std::string &key)
+{
+    const Json *j = &doc;
+    if (!section.empty()) {
+        j = j->find(section);
+        if (!j || !j->isObject())
+            return std::nan("");
+    }
+    const Json *v = j->find(key);
+    if (!v || !v->isNumber())
+        return std::nan("");
+    return v->asDouble();
+}
+
+/** One gated metric: current must not fall below baseline by more
+ *  than the tolerance (all gated metrics are higher-is-better). */
+struct Check
+{
+    const char *label;
+    double baseline;
+    double current;
+};
+
+bool
+runChecks(const std::vector<Check> &checks, double max_regress)
+{
+    bool ok = true;
+    std::printf("%-34s %12s %12s %8s\n", "metric", "baseline",
+                "current", "delta");
+    for (const auto &c : checks) {
+        if (std::isnan(c.baseline) || std::isnan(c.current)) {
+            std::printf("%-34s %12s %12s %8s\n", c.label,
+                        std::isnan(c.baseline) ? "missing" : "-",
+                        std::isnan(c.current) ? "missing" : "-",
+                        "FAIL");
+            ok = false;
+            continue;
+        }
+        double delta =
+            c.baseline != 0.0 ? c.current / c.baseline - 1.0 : 0.0;
+        bool pass = c.current >= c.baseline * (1.0 - max_regress);
+        std::printf("%-34s %12.3f %12.3f %+7.1f%% %s\n", c.label,
+                    c.baseline, c.current, delta * 100.0,
+                    pass ? "" : "FAIL");
+        ok = ok && pass;
+    }
+    return ok;
+}
+
+std::string
+metaString(const Json &doc, const char *key, const char *fallback)
+{
+    if (const Json *meta = doc.find("meta"))
+        if (const Json *v = meta->find(key))
+            if (v->kind() == Json::Kind::String)
+                return v->asString();
+    return fallback;
+}
+
+/** Archive the current record as BENCH_sweep_<date>_<sha12>.json. */
+bool
+archive(const Json &doc, const std::string &raw,
+        const std::string &dir)
+{
+    std::string date = metaString(doc, "date_utc", "undated");
+    for (char &c : date)
+        if (c == ':')
+            c = '-';
+    std::string sha = metaString(doc, "git_sha", "unknown");
+    if (sha.size() > 12)
+        sha.resize(12);
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    const std::string path =
+        dir + "/BENCH_sweep_" + date + "_" + sha + ".json";
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    os << raw;
+    if (!os.good()) {
+        std::fprintf(stderr, "bench_compare: cannot archive to %s\n",
+                     path.c_str());
+        return false;
+    }
+    std::printf("archived %s\n", path.c_str());
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto value = [&](std::string &dst) {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n",
+                             arg.c_str());
+                std::exit(2);
+            }
+            dst = argv[++i];
+        };
+        if (arg == "--baseline") {
+            value(opt.baselinePath);
+        } else if (arg == "--current") {
+            value(opt.currentPath);
+        } else if (arg == "--max-regress") {
+            std::string v;
+            value(v);
+            char *end = nullptr;
+            opt.maxRegress = std::strtod(v.c_str(), &end);
+            if (end == v.c_str() || *end != '\0' ||
+                opt.maxRegress < 0 || opt.maxRegress >= 1) {
+                std::fprintf(stderr,
+                             "bad --max-regress '%s' (want a "
+                             "fraction in [0,1))\n", v.c_str());
+                return 2;
+            }
+        } else if (arg == "--absolute") {
+            opt.absolute = true;
+        } else if (arg == "--archive") {
+            value(opt.archiveDir);
+        } else if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            return 0;
+        } else {
+            std::fprintf(stderr, "unknown argument '%s'\n",
+                         arg.c_str());
+            return usage(argv[0]);
+        }
+    }
+    if (opt.baselinePath.empty() || opt.currentPath.empty())
+        return usage(argv[0]);
+
+    std::string base_raw, cur_raw;
+    if (!readFile(opt.baselinePath, base_raw)) {
+        std::fprintf(stderr, "bench_compare: cannot read %s\n",
+                     opt.baselinePath.c_str());
+        return 1;
+    }
+    if (!readFile(opt.currentPath, cur_raw)) {
+        std::fprintf(stderr, "bench_compare: cannot read %s\n",
+                     opt.currentPath.c_str());
+        return 1;
+    }
+    auto base = Json::parse(base_raw);
+    auto cur = Json::parse(cur_raw);
+    if (!base || !cur) {
+        std::fprintf(stderr,
+                     "bench_compare: malformed JSON in %s\n",
+                     !base ? opt.baselinePath.c_str()
+                           : opt.currentPath.c_str());
+        return 1;
+    }
+
+    std::printf("baseline: %s (%s, %s)\n", opt.baselinePath.c_str(),
+                metaString(*base, "git_sha", "unstamped").c_str(),
+                metaString(*base, "date_utc", "undated").c_str());
+    std::printf("current:  %s (%s, %s)\n", opt.currentPath.c_str(),
+                metaString(*cur, "git_sha", "unstamped").c_str(),
+                metaString(*cur, "date_utc", "undated").c_str());
+
+    std::vector<Check> checks;
+    checks.push_back({"speedup (batched/reference)",
+                      field(*base, "", "speedup"),
+                      field(*cur, "", "speedup")});
+    // Tracing overhead is lower-is-better; gate it as the inverted
+    // throughput ratio so one tolerance covers every row.  A record
+    // predating the tracing section skips the row (no baseline to
+    // hold the current run to).
+    double base_ov =
+        field(*base, "tracing", "enabled_overhead_pct");
+    double cur_ov = field(*cur, "tracing", "enabled_overhead_pct");
+    if (!std::isnan(base_ov) && !std::isnan(cur_ov))
+        checks.push_back({"tracing throughput ratio",
+                          100.0 / (100.0 + base_ov),
+                          100.0 / (100.0 + cur_ov)});
+    if (opt.absolute) {
+        for (const char *sec :
+             {"reference", "batched", "batched_parallel"})
+            checks.push_back(
+                {sec,
+                 field(*base, sec, "scheme_events_per_sec") / 1e6,
+                 field(*cur, sec, "scheme_events_per_sec") / 1e6});
+    }
+
+    bool ok = runChecks(checks, opt.maxRegress);
+
+    if (!opt.archiveDir.empty() &&
+        !archive(*cur, cur_raw, opt.archiveDir))
+        ok = false;
+
+    std::printf("bench_compare: %s (tolerance %.0f%%)\n",
+                ok ? "PASS" : "FAIL", opt.maxRegress * 100.0);
+    return ok ? 0 : 1;
+}
