@@ -16,9 +16,10 @@
  *                     hardware threads; 1 = the sequential path; 0 is
  *                     the same as the default)
  *   --kernel <k>      sweep evaluation kernel: "batched" (the
- *                     event-major default) or "reference" (the
- *                     per-scheme oracle); output is byte-identical
- *                     either way
+ *                     event-major default), "simd" (the SoA
+ *                     bit-parallel lanes, docs/KERNELS.md), or
+ *                     "reference" (the per-scheme oracle); output is
+ *                     byte-identical either way
  *
  * Tracing flags (docs/OBSERVABILITY.md, "Tracing & profiling"):
  *   --trace-out <path>  record execution spans (thread-pool chunks,
@@ -412,7 +413,7 @@ class BenchContext
                                   value)) {
                 if (!sweep::parseSweepKernel(value, kernel_))
                     ccp_fatal("bad --kernel value '", value,
-                              "' (want batched|reference)");
+                              "' (want batched|simd|reference)");
             } else if (takesValue(arg, "--checkpoint", i, argc, argv,
                                   value)) {
                 if (value.empty())
@@ -454,7 +455,7 @@ class BenchContext
                 std::printf(
                     "usage: %s [--report <out.json>] "
                     "[--log quiet|warn|info|debug] [--threads <n>] "
-                    "[--kernel batched|reference] "
+                    "[--kernel batched|simd|reference] "
                     "[--checkpoint <base>] [--resume] "
                     "[--checkpoint-interval <sec>] "
                     "[--mem-budget <bytes>] "

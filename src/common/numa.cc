@@ -1,0 +1,100 @@
+#include "common/numa.hh"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#if defined(__linux__)
+#include <sched.h>
+#endif
+
+namespace ccp {
+
+std::vector<unsigned>
+parseCpuList(const std::string &text)
+{
+    std::vector<unsigned> cpus;
+    std::istringstream in(text);
+    std::string token;
+    while (std::getline(in, token, ',')) {
+        // Trim whitespace (the sysfs file ends in a newline).
+        const auto first = token.find_first_not_of(" \t\n\r");
+        if (first == std::string::npos)
+            continue;
+        const auto last = token.find_last_not_of(" \t\n\r");
+        token = token.substr(first, last - first + 1);
+
+        const auto dash = token.find('-');
+        char *end = nullptr;
+        if (dash == std::string::npos) {
+            const unsigned long cpu =
+                std::strtoul(token.c_str(), &end, 10);
+            if (end == token.c_str() || *end != '\0')
+                break;
+            cpus.push_back(static_cast<unsigned>(cpu));
+        } else {
+            const std::string lo_s = token.substr(0, dash);
+            const std::string hi_s = token.substr(dash + 1);
+            const unsigned long lo =
+                std::strtoul(lo_s.c_str(), &end, 10);
+            if (end == lo_s.c_str() || *end != '\0')
+                break;
+            const unsigned long hi =
+                std::strtoul(hi_s.c_str(), &end, 10);
+            if (end == hi_s.c_str() || *end != '\0' || hi < lo)
+                break;
+            for (unsigned long c = lo; c <= hi; ++c)
+                cpus.push_back(static_cast<unsigned>(c));
+        }
+    }
+    return cpus;
+}
+
+NumaTopology
+numaTopology()
+{
+    NumaTopology topo;
+#if defined(__linux__)
+    // Probe node ids in order; the sysfs directory is dense in
+    // practice, but tolerate gaps up to a small bound so an offlined
+    // node does not hide those after it.
+    unsigned misses = 0;
+    for (unsigned id = 0; misses < 16; ++id) {
+        std::ifstream in("/sys/devices/system/node/node" +
+                         std::to_string(id) + "/cpulist");
+        if (!in) {
+            ++misses;
+            continue;
+        }
+        misses = 0;
+        std::string text;
+        std::getline(in, text);
+        NumaNode node;
+        node.id = id;
+        node.cpus = parseCpuList(text);
+        if (!node.cpus.empty())
+            topo.nodes.push_back(std::move(node));
+    }
+#endif
+    return topo;
+}
+
+bool
+pinCurrentThread(const std::vector<unsigned> &cpus)
+{
+    if (cpus.empty())
+        return false;
+#if defined(__linux__)
+    cpu_set_t set;
+    CPU_ZERO(&set);
+    for (unsigned cpu : cpus) {
+        if (cpu < CPU_SETSIZE)
+            CPU_SET(cpu, &set);
+    }
+    return sched_setaffinity(0, sizeof(set), &set) == 0;
+#else
+    return false;
+#endif
+}
+
+} // namespace ccp

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Minimal NUMA topology discovery and thread pinning, with no library
+ * dependency: the node/cpu map is read from
+ * /sys/devices/system/node/node<N>/cpulist (the same source libnuma
+ * parses) and pinning goes through sched_setaffinity.
+ *
+ * The sweep uses this to make ParallelSweep NUMA-aware: worker
+ * threads are pinned round-robin across nodes through the ThreadPool
+ * start hook, so each worker's batch state — allocated and
+ * first-touched on the worker itself — lands on the socket that will
+ * stream events through it.  On single-node machines (or non-Linux
+ * hosts, or when the sysfs tree is absent) topology discovery returns
+ * at most one node and the sweep leaves affinity untouched —
+ * behaviour degrades to exactly the pre-NUMA configuration.
+ */
+
+#ifndef CCP_COMMON_NUMA_HH
+#define CCP_COMMON_NUMA_HH
+
+#include <string>
+#include <vector>
+
+namespace ccp {
+
+/** One NUMA node: its id and the cpus local to it. */
+struct NumaNode
+{
+    unsigned id = 0;
+    std::vector<unsigned> cpus;
+};
+
+struct NumaTopology
+{
+    /** Nodes with at least one cpu, ordered by node id.  Empty when
+     *  the host exposes no topology (non-Linux, no sysfs). */
+    std::vector<NumaNode> nodes;
+
+    /** True only when pinning can possibly help. */
+    bool multiNode() const { return nodes.size() > 1; }
+};
+
+/**
+ * Parse a kernel cpulist string ("0-3,8,10-11") into cpu ids.
+ * Malformed input yields the ids parsed up to the bad token; order
+ * and duplicates are preserved as written.
+ */
+std::vector<unsigned> parseCpuList(const std::string &text);
+
+/** Discover the host topology (empty on failure — never throws). */
+NumaTopology numaTopology();
+
+/**
+ * Pin the calling thread to @p cpus.  @return true on success; false
+ * when the set is empty, the host has no affinity syscall, or the
+ * kernel rejects the mask (cpuset restrictions) — callers treat
+ * false as "run unpinned", never as an error.
+ */
+bool pinCurrentThread(const std::vector<unsigned> &cpus);
+
+} // namespace ccp
+
+#endif // CCP_COMMON_NUMA_HH

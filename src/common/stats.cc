@@ -109,18 +109,22 @@ LogHistogram::quantile(double q) const
             seen += counts_[i];
             continue;
         }
-        // Linear interpolation inside [2^i, 2^(i+1)).
-        const double lo = static_cast<double>(bucketLo(i));
-        const double hi =
-            i + 1 < nBuckets
-                ? static_cast<double>(bucketLo(i + 1))
-                : static_cast<double>(max_);
+        // Linear interpolation inside [2^i, 2^(i+1)), with the
+        // bucket's bounds tightened to the observed range first: the
+        // lowest occupied bucket must interpolate up from min_ (not
+        // extrapolate below the smallest sample toward the bucket
+        // floor) and the topmost from at most max_, so a
+        // single-sample histogram reports exactly that sample.
+        const double lo =
+            static_cast<double>(std::max(bucketLo(i), min_));
+        const double hi = static_cast<double>(
+            i + 1 < nBuckets ? std::min(bucketLo(i + 1), max_)
+                             : max_);
         const double frac =
             static_cast<double>(rank - seen) /
             static_cast<double>(counts_[i]);
         double v = lo + (hi - lo) * frac;
-        // Clamp to the observed range so tiny distributions (one
-        // bucket) do not report values never seen.
+        // Belt and braces: never report a value outside [min_, max_].
         v = std::clamp(v, static_cast<double>(min_),
                        static_cast<double>(max_));
         return v;

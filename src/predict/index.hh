@@ -91,6 +91,13 @@ struct IndexSpec
  * fixed branch-free expression (four mask-and-shift terms, absent
  * fields contributing zero through a zero mask).  Produces bit-for-bit
  * the same index as IndexSpec::index() for every tuple.
+ *
+ * Invariant (asserted by makeIndexPlan): the packed index fits 64
+ * bits, so every shift is < 64.  The simd sweep kernel transposes
+ * four plans into SoA lane vectors (sweep::lanes::LanePlans) and
+ * consumes the shifts through AVX2 variable shifts, which zero at
+ * shift >= 64 where scalar << is undefined — the invariant is what
+ * keeps the two lane backends bit-identical by construction.
  */
 struct IndexPlan
 {

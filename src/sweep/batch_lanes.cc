@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Portable lane kernel (the CPUID / CCP_SIMD_DISABLE fallback) and
+ * the runtime backend dispatch for the simd sweep kernel.
+ *
+ * This translation unit is compiled with the baseline flags only, so
+ * the build stays -Werror-clean on hosts and toolchains without AVX2;
+ * the AVX2 backend lives in batch_simd.cc behind a CMake flag check
+ * and is selected here at runtime by CPUID.
+ */
+
+#include "sweep/batch_lanes.hh"
+
+#include <bit>
+
+namespace ccp::sweep::lanes {
+
+namespace detail {
+
+// Defined in batch_simd.cc when the build carries the -mavx2
+// translation unit (CCP_HAVE_AVX2_TU).
+const LaneKernel &avx2KernelImpl();
+
+} // namespace detail
+
+namespace {
+
+enum class Mode : std::uint8_t
+{
+    Direct,
+    Forwarded,
+    Ordered,
+};
+
+template <LaneFamily family>
+inline std::uint64_t
+predictLane(const std::uint64_t *ent, unsigned)
+{
+    switch (family) {
+      case LaneFamily::Last:
+        return detail::laneLastPredict(ent);
+      case LaneFamily::Union:
+        return detail::laneWindowPredict(ent, true);
+      case LaneFamily::Inter:
+        return detail::laneWindowPredict(ent, false);
+      case LaneFamily::OverlapLast:
+        return detail::laneOverlapPredict(ent);
+    }
+    return 0;
+}
+
+template <LaneFamily family>
+inline void
+updateLane(std::uint64_t *ent, unsigned depth, std::uint64_t fb)
+{
+    switch (family) {
+      case LaneFamily::Last:
+        detail::laneLastUpdate(ent, fb);
+        break;
+      case LaneFamily::Union:
+      case LaneFamily::Inter:
+        detail::laneWindowUpdate(ent, depth, fb);
+        break;
+      case LaneFamily::OverlapLast:
+        detail::laneOverlapUpdate(ent, fb);
+        break;
+    }
+}
+
+/**
+ * One (event, group) step: the same update-then-predict (direct and
+ * forwarded) / predict-then-update (ordered) order as the batched
+ * kernel's dispatch loop, applied to all four lanes.  @p idx / @p upd
+ * are the lane indices the address pass computed (upd is only
+ * meaningful in forwarded mode with hasPrev set).
+ */
+template <LaneFamily family, Mode mode>
+inline void
+stepFamily(LaneGroup &g, std::uint64_t *state,
+           const std::uint64_t idx[laneWidth],
+           const std::uint64_t upd[laneWidth], const LaneEvent &ev)
+{
+    std::uint64_t *const base = state + g.base;
+    const std::size_t ew = g.entryWords;
+    // Lane l's entry for index i starts at (i * laneWidth + l) * ew.
+    const auto entry = [&](std::uint64_t i, std::size_t l) {
+        return base + (i * laneWidth + l) * ew;
+    };
+
+    if (mode != Mode::Ordered && ev.hasPrev) {
+        const std::uint64_t *const ui =
+            mode == Mode::Forwarded ? upd : idx;
+        for (std::size_t l = 0; l < laneWidth; ++l)
+            updateLane<family>(entry(ui[l], l), g.depth, ev.inval);
+    }
+
+    for (std::size_t l = 0; l < laneWidth; ++l) {
+        const std::uint64_t pred =
+            predictLane<family>(entry(idx[l], l), g.depth) & ev.mask;
+        const std::uint64_t tp = std::popcount(pred & ev.actual);
+        g.tp[l] += tp;
+        g.pp[l] += std::popcount(pred);
+    }
+
+    if (mode == Mode::Ordered) {
+        for (std::size_t l = 0; l < laneWidth; ++l)
+            updateLane<family>(entry(idx[l], l), g.depth, ev.fb);
+    }
+}
+
+/**
+ * The per-event pass: address stage (compute + stash every group's
+ * lane indices, prefetch the named entries so the groups' misses
+ * overlap), then step stage.
+ */
+template <Mode mode>
+void
+run(LaneGroup *groups, std::size_t n_groups, std::uint64_t *state,
+    const LaneEvent &ev, std::uint64_t *idx_scratch)
+{
+    for (std::size_t gi = 0; gi < n_groups; ++gi) {
+        const LaneGroup &g = groups[gi];
+        std::uint64_t *const idx =
+            idx_scratch + gi * laneScratchWords;
+        std::uint64_t *const upd = idx + laneWidth;
+        detail::laneIndices(g.plans, ev.pid, ev.pcw, ev.dir, ev.block,
+                            idx);
+        std::uint64_t *const base = state + g.base;
+        for (std::size_t l = 0; l < laneWidth; ++l)
+            __builtin_prefetch(
+                base + (idx[l] * laneWidth + l) * g.entryWords, 1);
+        if (mode == Mode::Forwarded && ev.hasPrev) {
+            detail::laneIndices(g.plans, ev.prevPid, ev.prevPcw,
+                                ev.dir, ev.block, upd);
+            for (std::size_t l = 0; l < laneWidth; ++l)
+                __builtin_prefetch(
+                    base + (upd[l] * laneWidth + l) * g.entryWords,
+                    1);
+        }
+    }
+
+    for (std::size_t gi = 0; gi < n_groups; ++gi) {
+        LaneGroup &g = groups[gi];
+        const std::uint64_t *const idx =
+            idx_scratch + gi * laneScratchWords;
+        const std::uint64_t *const upd = idx + laneWidth;
+        switch (g.family) {
+          case LaneFamily::Last:
+            stepFamily<LaneFamily::Last, mode>(g, state, idx, upd,
+                                               ev);
+            break;
+          case LaneFamily::Union:
+            stepFamily<LaneFamily::Union, mode>(g, state, idx, upd,
+                                                ev);
+            break;
+          case LaneFamily::Inter:
+            stepFamily<LaneFamily::Inter, mode>(g, state, idx, upd,
+                                                ev);
+            break;
+          case LaneFamily::OverlapLast:
+            stepFamily<LaneFamily::OverlapLast, mode>(g, state, idx,
+                                                      upd, ev);
+            break;
+        }
+    }
+}
+
+} // namespace
+
+const LaneKernel &
+scalarLaneKernel()
+{
+    static const LaneKernel kernel = {
+        run<Mode::Direct>,
+        run<Mode::Forwarded>,
+        run<Mode::Ordered>,
+        "scalar",
+    };
+    return kernel;
+}
+
+const LaneKernel *
+avx2LaneKernel()
+{
+#if defined(CCP_HAVE_AVX2_TU)
+    if (__builtin_cpu_supports("avx2"))
+        return &detail::avx2KernelImpl();
+#endif
+    return nullptr;
+}
+
+} // namespace ccp::sweep::lanes

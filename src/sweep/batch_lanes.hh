@@ -1,0 +1,246 @@
+/**
+ * @file
+ * Lane-kernel contract of the SIMD/SoA sweep kernel (--kernel simd).
+ *
+ * The simd kernel regroups a batch's window-family schemes into *lane
+ * groups* of exactly laneWidth (4) schemes sharing one (family,
+ * depth) class, so all four lanes have the same entry width; the
+ * group's entry count is the widest lane's (narrower lanes are padded
+ * up, capped by sweep::maxLanePadBits).  Each group's predictor state
+ * interleaves the lanes at
+ * *entry* granularity: the word w of entry e of lane l lives at
+ *
+ *     groupBase + (e * laneWidth + l) * entryWords + w
+ *
+ * i.e. each lane's entry stays one contiguous entryWords-word block
+ * (exactly the batched kernel's cache behaviour: a multi-word predict
+ * or update walks one or two cache lines, not one line per word), and
+ * the four lanes' blocks for the same entry index sit adjacent.  The
+ * lanes' table indices usually differ per event, so a finer word-
+ * interleaved layout would touch laneWidth separate cache lines per
+ * entry word — measured ~30% slower than the batched kernel on the
+ * standard sweep fixture, where this layout is faster.  Vector loads
+ * are gathers either way; only the offset arithmetic differs.  The
+ * index plans are transposed field-major (LanePlans): the per-field
+ * masks and shifts of the four lanes sit in 4-wide arrays, so the
+ * per-event index computation is four AND+SHIFT terms over whole
+ * vectors instead of sixteen scalar ones.
+ *
+ * Two implementations satisfy the contract:
+ *
+ *  - scalarLaneKernel() (batch_lanes.cc): portable std::uint64_t
+ *    arrays, compiled with the baseline flags — the runtime fallback
+ *    for non-AVX2 hosts and the CCP_SIMD_DISABLE=1 override.
+ *  - avx2LaneKernel() (batch_simd.cc, compiled with -mavx2 when the
+ *    toolchain supports it): AVX2 intrinsics — variable 64-bit shifts
+ *    for the index pipeline, 64-bit gathers for the predict loads,
+ *    and a pshufb nibble-LUT popcount for the confusion tallies.
+ *
+ * Both are bit-identical to the batched kernel's inlined transitions
+ * (batch.cc) for every event sequence: all operations are exact
+ * integer arithmetic, per-lane state is disjoint, and the confusion
+ * tallies are commutative sums, so regrouping schemes into lanes
+ * cannot change any count (tests/differential_test.cc runs the full
+ * reference/batched/simd triple to hold this).
+ */
+
+#ifndef CCP_SWEEP_BATCH_LANES_HH
+#define CCP_SWEEP_BATCH_LANES_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ccp::sweep::lanes {
+
+/** Schemes per lane group: one AVX2 vector of u64 bitmaps. */
+constexpr std::size_t laneWidth = 4;
+
+/** Which inlined transition family a lane group runs. */
+enum class LaneFamily : std::uint8_t
+{
+    Last,        ///< depth-1 window (union/inter collapse)
+    Union,       ///< union window, depth >= 2
+    Inter,       ///< intersection window, depth >= 2
+    OverlapLast, ///< overlap-filtered last
+};
+
+/**
+ * The four lanes' index plans, transposed field-major (SoA) so the
+ * vector pipeline loads each field's masks/shifts as one vector.
+ * Shifts are full 64-bit words (not unsigned) because the AVX2
+ * variable shift consumes them as vector elements.
+ */
+struct LanePlans
+{
+    alignas(32) std::uint64_t addrMask[laneWidth];
+    alignas(32) std::uint64_t addrShift[laneWidth];
+    alignas(32) std::uint64_t dirMask[laneWidth];
+    alignas(32) std::uint64_t dirShift[laneWidth];
+    alignas(32) std::uint64_t pcMask[laneWidth];
+    alignas(32) std::uint64_t pcShift[laneWidth];
+    alignas(32) std::uint64_t pidMask[laneWidth];
+    alignas(32) std::uint64_t pidShift[laneWidth];
+};
+
+/** One lane group: plans, geometry, state offset, and tallies. */
+struct LaneGroup
+{
+    LanePlans plans;
+    LaneFamily family = LaneFamily::Last;
+    unsigned depth = 1;
+    /** Words per entry (depth + 1 for windows, 3 for overlap). */
+    std::size_t entryWords = 0;
+    /** Word offset of this group's SoA block in the lane state. */
+    std::size_t base = 0;
+    /** Positions of the four lanes' schemes in the batch. */
+    std::size_t schemeIdx[laneWidth] = {};
+    /** Per-lane tallies: true positives and predicted-positive
+     *  popcounts.  fp/fn are recovered by conservation at the end of
+     *  the trace (fp = pp - tp; fn = total actual pop - tp). */
+    alignas(32) std::uint64_t tp[laneWidth] = {};
+    alignas(32) std::uint64_t pp[laneWidth] = {};
+};
+
+/** One decoded trace event, as the lane kernels consume it. */
+struct LaneEvent
+{
+    std::uint64_t pid = 0;
+    std::uint64_t pcw = 0; ///< pc >> 2, hoisted once per event
+    std::uint64_t dir = 0;
+    std::uint64_t block = 0;
+    std::uint64_t prevPid = 0;
+    std::uint64_t prevPcw = 0;
+    std::uint64_t inval = 0;  ///< direct/forwarded update feedback
+    std::uint64_t fb = 0;     ///< ordered-mode feedback
+    std::uint64_t actual = 0; ///< readers, masked to the machine
+    std::uint64_t mask = 0;   ///< machine-size bitmap mask
+    bool hasPrev = false;
+};
+
+/**
+ * One lane kernel: a mode-specialized per-event pass over all lane
+ * groups.  The pass runs in two stages, mirroring the batched
+ * kernel's loop: an address stage that computes every group's lane
+ * indices once (into @p idx_scratch, 2 * laneWidth words per group:
+ * predict indices then forwarded-update indices) and prefetches the
+ * entries they name so the groups' cache misses overlap, then a step
+ * stage that applies the update transition (direct/forwarded gate on
+ * hasPrev; ordered updates unconditionally after predicting), the
+ * predict read, and the tp/pp tallies — exactly the per-scheme order
+ * of the batched kernel's dispatch loop.
+ */
+struct LaneKernel
+{
+    using RunFn = void (*)(LaneGroup *groups, std::size_t n_groups,
+                           std::uint64_t *state, const LaneEvent &ev,
+                           std::uint64_t *idx_scratch);
+    RunFn direct = nullptr;
+    RunFn forwarded = nullptr;
+    RunFn ordered = nullptr;
+    /** Backend tag for reports and CI assertions. */
+    const char *name = "";
+};
+
+/** Words of index scratch one lane group needs (see LaneKernel). */
+constexpr std::size_t laneScratchWords = 2 * laneWidth;
+
+namespace detail {
+
+/**
+ * Per-lane scalar transitions over the lane layout, shared by the
+ * portable kernel and the AVX2 kernel's store side (AVX2 has no
+ * scatter, so updates are per-lane stores under both backends).
+ * @p ent points at word 0 of one lane's contiguous entry, i.e.
+ * state + base + (index * laneWidth + lane) * entryWords; word w is
+ * simply ent[w].  Bit-identical to the inlined transitions in
+ * batch.cc.
+ */
+inline std::uint64_t
+laneWindowPredict(const std::uint64_t *ent, bool is_union)
+{
+    const unsigned count =
+        static_cast<unsigned>(ent[0] & 0xffffffffu);
+    if (count == 0)
+        return 0;
+    std::uint64_t acc = ent[1];
+    if (is_union) {
+        for (unsigned i = 1; i < count; ++i)
+            acc |= ent[1 + i];
+    } else {
+        for (unsigned i = 1; i < count; ++i)
+            acc &= ent[1 + i];
+    }
+    return acc;
+}
+
+inline void
+laneWindowUpdate(std::uint64_t *ent, unsigned depth, std::uint64_t fb)
+{
+    unsigned count = static_cast<unsigned>(ent[0] & 0xffffffffu);
+    unsigned pos = static_cast<unsigned>(ent[0] >> 32);
+    ent[1 + pos] = fb;
+    pos = (pos + 1) % depth;
+    if (count < depth)
+        ++count;
+    ent[0] = (std::uint64_t(pos) << 32) | count;
+}
+
+inline std::uint64_t
+laneLastPredict(const std::uint64_t *ent)
+{
+    return (ent[0] & 0xffffffffu) ? ent[1] : 0;
+}
+
+inline void
+laneLastUpdate(std::uint64_t *ent, std::uint64_t fb)
+{
+    ent[1] = fb;
+    ent[0] = 1;
+}
+
+inline std::uint64_t
+laneOverlapPredict(const std::uint64_t *ent)
+{
+    if (static_cast<unsigned>(ent[0]) < 2)
+        return 0;
+    const std::uint64_t st1 = ent[1];
+    return (st1 & ent[2]) ? st1 : 0;
+}
+
+inline void
+laneOverlapUpdate(std::uint64_t *ent, std::uint64_t fb)
+{
+    ent[2] = ent[1];
+    ent[1] = fb;
+    if (ent[0] < 2)
+        ++ent[0];
+}
+
+/** The four lanes' table indices for one access tuple. */
+inline void
+laneIndices(const LanePlans &p, std::uint64_t pid, std::uint64_t pcw,
+            std::uint64_t dir, std::uint64_t block,
+            std::uint64_t idx[laneWidth])
+{
+    for (std::size_t l = 0; l < laneWidth; ++l)
+        idx[l] = ((block & p.addrMask[l]) << p.addrShift[l]) |
+                 ((dir & p.dirMask[l]) << p.dirShift[l]) |
+                 ((pcw & p.pcMask[l]) << p.pcShift[l]) |
+                 ((pid & p.pidMask[l]) << p.pidShift[l]);
+}
+
+} // namespace detail
+
+/** The portable u64-array kernel (always available). */
+const LaneKernel &scalarLaneKernel();
+
+/**
+ * The AVX2 kernel, or nullptr when the build has no AVX2 translation
+ * unit (toolchain without -mavx2, non-x86 target) or the CPU lacks
+ * AVX2 at runtime.  Callers honour CCP_SIMD_DISABLE on top of this.
+ */
+const LaneKernel *avx2LaneKernel();
+
+} // namespace ccp::sweep::lanes
+
+#endif // CCP_SWEEP_BATCH_LANES_HH

@@ -1,0 +1,313 @@
+/**
+ * @file
+ * AVX2 lane kernel: 4 schemes' u64 sharing bitmaps per 256-bit
+ * vector over the SoA lane layout (batch_lanes.hh).
+ *
+ * This file is the only translation unit compiled with -mavx2 (see
+ * src/sweep/CMakeLists.txt); it is added to the build only when the
+ * toolchain accepts the flag, and selected at runtime only when CPUID
+ * reports AVX2, so the library never executes AVX2 instructions on a
+ * host without them.
+ *
+ * Vectorized per event and lane group:
+ *
+ *  - index pipeline: four mask-AND + variable-shift (vpsllvq) terms
+ *    over the transposed plans — 4 lanes' table indices at once;
+ *  - predict loads: 64-bit gathers (vpgatherqq) over the interleaved
+ *    state, one gather per entry word, with count-gated accumulation
+ *    for the window families;
+ *  - confusion tallies: pshufb nibble-LUT popcount (AVX2 has no
+ *    vpopcntq) accumulating tp and predicted-pop sums per lane.
+ *
+ * Update transitions stay per-lane scalar stores (AVX2 has no
+ * scatter) through the shared helpers in batch_lanes.hh, so both
+ * backends write state through the same code.
+ *
+ * Offset arithmetic note: a lane's entry offset is
+ * (index * laneWidth + lane) * entryWords, up to
+ * (2^26 * 4 + 3) * 33 = 2^33.4 words — past 32 bits, so offsets are
+ * computed with vpmuludq (exact: both factors fit 32 bits) and kept
+ * as 64-bit vector elements for the gathers.
+ */
+
+#include "sweep/batch_lanes.hh"
+
+#include <immintrin.h>
+
+namespace ccp::sweep::lanes {
+namespace {
+
+enum class Mode : std::uint8_t
+{
+    Direct,
+    Forwarded,
+    Ordered,
+};
+
+inline __m256i
+loadA(const std::uint64_t *p)
+{
+    return _mm256_load_si256(reinterpret_cast<const __m256i *>(p));
+}
+
+/** The four lanes' table indices for one access tuple, as a vector
+ *  (bit-identical to IndexPlan::fromWords per lane). */
+inline __m256i
+laneIndexVec(const LanePlans &p, std::uint64_t pid, std::uint64_t pcw,
+             std::uint64_t dir, std::uint64_t block)
+{
+    const __m256i b = _mm256_set1_epi64x(static_cast<long long>(block));
+    const __m256i d = _mm256_set1_epi64x(static_cast<long long>(dir));
+    const __m256i pc = _mm256_set1_epi64x(static_cast<long long>(pcw));
+    const __m256i pi = _mm256_set1_epi64x(static_cast<long long>(pid));
+    __m256i idx = _mm256_sllv_epi64(
+        _mm256_and_si256(b, loadA(p.addrMask)), loadA(p.addrShift));
+    idx = _mm256_or_si256(
+        idx, _mm256_sllv_epi64(_mm256_and_si256(d, loadA(p.dirMask)),
+                               loadA(p.dirShift)));
+    idx = _mm256_or_si256(
+        idx, _mm256_sllv_epi64(_mm256_and_si256(pc, loadA(p.pcMask)),
+                               loadA(p.pcShift)));
+    idx = _mm256_or_si256(
+        idx, _mm256_sllv_epi64(_mm256_and_si256(pi, loadA(p.pidMask)),
+                               loadA(p.pidShift)));
+    return idx;
+}
+
+/** Word offsets of the lanes' entries: (idx * 4 + lane) * entryWords
+ *  (word 0); word w adds w.  Exact 64-bit products via vpmuludq
+ *  (idx * 4 + lane < 2^28 and entryWords <= 33 both fit 32 bits). */
+inline __m256i
+entryOffsetVec(__m256i idx, std::size_t entry_words)
+{
+    const __m256i lane_ids = _mm256_setr_epi64x(0, 1, 2, 3);
+    const __m256i slot =
+        _mm256_add_epi64(_mm256_slli_epi64(idx, 2), lane_ids);
+    return _mm256_mul_epu32(
+        slot, _mm256_set1_epi64x(static_cast<long long>(entry_words)));
+}
+
+inline __m256i
+gatherWord(const std::uint64_t *state, __m256i off0, unsigned w)
+{
+    const __m256i off = _mm256_add_epi64(
+        off0, _mm256_set1_epi64x(static_cast<long long>(w)));
+    return _mm256_i64gather_epi64(
+        reinterpret_cast<const long long *>(state), off, 8);
+}
+
+/** Per-64-bit-element popcount: pshufb nibble LUT + psadbw fold. */
+inline __m256i
+popcount64x4(__m256i v)
+{
+    const __m256i lut = _mm256_setr_epi8(
+        0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+        0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+    const __m256i nib = _mm256_set1_epi8(0x0f);
+    const __m256i lo = _mm256_and_si256(v, nib);
+    const __m256i hi =
+        _mm256_and_si256(_mm256_srli_epi16(v, 4), nib);
+    const __m256i cnt =
+        _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo),
+                        _mm256_shuffle_epi8(lut, hi));
+    return _mm256_sad_epu8(cnt, _mm256_setzero_si256());
+}
+
+/**
+ * Vectorized predict for one lane group at entry offsets @p off0
+ * (word 0).  Window accumulation gates each stored word w on
+ * count >= w, so lanes with different fill levels share the loop;
+ * union starts from zero (count == 0 predicts nothing for free),
+ * inter blends unseen slots to all-ones and masks the count == 0
+ * lanes at the end.  Equal to the per-lane scalar predict for every
+ * state: the gated set of words is exactly st[1..count] and AND/OR
+ * are commutative.
+ */
+template <LaneFamily family>
+inline __m256i
+predictVec(const std::uint64_t *state, __m256i off0, unsigned depth)
+{
+    const __m256i zero = _mm256_setzero_si256();
+    const __m256i st0 = gatherWord(state, off0, 0);
+    const __m256i count =
+        _mm256_and_si256(st0, _mm256_set1_epi64x(0xffffffffll));
+
+    if (family == LaneFamily::Last) {
+        const __m256i st1 = gatherWord(state, off0, 1);
+        return _mm256_and_si256(st1,
+                                _mm256_cmpgt_epi64(count, zero));
+    }
+    if (family == LaneFamily::OverlapLast) {
+        const __m256i st1 = gatherWord(state, off0, 1);
+        const __m256i st2 = gatherWord(state, off0, 2);
+        const __m256i ge2 =
+            _mm256_cmpgt_epi64(count, _mm256_set1_epi64x(1));
+        const __m256i both = _mm256_and_si256(st1, st2);
+        return _mm256_andnot_si256(
+            _mm256_cmpeq_epi64(both, zero),
+            _mm256_and_si256(st1, ge2));
+    }
+
+    if (family == LaneFamily::Union) {
+        __m256i acc = zero;
+        for (unsigned w = 1; w <= depth; ++w) {
+            const __m256i live = _mm256_cmpgt_epi64(
+                count,
+                _mm256_set1_epi64x(static_cast<long long>(w) - 1));
+            acc = _mm256_or_si256(
+                acc, _mm256_and_si256(gatherWord(state, off0, w),
+                                      live));
+        }
+        return acc;
+    }
+
+    // Inter: unseen slots blend to all-ones so they do not narrow
+    // the intersection; empty lanes (count == 0) are zeroed last.
+    const __m256i ones = _mm256_set1_epi64x(-1);
+    __m256i acc = ones;
+    for (unsigned w = 1; w <= depth; ++w) {
+        const __m256i live = _mm256_cmpgt_epi64(
+            count, _mm256_set1_epi64x(static_cast<long long>(w) - 1));
+        acc = _mm256_and_si256(
+            acc, _mm256_blendv_epi8(ones,
+                                    gatherWord(state, off0, w),
+                                    live));
+    }
+    return _mm256_and_si256(acc, _mm256_cmpgt_epi64(count, zero));
+}
+
+template <LaneFamily family>
+inline void
+updateLanes(std::uint64_t *base, const std::uint64_t idx[laneWidth],
+            std::size_t entry_words, unsigned depth, std::uint64_t fb)
+{
+    for (std::size_t l = 0; l < laneWidth; ++l) {
+        std::uint64_t *const ent =
+            base + (idx[l] * laneWidth + l) * entry_words;
+        switch (family) {
+          case LaneFamily::Last:
+            detail::laneLastUpdate(ent, fb);
+            break;
+          case LaneFamily::Union:
+          case LaneFamily::Inter:
+            detail::laneWindowUpdate(ent, depth, fb);
+            break;
+          case LaneFamily::OverlapLast:
+            detail::laneOverlapUpdate(ent, fb);
+            break;
+        }
+    }
+}
+
+template <LaneFamily family, Mode mode>
+inline void
+stepFamily(LaneGroup &g, std::uint64_t *state,
+           const std::uint64_t *idx_scratch, const LaneEvent &ev)
+{
+    const __m256i idxv = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i *>(idx_scratch));
+
+    std::uint64_t *const base = state + g.base;
+    const std::size_t ew = g.entryWords;
+
+    if (mode != Mode::Ordered && ev.hasPrev) {
+        const std::uint64_t *const ui = mode == Mode::Forwarded
+                                            ? idx_scratch + laneWidth
+                                            : idx_scratch;
+        updateLanes<family>(base, ui, ew, g.depth, ev.inval);
+    }
+
+    const __m256i off0 = entryOffsetVec(idxv, ew);
+    const __m256i pred = _mm256_and_si256(
+        predictVec<family>(base, off0, g.depth),
+        _mm256_set1_epi64x(static_cast<long long>(ev.mask)));
+
+    const __m256i tp = popcount64x4(_mm256_and_si256(
+        pred, _mm256_set1_epi64x(static_cast<long long>(ev.actual))));
+    const __m256i pp = popcount64x4(pred);
+    _mm256_store_si256(
+        reinterpret_cast<__m256i *>(g.tp),
+        _mm256_add_epi64(loadA(g.tp), tp));
+    _mm256_store_si256(
+        reinterpret_cast<__m256i *>(g.pp),
+        _mm256_add_epi64(loadA(g.pp), pp));
+
+    if (mode == Mode::Ordered)
+        updateLanes<family>(base, idx_scratch, ew, g.depth, ev.fb);
+}
+
+/**
+ * The per-event pass: address stage (vectorized index pipelines,
+ * stashed to the scratch and prefetched), then step stage reusing the
+ * stashed indices for both the gathers and the scalar update stores.
+ */
+template <Mode mode>
+void
+run(LaneGroup *groups, std::size_t n_groups, std::uint64_t *state,
+    const LaneEvent &ev, std::uint64_t *idx_scratch)
+{
+    for (std::size_t gi = 0; gi < n_groups; ++gi) {
+        const LaneGroup &g = groups[gi];
+        std::uint64_t *const idx =
+            idx_scratch + gi * laneScratchWords;
+        _mm256_storeu_si256(
+            reinterpret_cast<__m256i *>(idx),
+            laneIndexVec(g.plans, ev.pid, ev.pcw, ev.dir, ev.block));
+        const std::uint64_t *const base = state + g.base;
+        for (std::size_t l = 0; l < laneWidth; ++l)
+            __builtin_prefetch(
+                base + (idx[l] * laneWidth + l) * g.entryWords, 1);
+        if (mode == Mode::Forwarded && ev.hasPrev) {
+            std::uint64_t *const upd = idx + laneWidth;
+            _mm256_storeu_si256(
+                reinterpret_cast<__m256i *>(upd),
+                laneIndexVec(g.plans, ev.prevPid, ev.prevPcw, ev.dir,
+                             ev.block));
+            for (std::size_t l = 0; l < laneWidth; ++l)
+                __builtin_prefetch(
+                    base + (upd[l] * laneWidth + l) * g.entryWords,
+                    1);
+        }
+    }
+
+    for (std::size_t gi = 0; gi < n_groups; ++gi) {
+        LaneGroup &g = groups[gi];
+        const std::uint64_t *const idx =
+            idx_scratch + gi * laneScratchWords;
+        switch (g.family) {
+          case LaneFamily::Last:
+            stepFamily<LaneFamily::Last, mode>(g, state, idx, ev);
+            break;
+          case LaneFamily::Union:
+            stepFamily<LaneFamily::Union, mode>(g, state, idx, ev);
+            break;
+          case LaneFamily::Inter:
+            stepFamily<LaneFamily::Inter, mode>(g, state, idx, ev);
+            break;
+          case LaneFamily::OverlapLast:
+            stepFamily<LaneFamily::OverlapLast, mode>(g, state, idx,
+                                                      ev);
+            break;
+        }
+    }
+}
+
+} // namespace
+
+namespace detail {
+
+const LaneKernel &
+avx2KernelImpl()
+{
+    static const LaneKernel kernel = {
+        run<Mode::Direct>,
+        run<Mode::Forwarded>,
+        run<Mode::Ordered>,
+        "avx2",
+    };
+    return kernel;
+}
+
+} // namespace detail
+
+} // namespace ccp::sweep::lanes

@@ -52,7 +52,7 @@ validHeaderStructure(const CheckpointHeader &h)
         return false;
     if (h.nNodes == 0 || h.nNodes > maxNodes)
         return false;
-    if (h.kernel > 1)
+    if (h.kernel > 2)
         return false;
     if (h.nTraces == 0 || h.nTraces > maxCheckpointTraces)
         return false;

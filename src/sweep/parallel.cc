@@ -1,9 +1,11 @@
 #include "sweep/parallel.hh"
 
 #include <atomic>
+#include <memory>
 #include <mutex>
 
 #include "common/logging.hh"
+#include "common/numa.hh"
 #include "obs/registry.hh"
 #include "obs/trace.hh"
 #include "sweep/batch.hh"
@@ -22,6 +24,8 @@ sweepKernelName(SweepKernel kernel)
         return "batched";
       case SweepKernel::Reference:
         return "reference";
+      case SweepKernel::Simd:
+        return "simd";
     }
     ccp_panic("bad SweepKernel");
 }
@@ -37,7 +41,39 @@ parseSweepKernel(const std::string &text, SweepKernel &kernel)
         kernel = SweepKernel::Reference;
         return true;
     }
+    if (text == "simd") {
+        kernel = SweepKernel::Simd;
+        return true;
+    }
     return false;
+}
+
+ParallelSweep::ParallelSweep(unsigned threads, SweepKernel kernel)
+    : pool_(threads), kernel_(kernel)
+{
+    // NUMA-aware worker placement: with spawned workers on a
+    // multi-node host, pin worker w to node (w-1) % nodes so shards
+    // spread evenly and each worker's batch state — allocated and
+    // first-touched inside its own task — stays node-local.  The
+    // calling thread (worker 0) is never pinned; single-node or
+    // unknown topologies install nothing.
+    if (pool_.threads() > 1) {
+        NumaTopology topo = numaTopology();
+        if (topo.multiNode()) {
+            numaNodesUsed_ = topo.nodes.size();
+            auto shared =
+                std::make_shared<NumaTopology>(std::move(topo));
+            pool_.setWorkerStartHook([shared](unsigned worker) {
+                const auto &nodes = shared->nodes;
+                const NumaNode &node =
+                    nodes[(worker - 1) % nodes.size()];
+                if (!pinCurrentThread(node.cpus))
+                    ccp_warn("NUMA pin of worker ", worker,
+                             " to node ", node.id,
+                             " failed; running unpinned");
+            });
+        }
+    }
 }
 
 std::vector<SuiteResult>
@@ -45,9 +81,9 @@ ParallelSweep::evaluate(const std::vector<trace::SharingTrace> &traces,
                         const std::vector<SchemeSpec> &schemes,
                         UpdateMode mode, const obs::ProgressFn &progress)
 {
-    return kernel_ == SweepKernel::Batched
-               ? evaluateBatched(traces, schemes, mode, progress)
-               : evaluateReference(traces, schemes, mode, progress);
+    return kernel_ == SweepKernel::Reference
+               ? evaluateReference(traces, schemes, mode, progress)
+               : evaluateBatched(traces, schemes, mode, progress);
 }
 
 std::vector<SuiteResult>
@@ -141,7 +177,10 @@ ParallelSweep::evaluateBatched(
                          static_cast<std::ptrdiff_t>(first),
                      schemes.begin() +
                          static_cast<std::ptrdiff_t>(last)},
-                    n_nodes);
+                    n_nodes,
+                    kernel_ == SweepKernel::Simd
+                        ? BatchEngine::Simd
+                        : BatchEngine::Scalar);
                 auto batch_results = batch.evaluateSuite(traces, mode);
                 for (std::size_t i = 0; i < batch_results.size(); ++i)
                     results[first + i] = std::move(batch_results[i]);

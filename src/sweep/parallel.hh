@@ -41,8 +41,14 @@ namespace ccp::sweep {
  *               (predict/evaluator.hh) — the original loop, kept as
  *               the differential-testing oracle and for `--kernel
  *               reference` A/B runs.
+ *  - Simd:      the BatchEvaluator again, with its SoA lane engine
+ *               (sweep/batch_lanes.hh): window-family schemes are
+ *               regrouped into 4-wide u64 lanes per layout class and
+ *               stepped by the AVX2 lane kernel where available
+ *               (portable u64-array fallback by CPUID or
+ *               CCP_SIMD_DISABLE=1).
  *
- * Both kernels produce bit-identical Confusion counts for every
+ * All kernels produce bit-identical Confusion counts for every
  * (scheme, trace, mode), so rankings and printed tables never depend
  * on the kernel choice.
  */
@@ -50,23 +56,26 @@ enum class SweepKernel : std::uint8_t
 {
     Batched,
     Reference,
+    Simd,
 };
 
 const char *sweepKernelName(SweepKernel kernel);
 
-/** Parse "batched" / "reference"; @return false on anything else. */
+/** Parse "batched" / "reference" / "simd"; @return false else. */
 bool parseSweepKernel(const std::string &text, SweepKernel &kernel);
 
 class ParallelSweep
 {
   public:
     /** @param threads total workers, caller included; 0 = one per
-     *  hardware thread, 1 = sequential in the calling thread. */
+     *  hardware thread, 1 = sequential in the calling thread.  On a
+     *  multi-node NUMA host with spawned workers, a worker start hook
+     *  pins each worker round-robin to one node's cpus, so batch
+     *  state first-touched by a worker stays local to the socket
+     *  streaming events through it; single-node (or unknown) hosts
+     *  run exactly as before. */
     explicit ParallelSweep(unsigned threads = 0,
-                           SweepKernel kernel = SweepKernel::Batched)
-        : pool_(threads), kernel_(kernel)
-    {
-    }
+                           SweepKernel kernel = SweepKernel::Batched);
 
     unsigned threads() const { return pool_.threads(); }
     SweepKernel kernel() const { return kernel_; }
@@ -104,6 +113,9 @@ class ParallelSweep
 
     ThreadPool pool_;
     SweepKernel kernel_;
+    /** Workers pinned round-robin across these nodes (empty on
+     *  single-node hosts: no pinning installed). */
+    std::size_t numaNodesUsed_ = 0;
 };
 
 } // namespace ccp::sweep

@@ -408,7 +408,7 @@ ResilientRunner::evaluate(const std::vector<trace::SharingTrace> &traces,
                     obs::ScopedTimer timer(
                         shard, "sweep.batch_eval_seconds");
                     obs::Stopwatch lat;
-                    if (opts_.kernel == SweepKernel::Batched) {
+                    if (opts_.kernel != SweepKernel::Reference) {
                         BatchEvaluator batch(
                             {schemes.begin() +
                                  static_cast<std::ptrdiff_t>(
@@ -416,7 +416,10 @@ ResilientRunner::evaluate(const std::vector<trace::SharingTrace> &traces,
                              schemes.begin() +
                                  static_cast<std::ptrdiff_t>(
                                      task.last)},
-                            n_nodes);
+                            n_nodes,
+                            opts_.kernel == SweepKernel::Simd
+                                ? BatchEngine::Simd
+                                : BatchEngine::Scalar);
                         task_results =
                             batch.evaluateSuite(traces, mode);
                     } else {

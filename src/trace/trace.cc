@@ -281,6 +281,26 @@ SharingTrace::loadFileMapped(const std::string &path)
 
 namespace {
 
+/** RAII file descriptor: every return path — short file, bad stat,
+ *  mmap failure, checksum reject — closes exactly once, so a cache
+ *  that rejects and regenerates in a loop cannot leak descriptors
+ *  (tests/trace_cache_test.cc loops reject+regenerate and asserts
+ *  the process fd count stays flat). */
+struct ScopedFd
+{
+    int fd = -1;
+
+    explicit ScopedFd(int f) : fd(f) {}
+    ScopedFd(const ScopedFd &) = delete;
+    ScopedFd &operator=(const ScopedFd &) = delete;
+
+    ~ScopedFd()
+    {
+        if (fd >= 0)
+            ::close(fd);
+    }
+};
+
 /** RAII mapping of a whole file, read-only. */
 struct FileMapping
 {
@@ -300,31 +320,28 @@ SharingTrace::MapLoad
 SharingTrace::loadMappedImpl(const std::string &path)
 {
     CCP_TRACE_SPAN("trace", "trace.load_mmap");
-    const int fd = ::open(path.c_str(), O_RDONLY);
-    if (fd < 0)
+    const ScopedFd fd(::open(path.c_str(), O_RDONLY));
+    if (fd.fd < 0)
         return MapLoad::Unavailable;
     struct stat st;
-    if (::fstat(fd, &st) != 0 || !S_ISREG(st.st_mode)) {
-        ::close(fd);
+    if (::fstat(fd.fd, &st) != 0 || !S_ISREG(st.st_mode))
         return MapLoad::Unavailable;
-    }
     const std::uint64_t size = static_cast<std::uint64_t>(st.st_size);
-    if (size < sizeof(TraceHeader)) {
-        ::close(fd);
+    if (size < sizeof(TraceHeader))
         return MapLoad::Invalid;
-    }
     int flags = MAP_PRIVATE;
 #ifdef MAP_POPULATE
     // Prefault the whole mapping in one syscall instead of ~size/4K
     // minor faults during the scan.
     flags |= MAP_POPULATE;
 #endif
-    void *map = ::mmap(nullptr, size, PROT_READ, flags, fd, 0);
+    void *map = ::mmap(nullptr, size, PROT_READ, flags, fd.fd, 0);
 #ifdef MAP_POPULATE
     if (map == MAP_FAILED)
-        map = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+        map = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd.fd, 0);
 #endif
-    ::close(fd);
+    // The mapping holds its own reference; the descriptor is done
+    // (ScopedFd closes it at scope exit on every path below too).
     if (map == MAP_FAILED)
         return MapLoad::Unavailable;
     FileMapping m;

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Tests for the dependency-free NUMA plumbing (common/numa.hh): the
+ * sysfs cpulist grammar, topology discovery's graceful degradation,
+ * pinning edge cases, and the ThreadPool worker start hook that
+ * ParallelSweep uses to spread workers across nodes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "common/numa.hh"
+#include "common/thread_pool.hh"
+
+namespace {
+
+using namespace ccp;
+
+TEST(ParseCpuList, SingleValuesAndRanges)
+{
+    EXPECT_EQ(parseCpuList("0"), (std::vector<unsigned>{0}));
+    EXPECT_EQ(parseCpuList("0-3"),
+              (std::vector<unsigned>{0, 1, 2, 3}));
+    EXPECT_EQ(parseCpuList("0-3,8,10-11"),
+              (std::vector<unsigned>{0, 1, 2, 3, 8, 10, 11}));
+}
+
+TEST(ParseCpuList, TrimsWhitespaceAndTrailingNewline)
+{
+    // The sysfs file ends in a newline; real-world lists may carry
+    // stray spaces around commas.
+    EXPECT_EQ(parseCpuList("0-1\n"), (std::vector<unsigned>{0, 1}));
+    EXPECT_EQ(parseCpuList(" 2 , 4-5 "),
+              (std::vector<unsigned>{2, 4, 5}));
+}
+
+TEST(ParseCpuList, EmptyAndMalformedInputsYieldNothingExtra)
+{
+    EXPECT_TRUE(parseCpuList("").empty());
+    EXPECT_TRUE(parseCpuList("\n").empty());
+    EXPECT_TRUE(parseCpuList("cpu").empty());
+    // A malformed tail must not invent cpus after the valid prefix.
+    const auto partial = parseCpuList("0-1,bogus,5");
+    for (unsigned c : partial)
+        EXPECT_LE(c, 1u);
+    // An inverted range is rejected, not exploded.
+    EXPECT_TRUE(parseCpuList("3-1").empty());
+}
+
+TEST(NumaTopology, DiscoversAtLeastTheDegenerateShape)
+{
+    // On any host — Linux or not, sysfs or not — discovery must
+    // return a consistent topology: every listed node has at least
+    // one cpu, and node ids are unique.
+    const NumaTopology topo = numaTopology();
+    std::set<unsigned> ids;
+    for (const NumaNode &node : topo.nodes) {
+        EXPECT_FALSE(node.cpus.empty())
+            << "node " << node.id << " has no cpus";
+        EXPECT_TRUE(ids.insert(node.id).second)
+            << "duplicate node id " << node.id;
+    }
+    EXPECT_EQ(topo.multiNode(), topo.nodes.size() > 1);
+}
+
+TEST(PinCurrentThread, EmptyCpuSetIsRefused)
+{
+    EXPECT_FALSE(pinCurrentThread({}));
+}
+
+#if defined(__linux__)
+
+TEST(PinCurrentThread, PinningToAnExistingCpuSucceeds)
+{
+    const NumaTopology topo = numaTopology();
+    std::vector<unsigned> cpus;
+    if (!topo.nodes.empty())
+        cpus = topo.nodes.front().cpus;
+    else
+        cpus.push_back(0);
+    EXPECT_TRUE(pinCurrentThread(cpus));
+}
+
+#endif // __linux__
+
+/** Run one barrier job per pool thread: every worker (caller
+ *  included) must take exactly one job before any can finish, so the
+ *  call returning proves every spawned worker woke — and therefore
+ *  ran any pending start hook first. */
+void
+runOnEveryWorker(ThreadPool &pool)
+{
+    std::atomic<unsigned> arrived{0};
+    pool.forEach(
+        pool.threads(),
+        [&](std::size_t, unsigned) {
+            arrived.fetch_add(1);
+            while (arrived.load() < pool.threads())
+                std::this_thread::yield();
+        },
+        1);
+}
+
+/**
+ * The hook contract ParallelSweep's NUMA pinning relies on: the hook
+ * runs once on every spawned worker (ids 1..threads-1), on the
+ * worker's own thread, never on the caller (worker 0), and a
+ * replacement hook runs again on every worker.
+ */
+TEST(ThreadPoolWorkerHook, FiresOncePerSpawnedWorker)
+{
+    ThreadPool pool(4);
+    ASSERT_GE(pool.threads(), 2u);
+    std::mutex mu;
+    std::set<unsigned> seen;
+    std::atomic<int> fired{0};
+    pool.setWorkerStartHook([&](unsigned worker) {
+        std::lock_guard<std::mutex> lock(mu);
+        seen.insert(worker);
+        ++fired;
+    });
+
+    runOnEveryWorker(pool);
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        EXPECT_EQ(seen.size(), pool.threads() - 1);
+        EXPECT_EQ(seen.count(0u), 0u) << "hook ran on the caller";
+        for (unsigned w = 1; w < pool.threads(); ++w)
+            EXPECT_EQ(seen.count(w), 1u) << "worker " << w;
+    }
+
+    // Re-running work must not re-fire an unchanged hook.
+    const int after_first = fired.load();
+    runOnEveryWorker(pool);
+    EXPECT_EQ(fired.load(), after_first);
+
+    // Installing a new hook runs it on every worker again.
+    pool.setWorkerStartHook([&](unsigned) { ++fired; });
+    runOnEveryWorker(pool);
+    EXPECT_EQ(fired.load(),
+              after_first + static_cast<int>(pool.threads()) - 1);
+}
+
+} // namespace

@@ -251,6 +251,64 @@ TEST(LogHistogram, QuantilesAreMonotoneAndBracketed)
     EXPECT_LE(p50, 1000.0);
 }
 
+TEST(LogHistogram, SingleSampleQuantilesAreTheSample)
+{
+    // Regression: with one sample every quantile must be exactly that
+    // sample — never an interpolation below it toward the bucket
+    // floor or above it toward the bucket ceiling.
+    for (std::uint64_t v :
+         {std::uint64_t(0), std::uint64_t(1), std::uint64_t(5),
+          std::uint64_t(100), std::uint64_t(1) << 40}) {
+        LogHistogram h;
+        h.add(v);
+        const double want = static_cast<double>(v);
+        EXPECT_DOUBLE_EQ(h.p50(), want) << "sample " << v;
+        EXPECT_DOUBLE_EQ(h.p90(), want) << "sample " << v;
+        EXPECT_DOUBLE_EQ(h.p99(), want) << "sample " << v;
+        EXPECT_DOUBLE_EQ(h.quantile(0.0), want) << "sample " << v;
+        EXPECT_DOUBLE_EQ(h.quantile(1.0), want) << "sample " << v;
+    }
+}
+
+TEST(LogHistogram, LowestBucketNeverExtrapolatesBelowMin)
+{
+    // Regression: the lowest occupied bucket interpolates up from the
+    // smallest observed sample, not from the bucket floor.  {1, 1,
+    // 100}: the median lives in bucket [1, 2) — it must land inside
+    // that bucket's observed-tightened bounds, never in the dead
+    // space below the smallest sample.
+    LogHistogram h;
+    h.add(1);
+    h.add(1);
+    h.add(100);
+    EXPECT_GE(h.p50(), 1.0);
+    EXPECT_LE(h.p50(), 2.0);
+    EXPECT_GE(h.quantile(0.1), 1.0);
+
+    // {0, 1}: every quantile stays inside the observed [0, 1] range.
+    LogHistogram g;
+    g.add(0);
+    g.add(1);
+    for (double q : {0.0, 0.25, 0.5, 0.75, 0.9, 1.0}) {
+        EXPECT_GE(g.quantile(q), 0.0) << "q " << q;
+        EXPECT_LE(g.quantile(q), 1.0) << "q " << q;
+    }
+}
+
+TEST(LogHistogram, TopBucketInterpolatesTowardMaxOnly)
+{
+    // Samples 64 and 80 share bucket [64, 128): quantiles must stay
+    // inside the observed [64, 80], not stretch to the bucket bound.
+    LogHistogram h;
+    h.add(64);
+    h.add(80);
+    for (double q : {0.0, 0.5, 0.9, 1.0}) {
+        EXPECT_GE(h.quantile(q), 64.0) << "q " << q;
+        EXPECT_LE(h.quantile(q), 80.0) << "q " << q;
+    }
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 80.0);
+}
+
 TEST(LogHistogram, MergeEqualsConcatenation)
 {
     LogHistogram a, b, all;

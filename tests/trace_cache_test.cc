@@ -252,4 +252,83 @@ TEST(TraceCache, SuiteColdWarmCorruptCycle)
     fs::remove_all(dir);
 }
 
+#if defined(__linux__)
+
+/** Open descriptors of this process (the /proc/self/fd listing; the
+ *  iterator's own fd inflates every call equally so deltas are
+ *  exact). */
+std::size_t
+countOpenFds()
+{
+    std::size_t n = 0;
+    for (const auto &e : fs::directory_iterator("/proc/self/fd")) {
+        (void)e;
+        ++n;
+    }
+    return n;
+}
+
+/**
+ * The mmap loader's error paths must not leak descriptors or
+ * mappings: a cache stuck in a reject+regenerate loop (flaky disk,
+ * repeated corruption) calls them thousands of times per run.  Every
+ * reject flavour — checksum mismatch, short file, truncated payload —
+ * plus the success path is cycled; the process fd count must come
+ * back to baseline each time.
+ */
+TEST(TraceCache, MappedLoadRejectLoopKeepsFdCountStable)
+{
+    const fs::path dir = freshDir("ccp_cache_fds");
+    const std::string path = (dir / "fd.trace").string();
+    const SharingTrace tr = makeTrace(500);
+    ASSERT_TRUE(tr.saveFile(path));
+    const auto valid_size = fs::file_size(path);
+
+    // Warm up lazily created descriptors (logging, locale) before
+    // taking the baseline.
+    {
+        SharingTrace warm;
+        ASSERT_TRUE(warm.loadFileMapped(path));
+    }
+    const std::size_t baseline = countOpenFds();
+
+    for (int cycle = 0; cycle < 32; ++cycle) {
+        // Checksum reject: flip one payload byte.
+        {
+            std::fstream f(path, std::ios::in | std::ios::out |
+                                     std::ios::binary);
+            f.seekg(200);
+            char b = 0;
+            f.read(&b, 1);
+            f.seekp(200);
+            b = static_cast<char>(b ^ 0x40);
+            f.write(&b, 1);
+        }
+        SharingTrace rejected;
+        EXPECT_FALSE(rejected.loadFileMapped(path));
+
+        // Short-file reject: truncate below the header size.
+        fs::resize_file(path, 8);
+        SharingTrace trunc;
+        EXPECT_FALSE(trunc.loadFileMapped(path));
+
+        // Truncated-payload reject: header intact, payload cut.
+        ASSERT_TRUE(tr.saveFile(path));
+        fs::resize_file(path, valid_size - 16);
+        SharingTrace torn;
+        EXPECT_FALSE(torn.loadFileMapped(path));
+
+        // Regenerate: the loop's recovery step must succeed again.
+        ASSERT_TRUE(tr.saveFile(path));
+        SharingTrace healed;
+        EXPECT_TRUE(healed.loadFileMapped(path));
+
+        EXPECT_EQ(countOpenFds(), baseline) << "cycle " << cycle;
+    }
+
+    fs::remove_all(dir);
+}
+
+#endif // __linux__
+
 } // namespace

@@ -12,14 +12,30 @@
  * Two comparison modes:
  *
  *  - Relative (default): gates metrics that are ratios of two runs on
- *    the SAME machine — the batched/reference speedup and the tracing
- *    overhead — so a baseline committed from one host is a valid gate
- *    on any other (CI runners differ in absolute throughput by design,
- *    and gating absolute numbers across hosts would only flake).
+ *    the SAME machine — the batched/reference speedup, the
+ *    simd/batched speedup, and the tracing overhead — so a baseline
+ *    committed from one host is a valid gate on any other (CI runners
+ *    differ in absolute throughput by design, and gating absolute
+ *    numbers across hosts would only flake).
  *  - --absolute: additionally gates the absolute scheme-events/s of
- *    every section (reference, batched, batched_parallel).  Use it
- *    when baseline and current come from the same machine, e.g. the
- *    nightly archive.
+ *    every section (reference, batched, batched_parallel, simd).
+ *    Use it when baseline and current come from the same machine,
+ *    e.g. the nightly archive.
+ *
+ * Gate policy per metric:
+ *
+ *  - Present in both records: current must not fall below baseline by
+ *    more than the tolerance.
+ *  - Missing in the baseline (an older record predating the metric):
+ *    record the current value, don't gate — the row prints "new" and
+ *    passes, and re-committing the baseline starts gating it.
+ *  - Present in the baseline but missing in the current record: FAIL;
+ *    a metric must never silently disappear.
+ *  - Zero (or otherwise degenerate) denominators are explicit
+ *    failures with a message, never inf/nan rows that "pass".
+ *  - simd_speedup is only gated when the current record's
+ *    simd.backend is "avx2"; the scalar fallback is recorded but
+ *    carries no vector-speedup promise.
  *
  * --archive <dir> copies the current record into @p dir under a name
  * stamped from its own metadata (date + git SHA), building the history
@@ -96,13 +112,18 @@ field(const Json &doc, const std::string &section,
     return v->asDouble();
 }
 
-/** One gated metric: current must not fall below baseline by more
- *  than the tolerance (all gated metrics are higher-is-better). */
+/** One compared metric (all are higher-is-better). */
 struct Check
 {
-    const char *label;
+    std::string label;
     double baseline;
     double current;
+    /** False: record the row for the report, never fail on it. */
+    bool gate = true;
+    /** Why a row is ungated or malformed; printed after the status. */
+    std::string note;
+    /** True: the source record is malformed; fail with the note. */
+    bool malformed = false;
 };
 
 bool
@@ -112,23 +133,68 @@ runChecks(const std::vector<Check> &checks, double max_regress)
     std::printf("%-34s %12s %12s %8s\n", "metric", "baseline",
                 "current", "delta");
     for (const auto &c : checks) {
-        if (std::isnan(c.baseline) || std::isnan(c.current)) {
-            std::printf("%-34s %12s %12s %8s\n", c.label,
-                        std::isnan(c.baseline) ? "missing" : "-",
-                        std::isnan(c.current) ? "missing" : "-",
-                        "FAIL");
+        const char *label = c.label.c_str();
+        if (c.malformed) {
+            std::printf("%-34s %12s %12s %8s  %s\n", label, "-", "-",
+                        "FAIL", c.note.c_str());
             ok = false;
             continue;
         }
-        double delta =
-            c.baseline != 0.0 ? c.current / c.baseline - 1.0 : 0.0;
-        bool pass = c.current >= c.baseline * (1.0 - max_regress);
-        std::printf("%-34s %12.3f %12.3f %+7.1f%% %s\n", c.label,
-                    c.baseline, c.current, delta * 100.0,
-                    pass ? "" : "FAIL");
+        if (std::isnan(c.current)) {
+            // A metric may be new to the current record, but must
+            // never silently disappear from it.
+            std::printf("%-34s %12s %12s %8s  %s\n", label,
+                        std::isnan(c.baseline) ? "missing" : "-",
+                        "missing", "FAIL",
+                        std::isnan(c.baseline)
+                            ? "absent from both records"
+                            : "present in baseline, missing in "
+                              "current record");
+            ok = false;
+            continue;
+        }
+        if (std::isnan(c.baseline)) {
+            // Record, don't gate: the baseline predates this metric.
+            std::printf("%-34s %12s %12.3f %8s  %s\n", label,
+                        "missing", c.current, "new",
+                        "recorded, not gated (no baseline)");
+            continue;
+        }
+        if (c.gate && c.baseline == 0.0) {
+            std::printf("%-34s %12.3f %12.3f %8s  %s\n", label,
+                        c.baseline, c.current, "FAIL",
+                        "zero baseline: relative regression is "
+                        "undefined");
+            ok = false;
+            continue;
+        }
+        const bool pass =
+            !c.gate || c.current >= c.baseline * (1.0 - max_regress);
+        if (c.baseline != 0.0) {
+            const double delta = c.current / c.baseline - 1.0;
+            std::printf("%-34s %12.3f %12.3f %+7.1f%% %s%s\n", label,
+                        c.baseline, c.current, delta * 100.0,
+                        pass ? "" : "FAIL", c.note.c_str());
+        } else {
+            std::printf("%-34s %12.3f %12.3f %8s %s%s\n", label,
+                        c.baseline, c.current, "n/a",
+                        pass ? "" : "FAIL", c.note.c_str());
+        }
         ok = ok && pass;
     }
     return ok;
+}
+
+/** String field at doc[section][key]; fallback when absent. */
+std::string
+sectionString(const Json &doc, const char *section, const char *key,
+              const char *fallback)
+{
+    if (const Json *sec = doc.find(section))
+        if (const Json *v = sec->find(key))
+            if (v->kind() == Json::Kind::String)
+                return v->asString();
+    return fallback;
 }
 
 std::string
@@ -245,27 +311,67 @@ main(int argc, char **argv)
                 metaString(*cur, "date_utc", "undated").c_str());
 
     std::vector<Check> checks;
-    checks.push_back({"speedup (batched/reference)",
-                      field(*base, "", "speedup"),
-                      field(*cur, "", "speedup")});
+    auto pushCheck = [&checks](std::string label, double baseline,
+                               double current) -> Check & {
+        Check c;
+        c.label = std::move(label);
+        c.baseline = baseline;
+        c.current = current;
+        checks.push_back(std::move(c));
+        return checks.back();
+    };
+    pushCheck("speedup (batched/reference)",
+              field(*base, "", "speedup"),
+              field(*cur, "", "speedup"));
     // Tracing overhead is lower-is-better; gate it as the inverted
-    // throughput ratio so one tolerance covers every row.  A record
-    // predating the tracing section skips the row (no baseline to
-    // hold the current run to).
-    double base_ov =
+    // throughput ratio so one tolerance covers every row.  An
+    // overhead at or below -100% would flip the ratio's sign (a
+    // physically impossible record): fail it explicitly instead of
+    // letting inf/nan sail through the comparison.
+    const double base_ov =
         field(*base, "tracing", "enabled_overhead_pct");
-    double cur_ov = field(*cur, "tracing", "enabled_overhead_pct");
-    if (!std::isnan(base_ov) && !std::isnan(cur_ov))
-        checks.push_back({"tracing throughput ratio",
-                          100.0 / (100.0 + base_ov),
-                          100.0 / (100.0 + cur_ov)});
+    const double cur_ov =
+        field(*cur, "tracing", "enabled_overhead_pct");
+    {
+        Check &c = pushCheck("tracing throughput ratio",
+                             std::nan(""), std::nan(""));
+        if (!std::isnan(base_ov)) {
+            if (100.0 + base_ov <= 0.0) {
+                c.malformed = true;
+                c.note = "baseline tracing overhead <= -100%";
+            } else {
+                c.baseline = 100.0 / (100.0 + base_ov);
+            }
+        }
+        if (!std::isnan(cur_ov) && !c.malformed) {
+            if (100.0 + cur_ov <= 0.0) {
+                c.malformed = true;
+                c.note = "current tracing overhead <= -100%";
+            } else {
+                c.current = 100.0 / (100.0 + cur_ov);
+            }
+        }
+    }
+    // simd_speedup only promises "vector lanes beat batched" when the
+    // vector backend actually ran; a scalar-fallback record (non-AVX2
+    // host, CCP_SIMD_DISABLE) is recorded without gating.
+    {
+        Check &c = pushCheck("simd_speedup (simd/batched)",
+                             field(*base, "", "simd_speedup"),
+                             field(*cur, "", "simd_speedup"));
+        const std::string backend =
+            sectionString(*cur, "simd", "backend", "unknown");
+        if (backend != "avx2") {
+            c.gate = false;
+            c.note = "  not gated (backend=" + backend + ")";
+        }
+    }
     if (opt.absolute) {
         for (const char *sec :
-             {"reference", "batched", "batched_parallel"})
-            checks.push_back(
-                {sec,
-                 field(*base, sec, "scheme_events_per_sec") / 1e6,
-                 field(*cur, sec, "scheme_events_per_sec") / 1e6});
+             {"reference", "batched", "batched_parallel", "simd"})
+            pushCheck(sec,
+                      field(*base, sec, "scheme_events_per_sec") / 1e6,
+                      field(*cur, sec, "scheme_events_per_sec") / 1e6);
     }
 
     bool ok = runChecks(checks, opt.maxRegress);
