@@ -71,6 +71,7 @@
 
 #include "common/logging.hh"
 #include "common/mem_budget.hh"
+#include "common/parse.hh"
 #include "common/thread_pool.hh"
 #include "mem/protocol.hh"
 #include "obs/perf.hh"
@@ -92,14 +93,30 @@ inline double
 envScale()
 {
     const char *s = std::getenv("CCP_SCALE");
-    return s ? std::atof(s) : 1.0;
+    if (!s)
+        return 1.0;
+    double v = 0.0;
+    if (!parseDouble(s, v) || v <= 0.0)
+        ccp_fatal("bad CCP_SCALE value '", s,
+                  "' (want a positive number)");
+    return v;
 }
 
 inline std::uint64_t
 envSeed()
 {
     const char *s = std::getenv("CCP_SEED");
-    return s ? std::strtoull(s, nullptr, 0) : 0x5eed;
+    if (!s)
+        return 0x5eed;
+    // Base 0: plain decimal, 0x hex, or leading-0 octal — but the
+    // whole string must parse.  atoi-style "take the prefix, map
+    // garbage to 0" would silently collapse distinct-looking seeds
+    // onto one trace cache key and defeat deterministic repro.
+    std::uint64_t v = 0;
+    if (!parseU64(s, v, 0))
+        ccp_fatal("bad CCP_SEED value '", s,
+                  "' (want an unsigned integer; 0x hex ok)");
+    return v;
 }
 
 inline std::string
@@ -401,10 +418,8 @@ class BenchContext
                 setLogLevel(level);
             } else if (takesValue(arg, "--threads", i, argc, argv,
                                   value)) {
-                char *end = nullptr;
-                unsigned long n = std::strtoul(value.c_str(), &end,
-                                               10);
-                if (end == value.c_str() || *end != '\0' || n > 4096)
+                std::uint64_t n = 0;
+                if (!parseU64InRange(value, n, 4096))
                     ccp_fatal("bad --threads value '", value,
                               "' (want 0..4096; 0 = all hardware "
                               "threads)");
@@ -423,9 +438,8 @@ class BenchContext
                 resume_ = true;
             } else if (takesValue(arg, "--checkpoint-interval", i,
                                   argc, argv, value)) {
-                char *end = nullptr;
-                double sec = std::strtod(value.c_str(), &end);
-                if (end == value.c_str() || *end != '\0' || sec < 0)
+                double sec = 0.0;
+                if (!parseDouble(value, sec) || sec < 0)
                     ccp_fatal("bad --checkpoint-interval '", value,
                               "' (want seconds >= 0)");
                 checkpointIntervalSec_ = sec;
@@ -438,9 +452,8 @@ class BenchContext
                 memBudgetBytes_ = bytes;
             } else if (takesValue(arg, "--batch-deadline", i, argc,
                                   argv, value)) {
-                char *end = nullptr;
-                double sec = std::strtod(value.c_str(), &end);
-                if (end == value.c_str() || *end != '\0' || sec < 0)
+                double sec = 0.0;
+                if (!parseDouble(value, sec) || sec < 0)
                     ccp_fatal("bad --batch-deadline '", value,
                               "' (want seconds >= 0)");
                 batchDeadlineSec_ = sec;

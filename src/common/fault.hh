@@ -23,6 +23,10 @@
  *   mem.alloc_fail=M        memory-budget admission of plan M fails once
  *   checkpoint.torn_write=N checkpoint write persists only the first
  *                           N bytes, once
+ *   checkpoint.skip_fsync=1 suppress the fsync barriers of every
+ *                           checkpoint/state-blob write (non-consuming:
+ *                           read via armed(), so one arming covers the
+ *                           whole run — the pre-durability-fix mode)
  */
 
 #ifndef CCP_COMMON_FAULT_HH

@@ -1,0 +1,68 @@
+#include "common/parse.hh"
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+
+namespace ccp {
+
+bool
+parseU64(const std::string &text, std::uint64_t &out, int base)
+{
+    if (text.empty())
+        return false;
+    // strtoull skips whitespace and accepts '-' (wrapping the value);
+    // require the first character to be a digit so neither survives.
+    // Base 0/16 may legitimately start with "0x...", which still
+    // begins with a digit.
+    if (!std::isdigit(static_cast<unsigned char>(text[0])))
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(text.c_str(), &end, base);
+    if (errno == ERANGE || end == text.c_str() || *end != '\0')
+        return false;
+    out = v;
+    return true;
+}
+
+bool
+parseU64InRange(const std::string &text, std::uint64_t &out,
+                std::uint64_t max, int base)
+{
+    std::uint64_t v = 0;
+    if (!parseU64(text, v, base) || v > max)
+        return false;
+    out = v;
+    return true;
+}
+
+bool
+parseDouble(const std::string &text, double &out)
+{
+    if (text.empty())
+        return false;
+    // Reject leading whitespace (strtod would skip it) and the
+    // "inf"/"nan" spellings up front; a finite number starts with a
+    // digit, sign, or decimal point.
+    const char c = text[0];
+    if (!(std::isdigit(static_cast<unsigned char>(c)) || c == '-' ||
+          c == '+' || c == '.'))
+        return false;
+    // strtod's hex-float extension ("0x1p4") is not a spelling any
+    // flag documents; a decimal number never contains an x.
+    if (text.find('x') != std::string::npos ||
+        text.find('X') != std::string::npos)
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    double v = std::strtod(text.c_str(), &end);
+    if (errno == ERANGE || end == text.c_str() || *end != '\0' ||
+        !std::isfinite(v))
+        return false;
+    out = v;
+    return true;
+}
+
+} // namespace ccp

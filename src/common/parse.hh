@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Strict full-string numeric parsing for CLI flags and environment
+ * knobs.
+ *
+ * The C strtoul family is built for tokenizers, not validators: it
+ * accepts leading whitespace and signs, stops at the first bad
+ * character without complaint, and silently wraps negative input into
+ * huge unsigned values ("-1" parses as 2^64-1).  Every user-facing
+ * number in this repo goes through these helpers instead, which accept
+ * a value only when the *entire* string is a well-formed in-range
+ * number — so "--threads 8x" and CCP_SEED=banana are hard errors, not
+ * silent near-misses that defeat deterministic-repro claims.
+ */
+
+#ifndef CCP_COMMON_PARSE_HH
+#define CCP_COMMON_PARSE_HH
+
+#include <cstdint>
+#include <string>
+
+namespace ccp {
+
+/**
+ * Parse @p text as an unsigned 64-bit integer.  The whole string must
+ * be consumed: no leading whitespace, signs, or trailing characters.
+ * @p base follows strtoull (0 = auto-detect "0x"/"0" prefixes, the
+ * CCP_SEED convention).  @return false on empty input, any stray
+ * character, or overflow; @p out is untouched on failure.
+ */
+bool parseU64(const std::string &text, std::uint64_t &out,
+              int base = 10);
+
+/** parseU64 with an inclusive upper bound (flag range checks). */
+bool parseU64InRange(const std::string &text, std::uint64_t &out,
+                     std::uint64_t max, int base = 10);
+
+/**
+ * Parse @p text as a finite double.  The whole string must be
+ * consumed; NaN/infinity and empty input are rejected.  A leading '-'
+ * is allowed (callers range-check); @p out is untouched on failure.
+ */
+bool parseDouble(const std::string &text, double &out);
+
+} // namespace ccp
+
+#endif // CCP_COMMON_PARSE_HH

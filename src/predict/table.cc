@@ -79,6 +79,15 @@ PredictorTable::clear()
     std::fill(state_.begin(), state_.end(), 0);
 }
 
+bool
+PredictorTable::restoreRawState(const std::vector<std::uint64_t> &words)
+{
+    if (words.size() != state_.size())
+        return false;
+    state_ = words;
+    return true;
+}
+
 double
 PredictorTable::occupancy() const
 {

@@ -70,6 +70,27 @@ class PredictorTable
     void clear();
 
     /**
+     * The raw packed entry state, entries_ x entryWords() words —
+     * exactly what update() mutates.  Two tables built from the same
+     * SchemeSpec that processed the same event sequence have equal
+     * rawState(); the serve layer snapshots and compares through this.
+     */
+    const std::vector<std::uint64_t> &rawState() const
+    {
+        return state_;
+    }
+
+    /** Words per entry (the function's packed-state footprint). */
+    std::size_t entryWords() const { return entryWords_; }
+
+    /**
+     * Replace the entry state with a previously captured rawState().
+     * @return false (state untouched) when @p words has the wrong
+     * geometry for this table.
+     */
+    bool restoreRawState(const std::vector<std::uint64_t> &words);
+
+    /**
      * Fraction of entries holding non-empty history (any nonzero
      * state word).  An aliasing-quality/diagnostic signal: a sweep
      * whose tables stay near-empty is paying for index bits it never

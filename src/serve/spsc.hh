@@ -1,0 +1,102 @@
+/**
+ * @file
+ * SpscRing: a bounded lock-free single-producer / single-consumer
+ * ring buffer — the per-client ingest queue of the predictd engine.
+ *
+ * The shape follows the per-producer log buffers of RACoherence-style
+ * designs and the tracer's ThreadBuf: exactly one thread pushes and
+ * exactly one thread pops, so the only synchronization needed is a
+ * release store of each index and an acquire load on the other side.
+ * Head and tail live on separate cache lines so the producer and the
+ * consumer never false-share.
+ *
+ * Capacity is rounded up to a power of two; one slot is sacrificed to
+ * distinguish full from empty, the classic ring discipline.
+ */
+
+#ifndef CCP_SERVE_SPSC_HH
+#define CCP_SERVE_SPSC_HH
+
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <vector>
+
+namespace ccp::serve {
+
+template <typename T>
+class SpscRing
+{
+  public:
+    /** @param capacity requested slot count (>= 2; rounded up to a
+     *  power of two — usable capacity is one less than that). */
+    explicit SpscRing(std::size_t capacity)
+        : slots_(std::bit_ceil(capacity < 2 ? std::size_t(2)
+                                            : capacity)),
+          mask_(slots_.size() - 1)
+    {
+    }
+
+    SpscRing(const SpscRing &) = delete;
+    SpscRing &operator=(const SpscRing &) = delete;
+
+    /** Usable slots (one less than the power-of-two allocation). */
+    std::size_t capacity() const { return slots_.size() - 1; }
+
+    /** Producer only: enqueue @p value; false when full. */
+    bool
+    push(const T &value)
+    {
+        const std::size_t tail =
+            tail_.load(std::memory_order_relaxed);
+        const std::size_t next = (tail + 1) & mask_;
+        if (next == head_.load(std::memory_order_acquire))
+            return false;
+        slots_[tail] = value;
+        tail_.store(next, std::memory_order_release);
+        return true;
+    }
+
+    /** Consumer only: dequeue into @p out; false when empty. */
+    bool
+    pop(T &out)
+    {
+        const std::size_t head =
+            head_.load(std::memory_order_relaxed);
+        if (head == tail_.load(std::memory_order_acquire))
+            return false;
+        out = slots_[head];
+        head_.store((head + 1) & mask_, std::memory_order_release);
+        return true;
+    }
+
+    /** Either side: true when no item is visible (racy by nature —
+     *  a snapshot, not a synchronization point). */
+    bool
+    empty() const
+    {
+        return head_.load(std::memory_order_acquire) ==
+               tail_.load(std::memory_order_acquire);
+    }
+
+    /** Items currently visible (same racy-snapshot caveat). */
+    std::size_t
+    size() const
+    {
+        const std::size_t head =
+            head_.load(std::memory_order_acquire);
+        const std::size_t tail =
+            tail_.load(std::memory_order_acquire);
+        return (tail - head) & mask_;
+    }
+
+  private:
+    std::vector<T> slots_;
+    const std::size_t mask_;
+    alignas(64) std::atomic<std::size_t> head_{0};
+    alignas(64) std::atomic<std::size_t> tail_{0};
+};
+
+} // namespace ccp::serve
+
+#endif // CCP_SERVE_SPSC_HH

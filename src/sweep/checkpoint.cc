@@ -2,15 +2,18 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cerrno>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
 
+#include <fcntl.h>
 #include <unistd.h>
 
 #include "common/fault.hh"
 #include "common/logging.hh"
+#include "obs/registry.hh"
 #include "sweep/name.hh"
 #include "trace/format.hh"
 
@@ -83,6 +86,101 @@ getWord(const char *p)
     std::uint64_t v;
     std::memcpy(&v, p, 8);
     return v;
+}
+
+/** fsync @p fd, accounting the call (or its fault-armed skip) under
+ *  checkpoint.fsyncs / checkpoint.fsyncs_skipped so tests can prove
+ *  the durability barrier actually ran.  @return false on I/O error. */
+bool
+syncFd(int fd, bool skip_fsync)
+{
+    auto &reg = obs::StatsRegistry::current();
+    if (skip_fsync) {
+        ++reg.counter("checkpoint.fsyncs_skipped");
+        return true;
+    }
+    if (::fsync(fd) != 0)
+        return false;
+    ++reg.counter("checkpoint.fsyncs");
+    return true;
+}
+
+/**
+ * Write the first @p write_bytes of @p image to @p path with crash
+ * durability: a unique temp file in the same directory (so rename()
+ * never crosses filesystems), fsync of the file *before* rename, the
+ * atomic rename, then fsync of the parent directory so the new
+ * directory entry itself survives power loss.  Without both barriers
+ * a "committed" file can come back empty or torn after a crash —
+ * rename() orders nothing against the page cache.
+ *
+ * Fault points (CCP_FAULT_INJECT): "checkpoint.skip_fsync" suppresses
+ * both fsyncs (non-consuming, so one arming covers every write of the
+ * run), reproducing the pre-fix behaviour for tests.
+ *
+ * @return false on any I/O failure; the temp file is removed and any
+ * previous file at @p path survives untouched.
+ */
+bool
+durableWriteFile(const std::string &path, const char *image,
+                 std::size_t write_bytes)
+{
+    const bool skip_fsync =
+        fault::enabled() &&
+        fault::armed("checkpoint.skip_fsync").has_value();
+
+    static std::atomic<unsigned> seq{0};
+    std::string tmp = path + ".tmp." +
+                      std::to_string(static_cast<long>(::getpid())) +
+                      "." +
+                      std::to_string(seq.fetch_add(
+                          1, std::memory_order_relaxed));
+
+    int fd = ::open(tmp.c_str(),
+                    O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+    if (fd < 0)
+        return false;
+    std::size_t off = 0;
+    while (off < write_bytes) {
+        ssize_t n = ::write(fd, image + off, write_bytes - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            ::close(fd);
+            std::remove(tmp.c_str());
+            return false;
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    if (!syncFd(fd, skip_fsync)) {
+        ::close(fd);
+        std::remove(tmp.c_str());
+        return false;
+    }
+    if (::close(fd) != 0) {
+        std::remove(tmp.c_str());
+        return false;
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        return false;
+    }
+
+    // Durability of the *name*: the rename is only on disk once the
+    // containing directory's entry block is.
+    const std::filesystem::path parent =
+        std::filesystem::path(path).parent_path();
+    const std::string dir =
+        parent.empty() ? std::string(".") : parent.string();
+    int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+    if (dfd < 0) {
+        ccp_warn("cannot open ", dir, " to fsync checkpoint entry");
+        return true; // data file itself is durable and in place
+    }
+    if (!syncFd(dfd, skip_fsync))
+        ccp_warn("directory fsync failed for ", dir);
+    ::close(dfd);
+    return true;
 }
 
 } // namespace
@@ -197,33 +295,7 @@ saveCheckpoint(const std::string &path, const CheckpointKey &key,
             write_bytes = std::min<std::size_t>(write_bytes, *torn);
     }
 
-    // Unique-per-writer temp name in the same directory, so rename()
-    // stays on one filesystem and is atomic (the trace-cache pattern).
-    static std::atomic<unsigned> seq{0};
-    std::string tmp = path + ".tmp." +
-                      std::to_string(static_cast<long>(::getpid())) +
-                      "." +
-                      std::to_string(seq.fetch_add(
-                          1, std::memory_order_relaxed));
-    {
-        std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
-        if (!os) {
-            std::remove(tmp.c_str());
-            return false;
-        }
-        os.write(image.data(),
-                 static_cast<std::streamsize>(write_bytes));
-        os.flush();
-        if (!os.good()) {
-            std::remove(tmp.c_str());
-            return false;
-        }
-    }
-    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-        std::remove(tmp.c_str());
-        return false;
-    }
-    return true;
+    return durableWriteFile(path, image.data(), write_bytes);
 }
 
 CheckpointLoad
@@ -299,6 +371,101 @@ loadCheckpoint(const std::string &path, const CheckpointKey &key,
         loaded.push_back(std::move(e));
     }
     entries = std::move(loaded);
+    return CheckpointLoad::Ok;
+}
+
+namespace {
+
+/** Blob header checksum seed: the header with its checksum zeroed. */
+Fnv1a
+blobChecksumSeed(const StateBlobHeader &h)
+{
+    StateBlobHeader zeroed = h;
+    zeroed.checksum = 0;
+    Fnv1a sum;
+    sum.update(&zeroed, sizeof(zeroed));
+    return sum;
+}
+
+bool
+validBlobHeader(const StateBlobHeader &h)
+{
+    if (h.magic != stateBlobMagic ||
+        h.version != stateBlobFormatVersion)
+        return false;
+    for (std::uint8_t b : h.reserved)
+        if (b != 0)
+            return false;
+    return true;
+}
+
+} // namespace
+
+bool
+saveStateBlob(const std::string &path, std::uint64_t key_hash,
+              const std::vector<char> &payload)
+{
+    StateBlobHeader header;
+    header.keyHash = key_hash;
+    header.payloadBytes = payload.size();
+
+    Fnv1a sum = blobChecksumSeed(header);
+    sum.update(payload.data(), payload.size());
+    header.checksum = sum.digest();
+
+    std::vector<char> image(sizeof(header) + payload.size());
+    std::memcpy(image.data(), &header, sizeof(header));
+    std::memcpy(image.data() + sizeof(header), payload.data(),
+                payload.size());
+
+    std::size_t write_bytes = image.size();
+    if (fault::enabled()) {
+        if (auto torn = fault::consume("checkpoint.torn_write"))
+            write_bytes = std::min<std::size_t>(write_bytes, *torn);
+    }
+
+    return durableWriteFile(path, image.data(), write_bytes);
+}
+
+CheckpointLoad
+loadStateBlob(const std::string &path, std::uint64_t key_hash,
+              std::vector<char> &payload)
+{
+    payload.clear();
+
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        return CheckpointLoad::Missing;
+
+    StateBlobHeader header;
+    if (!is.read(reinterpret_cast<char *>(&header), sizeof(header)))
+        return CheckpointLoad::Invalid;
+    if (!validBlobHeader(header))
+        return CheckpointLoad::Invalid;
+
+    // Bound by the real file size before allocating anything (the
+    // trace-v4 / CCPC discipline).
+    std::error_code ec;
+    const std::uint64_t file_size =
+        std::filesystem::file_size(path, ec);
+    if (ec || file_size != sizeof(header) + header.payloadBytes)
+        return CheckpointLoad::Invalid;
+
+    std::vector<char> loaded(header.payloadBytes);
+    if (header.payloadBytes > 0 &&
+        !is.read(loaded.data(),
+                 static_cast<std::streamsize>(loaded.size())))
+        return CheckpointLoad::Invalid;
+
+    Fnv1a sum = blobChecksumSeed(header);
+    sum.update(loaded.data(), loaded.size());
+    if (sum.digest() != header.checksum)
+        return CheckpointLoad::Invalid;
+
+    if (header.keyHash != key_hash)
+        return CheckpointLoad::KeyMismatch;
+
+    payload = std::move(loaded);
     return CheckpointLoad::Ok;
 }
 

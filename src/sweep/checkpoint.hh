@@ -118,12 +118,18 @@ checkpointEntryBytes(std::uint32_t n_traces)
 }
 
 /**
- * Write @p entries atomically (unique temp file in the same
- * directory, then rename()), sorted by scheme index.  Honors the
- * "checkpoint.torn_write" fault point: when armed with byte count N,
- * exactly one write persists only its first N bytes — simulating a
- * torn write that the loader must reject.  @return false on I/O
- * failure (the temp file is removed; any previous checkpoint at
+ * Write @p entries atomically and durably: a unique temp file in the
+ * same directory, fsync()ed before the rename(), then the parent
+ * directory fsync()ed so the committed name survives power loss (a
+ * bare rename orders nothing against the page cache).  Entries are
+ * sorted by scheme index.  Fault points (CCP_FAULT_INJECT):
+ * "checkpoint.torn_write" armed with byte count N makes exactly one
+ * write persist only its first N bytes — simulating a torn write the
+ * loader must reject; "checkpoint.skip_fsync" suppresses the fsync
+ * barriers (non-consuming), reproducing the lost-durability failure
+ * mode for tests.  Each fsync is counted under `checkpoint.fsyncs`
+ * (or `checkpoint.fsyncs_skipped` when suppressed).  @return false on
+ * I/O failure (the temp file is removed; any previous checkpoint at
  * @p path survives untouched).
  */
 bool saveCheckpoint(const std::string &path, const CheckpointKey &key,
@@ -153,6 +159,55 @@ const char *checkpointLoadName(CheckpointLoad status);
 CheckpointLoad loadCheckpoint(const std::string &path,
                               const CheckpointKey &key,
                               std::vector<CheckpointEntry> &entries);
+
+/** "CCPS" — the generic durable state-blob container. */
+inline constexpr std::uint32_t stateBlobMagic = 0x53504343;
+
+/** Current (and only accepted) state-blob format version. */
+inline constexpr std::uint32_t stateBlobFormatVersion = 1;
+
+/**
+ * Header of the generic state-blob container: the CCPC discipline
+ * (validated fixed header, whole-file FNV-1a, durable atomic writes)
+ * for callers whose payload is not per-scheme confusion counts — the
+ * serve layer snapshots whole predictor state vectors through this.
+ * The key hash plays the CheckpointKey role: the caller hashes
+ * whatever identifies its state layout, and a mismatch is rejected as
+ * KeyMismatch instead of being decoded into wrong state.
+ */
+struct StateBlobHeader
+{
+    std::uint32_t magic = stateBlobMagic;
+    std::uint32_t version = stateBlobFormatVersion;
+    /** Caller-defined identity of the payload layout. */
+    std::uint64_t keyHash = 0;
+    /** Exact byte size of everything after the header. */
+    std::uint64_t payloadBytes = 0;
+    /** FNV-1a 64 over the header (this field zeroed) + payload. */
+    std::uint64_t checksum = 0;
+    std::uint8_t reserved[16] = {};
+};
+
+static_assert(sizeof(StateBlobHeader) == 48,
+              "state blob header must stay 48 bytes");
+
+/**
+ * Write @p payload as a CCPS blob with the same durability contract
+ * as saveCheckpoint(): temp file + fsync + rename + directory fsync,
+ * honouring the "checkpoint.torn_write" and "checkpoint.skip_fsync"
+ * fault points.  @return false on I/O failure.
+ */
+bool saveStateBlob(const std::string &path, std::uint64_t key_hash,
+                   const std::vector<char> &payload);
+
+/**
+ * Load and fully validate the CCPS blob at @p path.  On Ok,
+ * @p payload holds the stored bytes; on any other status it is left
+ * empty.  Size is bounded by the real file size before allocation.
+ */
+CheckpointLoad loadStateBlob(const std::string &path,
+                             std::uint64_t key_hash,
+                             std::vector<char> &payload);
 
 } // namespace ccp::sweep
 

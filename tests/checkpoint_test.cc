@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "common/fault.hh"
+#include "obs/registry.hh"
 #include "predict/evaluator.hh"
 #include "sweep/checkpoint.hh"
 #include "sweep/space.hh"
@@ -459,6 +460,192 @@ TEST_F(CheckpointTest, FailedWriteLeavesThePreviousCheckpointIntact)
 
     EXPECT_FALSE(
         saveCheckpoint(path, key, someEntries(suite.size())));
+}
+
+// ---------------------------------------------------------------------
+// Write durability (fsync before rename, and the fault hook that
+// turns the fsyncs off to model a crash losing the page cache)
+
+TEST_F(CheckpointTest, SaveFsyncsTheDataFileAndItsDirectory)
+{
+    auto suite = tinySuite();
+    auto schemes = tinySpace();
+    const CheckpointKey key = tinyKey(suite, schemes);
+    const std::string path = tempPath("durable.ckpt");
+
+    obs::StatsRegistry reg;
+    std::uint64_t fsyncs = 0;
+    {
+        obs::ScopedRegistry scoped(reg);
+        ASSERT_TRUE(
+            saveCheckpoint(path, key, someEntries(suite.size())));
+        const auto *c = reg.findCounter("checkpoint.fsyncs");
+        ASSERT_NE(c, nullptr)
+            << "save must fsync: a rename alone only orders the "
+               "name, not the bytes, and a crash can publish a "
+               "checkpoint whose content never reached disk";
+        fsyncs = c->value;
+    }
+    // One for the data file, one for the directory entry.
+    EXPECT_GE(fsyncs, 2u);
+
+    obs::StatsRegistry quiet;
+    {
+        obs::ScopedRegistry scoped(quiet);
+        EXPECT_EQ(quiet.findCounter("checkpoint.fsyncs_skipped"),
+                  nullptr);
+    }
+}
+
+TEST_F(CheckpointTest, SkipFsyncFaultDropsEveryFsync)
+{
+    auto suite = tinySuite();
+    auto schemes = tinySpace();
+    const CheckpointKey key = tinyKey(suite, schemes);
+    const std::string path = tempPath("undurable.ckpt");
+
+    // This hook is the pre-fix behaviour made reproducible: the write
+    // path runs identically but no fsync reaches the kernel, which is
+    // exactly the window where a power cut loses a checkpoint that
+    // rename() already published.  Non-consuming, so it covers every
+    // write of the run.
+    ::setenv("CCP_FAULT_INJECT", "checkpoint.skip_fsync=1", 1);
+    fault::reinit();
+
+    obs::StatsRegistry reg;
+    {
+        obs::ScopedRegistry scoped(reg);
+        ASSERT_TRUE(
+            saveCheckpoint(path, key, someEntries(suite.size())));
+        ASSERT_TRUE(
+            saveCheckpoint(path, key, someEntries(suite.size())));
+    }
+    EXPECT_EQ(reg.findCounter("checkpoint.fsyncs"), nullptr);
+    const auto *skipped =
+        reg.findCounter("checkpoint.fsyncs_skipped");
+    ASSERT_NE(skipped, nullptr);
+    EXPECT_GE(skipped->value, 4u);
+
+    // The blob path honours the same hook.
+    obs::StatsRegistry blobReg;
+    {
+        obs::ScopedRegistry scoped(blobReg);
+        ASSERT_TRUE(sweep::saveStateBlob(tempPath("undurable.ccps"), 7,
+                                  {'x', 'y'}));
+    }
+    EXPECT_EQ(blobReg.findCounter("checkpoint.fsyncs"), nullptr);
+    ASSERT_NE(blobReg.findCounter("checkpoint.fsyncs_skipped"),
+              nullptr);
+}
+
+// ---------------------------------------------------------------------
+// The generic CCPS state-blob container (serve snapshots ride on it)
+
+std::vector<char>
+someBlob()
+{
+    std::vector<char> payload;
+    for (int i = 0; i < 300; ++i)
+        payload.push_back(static_cast<char>(i * 7));
+    return payload;
+}
+
+TEST_F(CheckpointTest, StateBlobRoundTrips)
+{
+    const std::string path = tempPath("blob.ccps");
+    const auto payload = someBlob();
+    ASSERT_TRUE(sweep::saveStateBlob(path, 0xabcd, payload));
+
+    std::vector<char> loaded;
+    EXPECT_EQ(sweep::loadStateBlob(path, 0xabcd, loaded),
+              CheckpointLoad::Ok);
+    EXPECT_EQ(loaded, payload);
+
+    // An empty payload is legal (a server with zero sessions).
+    ASSERT_TRUE(sweep::saveStateBlob(path, 0xabcd, {}));
+    EXPECT_EQ(sweep::loadStateBlob(path, 0xabcd, loaded),
+              CheckpointLoad::Ok);
+    EXPECT_TRUE(loaded.empty());
+}
+
+TEST_F(CheckpointTest, StateBlobMissingFileIsAFreshStart)
+{
+    std::vector<char> loaded;
+    EXPECT_EQ(sweep::loadStateBlob(tempPath("absent.ccps"), 1, loaded),
+              CheckpointLoad::Missing);
+    EXPECT_TRUE(loaded.empty());
+}
+
+TEST_F(CheckpointTest, StateBlobRejectsForeignKey)
+{
+    const std::string path = tempPath("blob-key.ccps");
+    ASSERT_TRUE(sweep::saveStateBlob(path, 0xabcd, someBlob()));
+
+    std::vector<char> loaded;
+    EXPECT_EQ(sweep::loadStateBlob(path, 0xabce, loaded),
+              CheckpointLoad::KeyMismatch);
+    EXPECT_TRUE(loaded.empty());
+}
+
+TEST_F(CheckpointTest, StateBlobRejectsCorruption)
+{
+    const std::string path = tempPath("blob-corrupt.ccps");
+    ASSERT_TRUE(sweep::saveStateBlob(path, 0xabcd, someBlob()));
+    const auto pristine = readFile(path);
+    ASSERT_EQ(pristine.size(),
+              sizeof(sweep::StateBlobHeader) + someBlob().size());
+    std::vector<char> loaded;
+
+    // Truncated mid-payload.
+    writeFile(path, std::vector<char>(pristine.begin(),
+                                      pristine.end() - 10));
+    EXPECT_EQ(sweep::loadStateBlob(path, 0xabcd, loaded),
+              CheckpointLoad::Invalid);
+
+    // Shorter than the header.
+    writeFile(path, std::vector<char>(pristine.begin(),
+                                      pristine.begin() + 20));
+    EXPECT_EQ(sweep::loadStateBlob(path, 0xabcd, loaded),
+              CheckpointLoad::Invalid);
+
+    // One payload byte flipped: the whole-file checksum must notice.
+    auto flipped = pristine;
+    flipped[sizeof(sweep::StateBlobHeader) + 100] ^= 0x01;
+    writeFile(path, flipped);
+    EXPECT_EQ(sweep::loadStateBlob(path, 0xabcd, loaded),
+              CheckpointLoad::Invalid);
+
+    // Bad magic.
+    auto bad_magic = pristine;
+    bad_magic[0] ^= 0x01;
+    writeFile(path, bad_magic);
+    EXPECT_EQ(sweep::loadStateBlob(path, 0xabcd, loaded),
+              CheckpointLoad::Invalid);
+
+    EXPECT_TRUE(loaded.empty());
+
+    // And the pristine bytes still load, so the rejections above were
+    // the edits' doing.
+    writeFile(path, pristine);
+    EXPECT_EQ(sweep::loadStateBlob(path, 0xabcd, loaded),
+              CheckpointLoad::Ok);
+}
+
+TEST_F(CheckpointTest, StateBlobTornWriteIsRejectedThenRegenerable)
+{
+    const std::string path = tempPath("blob-torn.ccps");
+
+    ::setenv("CCP_FAULT_INJECT", "checkpoint.torn_write=30", 1);
+    fault::reinit();
+    ASSERT_TRUE(sweep::saveStateBlob(path, 9, someBlob()));
+
+    std::vector<char> loaded;
+    EXPECT_EQ(sweep::loadStateBlob(path, 9, loaded),
+              CheckpointLoad::Invalid);
+
+    ASSERT_TRUE(sweep::saveStateBlob(path, 9, someBlob()));
+    EXPECT_EQ(sweep::loadStateBlob(path, 9, loaded), CheckpointLoad::Ok);
+    EXPECT_EQ(loaded, someBlob());
 }
 
 } // namespace

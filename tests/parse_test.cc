@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Tests for the strict numeric parsers (common/parse.hh).  These
+ * exist because the strtoul family silently accepts what a CLI flag
+ * or environment knob must reject: leading whitespace, signs
+ * (strtoull wraps "-1" to 2^64-1 without error), trailing garbage,
+ * and out-of-range values clamped to the type maximum.  Every
+ * rejection here was a silent mis-parse before the sweep to these
+ * helpers — most damningly CCP_SEED, where an atoi-style prefix parse
+ * collapsed distinct-looking seeds onto one trace cache key.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "common/parse.hh"
+
+namespace {
+
+using namespace ccp;
+
+TEST(ParseU64, AcceptsPlainDecimal)
+{
+    std::uint64_t v = 99;
+    EXPECT_TRUE(parseU64("0", v));
+    EXPECT_EQ(v, 0u);
+    EXPECT_TRUE(parseU64("42", v));
+    EXPECT_EQ(v, 42u);
+    EXPECT_TRUE(parseU64("18446744073709551615", v));
+    EXPECT_EQ(v, std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(ParseU64, Base0AcceptsHexAndOctal)
+{
+    std::uint64_t v = 0;
+    EXPECT_TRUE(parseU64("0x5eed", v, 0));
+    EXPECT_EQ(v, 0x5eedu);
+    EXPECT_TRUE(parseU64("0755", v, 0));
+    EXPECT_EQ(v, 0755u);
+    // Base 10 does not: "0x5eed" would be a prefix parse.
+    EXPECT_FALSE(parseU64("0x5eed", v));
+}
+
+TEST(ParseU64, RejectsWhatStrtoullAccepts)
+{
+    std::uint64_t v = 0;
+    // Negative numbers wrap modulo 2^64 under strtoull — no error.
+    EXPECT_FALSE(parseU64("-1", v));
+    // Explicit plus sign, leading whitespace: prefix-skipped.
+    EXPECT_FALSE(parseU64("+7", v));
+    EXPECT_FALSE(parseU64(" 7", v));
+    // Trailing garbage: "12abc" parses as 12.
+    EXPECT_FALSE(parseU64("12abc", v));
+    EXPECT_FALSE(parseU64("12 ", v));
+    // Out of range: clamped to ULLONG_MAX with errno the only tell.
+    EXPECT_FALSE(parseU64("18446744073709551616", v));
+    EXPECT_FALSE(parseU64("", v));
+    EXPECT_FALSE(parseU64("abc", v));
+}
+
+TEST(ParseU64InRange, EnforcesTheCeiling)
+{
+    std::uint64_t v = 0;
+    EXPECT_TRUE(parseU64InRange("4096", v, 4096));
+    EXPECT_EQ(v, 4096u);
+    EXPECT_FALSE(parseU64InRange("4097", v, 4096));
+    EXPECT_FALSE(parseU64InRange("-1", v, 4096));
+}
+
+TEST(ParseDouble, AcceptsOrdinaryNumbers)
+{
+    double v = 0;
+    EXPECT_TRUE(parseDouble("1.5", v));
+    EXPECT_DOUBLE_EQ(v, 1.5);
+    EXPECT_TRUE(parseDouble("-0.25", v));
+    EXPECT_DOUBLE_EQ(v, -0.25);
+    EXPECT_TRUE(parseDouble(".5", v));
+    EXPECT_DOUBLE_EQ(v, 0.5);
+    EXPECT_TRUE(parseDouble("2e3", v));
+    EXPECT_DOUBLE_EQ(v, 2000.0);
+}
+
+TEST(ParseDouble, RejectsGarbageAndNonFinite)
+{
+    double v = 0;
+    EXPECT_FALSE(parseDouble("", v));
+    EXPECT_FALSE(parseDouble(" 1.5", v));
+    EXPECT_FALSE(parseDouble("1.5x", v));
+    // strtod parses these happily; a scale or interval must not be
+    // infinite or NaN.
+    EXPECT_FALSE(parseDouble("inf", v));
+    EXPECT_FALSE(parseDouble("nan", v));
+    EXPECT_FALSE(parseDouble("1e999", v));
+    // Hex floats are a strtod extension no flag documents.
+    EXPECT_FALSE(parseDouble("0x1p4", v));
+}
+
+} // namespace

@@ -1,13 +1,24 @@
 /**
  * @file
- * Perf-regression gate over the sweep-kernel records perf_micro
- * writes (BENCH_sweep.json): compares a current record against a
- * committed baseline and fails when throughput regressed beyond
- * tolerance.
+ * Perf-regression gate over the benchmark records the repo's perf
+ * binaries write: the sweep-kernel record from perf_micro
+ * (BENCH_sweep.json) and the serve-pipeline record from serve_bench
+ * (BENCH_serve.json, meta.kind == "serve").  Compares a current
+ * record against a committed baseline and fails when throughput
+ * regressed beyond tolerance.
  *
  *   bench_compare --baseline bench/baselines/BENCH_sweep.json \
  *                 --current BENCH_sweep.json \
  *                 [--max-regress 0.10] [--absolute] [--archive <dir>]
+ *
+ * The record kind is read from meta.kind (absent = "sweep", the
+ * original record layout); baseline and current must agree.  Sweep
+ * records gate the kernel speedups below; serve records gate
+ * pipeline_ratio (served vs inline events/s on the same machine —
+ * relative, so host-portable) and record the absolute events/s and
+ * ingest-to-predict p50/p99 latency, which must stay present but only
+ * gate under --absolute (events/s; latency is recorded only, since
+ * queueing delay is load- not regression-shaped).
  *
  * Two comparison modes:
  *
@@ -207,7 +218,7 @@ metaString(const Json &doc, const char *key, const char *fallback)
     return fallback;
 }
 
-/** Archive the current record as BENCH_sweep_<date>_<sha12>.json. */
+/** Archive the current record as BENCH_<kind>_<date>_<sha12>.json. */
 bool
 archive(const Json &doc, const std::string &raw,
         const std::string &dir)
@@ -221,8 +232,9 @@ archive(const Json &doc, const std::string &raw,
         sha.resize(12);
     std::error_code ec;
     std::filesystem::create_directories(dir, ec);
-    const std::string path =
-        dir + "/BENCH_sweep_" + date + "_" + sha + ".json";
+    const std::string path = dir + "/BENCH_" +
+                             metaString(doc, "kind", "sweep") + "_" +
+                             date + "_" + sha + ".json";
     std::ofstream os(path, std::ios::binary | std::ios::trunc);
     os << raw;
     if (!os.good()) {
@@ -310,6 +322,19 @@ main(int argc, char **argv)
                 metaString(*cur, "git_sha", "unstamped").c_str(),
                 metaString(*cur, "date_utc", "undated").c_str());
 
+    // The record layout is selected by meta.kind; records predating
+    // the field are sweep records.  Comparing across kinds is a
+    // configuration error, not a regression.
+    const std::string base_kind = metaString(*base, "kind", "sweep");
+    const std::string cur_kind = metaString(*cur, "kind", "sweep");
+    if (base_kind != cur_kind) {
+        std::fprintf(stderr,
+                     "bench_compare: record kind mismatch (baseline "
+                     "'%s' vs current '%s')\n",
+                     base_kind.c_str(), cur_kind.c_str());
+        return 1;
+    }
+
     std::vector<Check> checks;
     auto pushCheck = [&checks](std::string label, double baseline,
                                double current) -> Check & {
@@ -320,6 +345,56 @@ main(int argc, char **argv)
         checks.push_back(std::move(c));
         return checks.back();
     };
+    if (cur_kind == "serve") {
+        // The host-portable gate: how much of the inline (no-pipeline)
+        // throughput the served path keeps on the same machine.
+        pushCheck("pipeline_ratio (served/inline)",
+                  field(*base, "", "pipeline_ratio"),
+                  field(*cur, "", "pipeline_ratio"));
+        // Absolute numbers must stay present in every record (a
+        // missing-in-current row fails) but only gate when baseline
+        // and current share a machine.
+        {
+            Check &c =
+                pushCheck("serve events/s (M)",
+                          field(*base, "serve", "events_per_sec") / 1e6,
+                          field(*cur, "serve", "events_per_sec") / 1e6);
+            if (!opt.absolute) {
+                c.gate = false;
+                c.note = "  not gated (host-dependent; --absolute)";
+            }
+        }
+        {
+            Check &c = pushCheck(
+                "inline events/s (M)",
+                field(*base, "inline", "events_per_sec") / 1e6,
+                field(*cur, "inline", "events_per_sec") / 1e6);
+            if (!opt.absolute) {
+                c.gate = false;
+                c.note = "  not gated (host-dependent; --absolute)";
+            }
+        }
+        // Ingest-to-predict latency is dominated by queueing under
+        // the bench's open-loop load, so it is recorded (and must not
+        // disappear) but never gated.
+        for (const char *key : {"p50_ns", "p99_ns"}) {
+            Check &c = pushCheck(std::string("serve latency ") + key,
+                                 field(*base, "serve", key),
+                                 field(*cur, "serve", key));
+            c.gate = false;
+            c.note = "  not gated (lower is better; recorded)";
+        }
+
+        bool serve_ok = runChecks(checks, opt.maxRegress);
+        if (!opt.archiveDir.empty() &&
+            !archive(*cur, cur_raw, opt.archiveDir))
+            serve_ok = false;
+        std::printf("bench_compare: %s (tolerance %.0f%%)\n",
+                    serve_ok ? "PASS" : "FAIL",
+                    opt.maxRegress * 100.0);
+        return serve_ok ? 0 : 1;
+    }
+
     pushCheck("speedup (batched/reference)",
               field(*base, "", "speedup"),
               field(*cur, "", "speedup"));
