@@ -159,6 +159,32 @@ sweepFixture()
     return schemes;
 }
 
+/** The learned-family fixture: 12 perceptron schemes across the same
+ *  index shapes, hashed and unhashed, with and without the Bloom
+ *  negative filter. */
+std::vector<predict::SchemeSpec>
+perceptronFixture()
+{
+    const char *names[] = {
+        "perceptron(hash:pc8)2w5t2",
+        "perceptron(hash:add8)2w5t2",
+        "perceptron(hash:pc4+add6)2w5t2b16",
+        "perceptron(hash:pid+pc8)4w5t2",
+        "perceptron(hash:dir+add8)4w5t2b16",
+        "perceptron(hash:pid+pc4+add6)4w6t4",
+        "perceptron(pc8)2w5t2",
+        "perceptron(add8)2w5t2b8",
+        "perceptron(pc4+add6)4w4t1",
+        "perceptron(pid+add8)4w5t2",
+        "perceptron(dir+add8)2w8t6b32",
+        "perceptron(pid+pc4+add6)2w5t2b16",
+    };
+    std::vector<predict::SchemeSpec> schemes;
+    for (const char *n : names)
+        schemes.push_back(schemeOf(n));
+    return schemes;
+}
+
 void
 BM_BatchedSweepFixture(benchmark::State &state, int mode_int)
 {
@@ -488,6 +514,52 @@ runSweepGate()
     record("batched", 1, batched_sec);
     record("batched_parallel", mt_threads, mt_sec);
     record("simd", 1, simd_sec);
+
+    // Perceptron sweep throughput: the learned family through the
+    // batched kernel, cross-checked against the reference and
+    // *recorded* (bench_compare only gates metrics present in the
+    // committed baseline, so this rides along ungated until a
+    // baseline containing it lands).
+    {
+        auto perc_schemes = perceptronFixture();
+        std::vector<predict::SuiteResult> perc_ref, perc_batched;
+        double perc_ref_sec = bestOf(reps, [&] {
+            perc_ref =
+                sweep::ParallelSweep(1, sweep::SweepKernel::Reference)
+                    .evaluate(suite, perc_schemes, mode);
+        });
+        double perc_sec = bestOf(reps, [&] {
+            perc_batched =
+                sweep::ParallelSweep(1, sweep::SweepKernel::Batched)
+                    .evaluate(suite, perc_schemes, mode);
+        });
+        for (std::size_t i = 0; i < perc_schemes.size(); ++i) {
+            if (!(perc_ref[i].pooled == perc_batched[i].pooled)) {
+                std::fprintf(
+                    stderr,
+                    "[gate] FAIL: kernels disagree on %s\n",
+                    sweep::formatScheme(perc_schemes[i]).c_str());
+                return 1;
+            }
+        }
+        const double perc_events = double(tr.events().size()) *
+                                   double(perc_schemes.size());
+        obs::Json j = obs::Json::object();
+        j["threads"] = obs::Json(1u);
+        j["schemes"] =
+            obs::Json(std::uint64_t(perc_schemes.size()));
+        j["seconds"] = obs::Json(perc_sec);
+        j["scheme_events_per_sec"] =
+            obs::Json(perc_events / perc_sec);
+        j["reference_seconds"] = obs::Json(perc_ref_sec);
+        doc["perceptron"] = std::move(j);
+        std::fprintf(stderr,
+                     "[gate] perceptron fixture: %zu schemes, "
+                     "batched %.3fs (%.1fM scheme-events/s, "
+                     "recorded)\n",
+                     perc_schemes.size(), perc_sec,
+                     perc_events / perc_sec / 1e6);
+    }
     // Which lane backend produced the simd numbers — bench_compare
     // only gates simd_speedup when this says "avx2".
     doc["simd"]["backend"] = obs::Json(simd_backend);

@@ -295,7 +295,8 @@ main(int argc, char **argv)
         std::fprintf(stderr, "[serve] restore: %s\n",
                      sweep::checkpointLoadName(status));
         if (status == sweep::CheckpointLoad::Invalid ||
-            status == sweep::CheckpointLoad::KeyMismatch)
+            status == sweep::CheckpointLoad::KeyMismatch ||
+            status == sweep::CheckpointLoad::UnsupportedKind)
             return 1;
     }
 

@@ -31,6 +31,22 @@ paperSpace()
     } else {
         space.pasDepths = {2};
     }
+    // The learned family rides the same sweep so perceptron schemes
+    // rank head-to-head against the paper's; the default grid is kept
+    // coarse for the same cost reason as PAs (the per-node training
+    // loop is the expensive part).  CCP_FULL_PERC=1 widens every
+    // perceptron dimension.
+    if (std::getenv("CCP_FULL_PERC")) {
+        space.percDepths = {1, 2, 4, 8};
+        space.percWeightBits = {4, 5, 6, 8};
+        space.percThetas = {1, 2, 4, 8};
+        space.percBloomBits = {0, 8, 16, 32};
+    } else {
+        space.percDepths = {2};
+        space.percWeightBits = {5};
+        space.percThetas = {2};
+        space.percBloomBits = {0, 16};
+    }
     return space;
 }
 

@@ -23,14 +23,15 @@ updateModeName(UpdateMode mode)
 PredictorTable
 SchemeSpec::makeTable(unsigned n_nodes) const
 {
-    return PredictorTable(index, makeFunction(kind, depth, n_nodes),
+    return PredictorTable(index,
+                          makeFunction(kind, depth, n_nodes, perc),
                           n_nodes);
 }
 
 std::uint64_t
 SchemeSpec::sizeBits(unsigned n_nodes) const
 {
-    auto fn = makeFunction(kind, depth, n_nodes);
+    auto fn = makeFunction(kind, depth, n_nodes, perc);
     std::uint64_t entries = std::uint64_t(1)
                             << index.indexBits(nodeBitsFor(n_nodes));
     return entries * fn->entryBits(n_nodes);

@@ -44,12 +44,15 @@ enum class UpdateMode : std::uint8_t
 
 const char *updateModeName(UpdateMode mode);
 
-/** A complete scheme: indexing + function family + history depth. */
+/** A complete scheme: indexing + function family + history depth
+ *  (+ the perceptron family's extra dimensions, defaulted and inert
+ *  for every other kind). */
 struct SchemeSpec
 {
     IndexSpec index;
     FunctionKind kind = FunctionKind::Union;
     unsigned depth = 1;
+    PerceptronParams perc{};
 
     /** Build a fresh table for an @p n_nodes machine. */
     PredictorTable makeTable(unsigned n_nodes) const;

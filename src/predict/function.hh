@@ -46,6 +46,16 @@ enum class FunctionKind : std::uint8_t
      * unsimulated; we include it as an extension.
      */
     OverlapLast,
+    /**
+     * Hashed-perceptron sharing predictor (COALESCE idiom): per
+     * potential reader, a depth-bit history register and a vector of
+     * bounded saturating signed weights (bias + one per history bit);
+     * a node is predicted shared when the dot product clears a
+     * threshold.  An optional per-entry Bloom negative filter
+     * suppresses readers whose recent weight history says "dead".
+     * An extension beyond the paper's fixed-function families.
+     */
+    Perceptron,
 };
 
 /** Parse/print the lowercase family names used in scheme notation. */
@@ -179,15 +189,131 @@ class OverlapLastFunction : public PredictionFunction
                 SharingBitmap feedback) const override;
 };
 
+/** Tunable dimensions of the perceptron family (all swept). */
+struct PerceptronParams
+{
+    /** Saturating weight width in bits, sign included (2..8): weights
+     *  live in [-2^(w-1), 2^(w-1)-1] and never escape it. */
+    unsigned weightBits = 5;
+    /** Prediction threshold (>= 1 so a cold entry abstains): node n
+     *  is predicted shared when its dot product >= theta. */
+    unsigned theta = 2;
+    /** Bloom negative-filter size in bits (0 disables, else 4..32). */
+    unsigned bloomBits = 0;
+
+    bool operator==(const PerceptronParams &) const = default;
+};
+
+/**
+ * Hashed-perceptron prediction: per entry and per potential reader, a
+ * depth-bit history register plus (depth + 1) bounded saturating
+ * signed weights — a bias weight and one weight per history bit.  The
+ * per-node decision is
+ *
+ *   dot = w0 + sum_i (h_i ? +w[i+1] : -w[i+1])   predict iff dot >= theta
+ *
+ * trained perceptron-style (only on a mispredict or a low-margin hit,
+ * |dot| <= theta), with every weight clamped to the signed
+ * weightBits range.  Feature hashing lives on the *access* axis: a
+ * hashed IndexSpec folds the full {pc, addr, dir} tuple into the
+ * table index (see predict/index.hh), so each entry's weights are the
+ * weight-table row of its hashed feature vector.
+ *
+ * The optional Bloom negative filter (ghost-buffer idiom) records
+ * readers the perceptron predicted but that did not re-share — on a
+ * later predict, a node whose k=2 filter bits are both set is
+ * suppressed as dead.  The filter self-ages: it is cleared whenever a
+ * quarter of its bits' worth of inserts have accumulated, which also
+ * bounds its false-positive rate (bloomFprBound()).
+ *
+ * State layout: packed per-node histories (as PAs), then per-node
+ * weight vectors as int8 lanes, then (if enabled) one Bloom word
+ * (filter in the low 32 bits, insert count above).
+ */
+class PerceptronFunction : public PredictionFunction
+{
+  public:
+    /**
+     * @param depth   History register width in bits (1..8).
+     * @param n_nodes Number of potential readers (fixed per machine).
+     * @param params  Weight width / threshold / Bloom dimensions.
+     */
+    PerceptronFunction(unsigned depth, unsigned n_nodes,
+                       const PerceptronParams &params = {});
+
+    FunctionKind kind() const override
+    {
+        return FunctionKind::Perceptron;
+    }
+    unsigned depth() const override { return depth_; }
+    std::size_t entryWords() const override { return entryWords_; }
+    std::uint64_t entryBits(unsigned n_nodes) const override;
+    SharingBitmap predict(const std::uint64_t *state) const override;
+    void update(std::uint64_t *state,
+                SharingBitmap feedback) const override;
+
+    const PerceptronParams &params() const { return params_; }
+    int weightMin() const { return weightMin_; }
+    int weightMax() const { return weightMax_; }
+
+    /** Raw (unsuppressed) per-node dot product of an entry. */
+    int dot(const std::uint64_t *state, unsigned node) const;
+
+    /** Inserts the Bloom filter holds before self-aging clears it. */
+    unsigned bloomCapacity() const { return bloomCap_; }
+    /** Analytic false-positive bound of the aged filter (k = 2,
+     *  at most bloomCapacity() live inserts).  0 when disabled. */
+    double bloomFprBound() const;
+    /** True if the filter word currently suppresses @p node. */
+    bool bloomSuppressed(const std::uint64_t *state,
+                         unsigned node) const;
+
+  private:
+    unsigned historyOf(const std::uint64_t *state, unsigned node) const;
+    void setHistory(std::uint64_t *state, unsigned node,
+                    unsigned value) const;
+    const std::int8_t *
+    weightsOf(const std::uint64_t *state, unsigned node) const
+    {
+        return reinterpret_cast<const std::int8_t *>(
+                   state + historyWords_) +
+               std::size_t(node) * (depth_ + 1);
+    }
+    std::int8_t *
+    weightsOf(std::uint64_t *state, unsigned node) const
+    {
+        return reinterpret_cast<std::int8_t *>(state + historyWords_) +
+               std::size_t(node) * (depth_ + 1);
+    }
+    int dotAt(const std::uint64_t *state, const std::int8_t *w,
+              unsigned hist) const;
+    void bloomInsert(std::uint64_t *state, unsigned node) const;
+
+    unsigned depth_;
+    unsigned nNodes_;
+    PerceptronParams params_;
+    int weightMin_;
+    int weightMax_;
+    std::size_t historyWords_;
+    std::size_t entryWords_;
+    /** Word index of the Bloom word; entryWords_ if disabled. */
+    std::size_t bloomWord_;
+    unsigned bloomCap_ = 0;
+    /** Per-node k=2 filter bit mask, fixed at construction. */
+    std::uint32_t bloomMaskOf_[maxNodes] = {};
+};
+
 /**
  * Build a prediction function.
  *
  * @param kind    Family.
  * @param depth   History depth (ignored by overlap-last).
- * @param n_nodes Machine size (PAs state depends on it).
+ * @param n_nodes Machine size (PAs and perceptron state depend on it).
+ * @param perc    Perceptron dimensions (ignored by other kinds).
  */
 std::unique_ptr<PredictionFunction>
-makeFunction(FunctionKind kind, unsigned depth, unsigned n_nodes);
+makeFunction(FunctionKind kind, unsigned depth, unsigned n_nodes,
+             const PerceptronParams &perc = {});
 
 } // namespace ccp::predict
 

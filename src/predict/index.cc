@@ -10,6 +10,22 @@ std::uint64_t
 IndexSpec::index(NodeId pid, Pc pc, NodeId dir, Addr block,
                  unsigned node_bits) const
 {
+    if (hashed) {
+        const unsigned bits = indexBits(node_bits);
+        const std::uint64_t mask =
+            bits == 0 ? 0
+            : bits >= 64
+                ? ~std::uint64_t(0)
+                : (std::uint64_t(1) << bits) - 1;
+        return detail::hashIndexFold(
+            usePid ? std::uint64_t(pid) : 0, pcBits ? (pc >> 2) : 0,
+            useDir ? std::uint64_t(dir) : 0, addrBits ? block : 0,
+            usePid ? detail::hashPidMult : 0,
+            pcBits ? detail::hashPcMult : 0,
+            useDir ? detail::hashDirMult : 0,
+            addrBits ? detail::hashAddrMult : 0, mask);
+    }
+
     std::uint64_t idx = 0;
     unsigned shift = 0;
 
@@ -49,6 +65,21 @@ makeIndexPlan(const IndexSpec &spec, unsigned node_bits)
         return bits ? (std::uint64_t(1) << bits) - 1 : 0;
     };
     IndexPlan plan;
+    if (spec.hashed) {
+        const unsigned bits = spec.indexBits(node_bits);
+        ccp_assert(bits <= 64, "index plan wider than 64 bits");
+        plan.hashAddrMult =
+            spec.addrBits > 0 ? detail::hashAddrMult : 0;
+        plan.hashDirMult = spec.useDir ? detail::hashDirMult : 0;
+        plan.hashPcMult = spec.pcBits > 0 ? detail::hashPcMult : 0;
+        plan.hashPidMult = spec.usePid ? detail::hashPidMult : 0;
+        plan.hashFoldMask =
+            bits == 0 ? 0
+            : bits >= 64
+                ? ~std::uint64_t(0)
+                : (std::uint64_t(1) << bits) - 1;
+        return plan;
+    }
     unsigned shift = 0;
     if (spec.addrBits > 0) {
         plan.addrMask = mask_of(spec.addrBits);
@@ -100,6 +131,8 @@ IndexSpec::fieldsName() const
             os << '+';
         first = false;
     };
+    if (hashed)
+        os << "hash:";
     if (usePid) {
         sep();
         os << "pid";

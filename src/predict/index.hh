@@ -35,6 +35,17 @@ struct IndexSpec
     bool useDir = false;
     /** Low bits of the block number used; 0 means addr absent. */
     unsigned addrBits = 0;
+    /**
+     * Hashed feature folding (the perceptron family's indexing mode,
+     * available to every family): instead of truncating each
+     * participating field and concatenating, mix every field at full
+     * width through per-field odd multipliers, finalize, and fold to
+     * the same indexBits() total — so truncation wastes no entropy
+     * and the implementation cost accounting is unchanged.  The
+     * participating-field set (and Table 1 class) is the same either
+     * way; only the entry mapping differs.
+     */
+    bool hashed = false;
 
     /** Total index width given log2(N) node bits. */
     unsigned
@@ -85,6 +96,38 @@ struct IndexSpec
     bool operator==(const IndexSpec &) const = default;
 };
 
+namespace detail {
+
+/** Per-field odd mixing multipliers of the hashed fold (absent
+ *  fields multiply by zero and vanish from the mix). */
+inline constexpr std::uint64_t hashAddrMult = 0x9E3779B97F4A7C15ull;
+inline constexpr std::uint64_t hashDirMult = 0xC2B2AE3D27D4EB4Full;
+inline constexpr std::uint64_t hashPcMult = 0x165667B19E3779F9ull;
+inline constexpr std::uint64_t hashPidMult = 0x27D4EB2F165667C5ull;
+
+/**
+ * The hashed fold itself: one multiply per participating field, a
+ * splitmix-style finalizer, then a mask to the index width.  Shared
+ * verbatim by IndexSpec::index() and IndexPlan::fromWords() so the
+ * two stay bit-identical by construction.
+ */
+inline std::uint64_t
+hashIndexFold(std::uint64_t pid, std::uint64_t pc_word,
+              std::uint64_t dir, std::uint64_t block,
+              std::uint64_t pid_mult, std::uint64_t pc_mult,
+              std::uint64_t dir_mult, std::uint64_t addr_mult,
+              std::uint64_t mask)
+{
+    std::uint64_t h = block * addr_mult ^ dir * dir_mult ^
+                      pc_word * pc_mult ^ pid * pid_mult;
+    h ^= h >> 33;
+    h *= 0xff51afd7ed558ccdull;
+    h ^= h >> 29;
+    return h & mask;
+}
+
+} // namespace detail
+
 /**
  * A compiled index-extraction plan: the shift/mask pipeline of one
  * IndexSpec, precomputed once per scheme so the per-event index is a
@@ -109,6 +152,18 @@ struct IndexPlan
     unsigned dirShift = 0;
     unsigned pcShift = 0;
     unsigned pidShift = 0;
+    /** Hashed fold (IndexSpec::hashed): per-field multipliers (zero
+     *  for absent fields) and the fold mask.  hashFoldMask == 0 means
+     *  the concat pipeline above is in effect.  Hashed plans never
+     *  enter simd lane groups (sweep routes them to the scalar path),
+     *  so the lane transpose stays concat-only. */
+    std::uint64_t hashAddrMult = 0;
+    std::uint64_t hashDirMult = 0;
+    std::uint64_t hashPcMult = 0;
+    std::uint64_t hashPidMult = 0;
+    std::uint64_t hashFoldMask = 0;
+
+    bool hashed() const { return hashFoldMask != 0; }
 
     /**
      * Index from pre-decoded words; @p pc_word is the word-aligned pc
@@ -119,6 +174,11 @@ struct IndexPlan
     fromWords(std::uint64_t pid, std::uint64_t pc_word,
               std::uint64_t dir, std::uint64_t block) const
     {
+        if (hashFoldMask != 0)
+            return detail::hashIndexFold(pid, pc_word, dir, block,
+                                         hashPidMult, hashPcMult,
+                                         hashDirMult, hashAddrMult,
+                                         hashFoldMask);
         return ((block & addrMask) << addrShift) |
                ((dir & dirMask) << dirShift) |
                ((pc_word & pcMask) << pcShift) |

@@ -317,8 +317,15 @@ PredictServer::snapshotNow()
         shard.session.encode(payload);
     }
 
-    const bool ok = sweep::saveStateBlob(opts_.snapshotPath,
-                                         snapshotKey(), payload);
+    // A snapshot holding perceptron state carries the feature bit,
+    // so pre-perceptron binaries reject it with structure instead of
+    // decoding foreign weight words.
+    const std::uint32_t features =
+        opts_.session.scheme.kind == predict::FunctionKind::Perceptron
+            ? sweep::stateBlobFeaturePerceptron
+            : 0;
+    const bool ok = sweep::saveStateBlob(
+        opts_.snapshotPath, snapshotKey(), payload, features);
     auto &reg = obs::StatsRegistry::current();
     if (ok)
         ++reg.counter("serve.snapshots");

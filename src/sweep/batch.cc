@@ -18,6 +18,7 @@ using predict::Confusion;
 using predict::FunctionKind;
 using predict::IndexPlan;
 using predict::PAsFunction;
+using predict::PerceptronFunction;
 using predict::SchemeSpec;
 using predict::SuiteResult;
 using predict::UpdateMode;
@@ -176,6 +177,12 @@ BatchEvaluator::BatchEvaluator(std::vector<SchemeSpec> schemes,
                                                         n_nodes);
             c.entryWords = c.pas->entryWords();
             break;
+          case FunctionKind::Perceptron:
+            c.op = Op::Perceptron;
+            c.perc = std::make_shared<const PerceptronFunction>(
+                s.depth, n_nodes, s.perc);
+            c.entryWords = c.perc->entryWords();
+            break;
         }
         bits_of[i] = s.index.indexBits(nodeBits_);
         compiled_.push_back(std::move(c));
@@ -218,8 +225,11 @@ BatchEvaluator::partitionLanes(const std::vector<unsigned> &bits_of)
         classes;
     for (std::size_t i = 0; i < compiled_.size(); ++i) {
         const Compiled &c = compiled_[i];
-        if (c.op == Op::PAs) {
-            // Multi-word adaptive entries: no u64 lane to vectorize.
+        if (c.op == Op::PAs || c.op == Op::Perceptron ||
+            c.plan.hashed()) {
+            // Multi-word adaptive/perceptron entries have no u64 lane
+            // to vectorize, and a hashed index plan has no mask/shift
+            // transpose; all three ride the scalar path.
             scalarSchemes_.push_back(i);
             continue;
         }
@@ -265,7 +275,8 @@ BatchEvaluator::partitionLanes(const std::vector<unsigned> &bits_of)
                 g.family = lanes::LaneFamily::OverlapLast;
                 break;
               case Op::PAs:
-                ccp_panic("PAs scheme in a lane class");
+              case Op::Perceptron:
+                ccp_panic("scalar-only scheme in a lane class");
             }
             g.depth = c0.depth;
             g.entryWords = c0.entryWords;
@@ -340,6 +351,15 @@ BatchEvaluator::stepScheme(Compiled &c, std::uint64_t *entry,
         if (mode == UpdateMode::Ordered)
             c.pas->PAsFunction::update(entry,
                                        SharingBitmap(fb_ordered));
+        break;
+      case Op::Perceptron:
+        if (mode != UpdateMode::Ordered && has_prev)
+            c.perc->PerceptronFunction::update(upd,
+                                               SharingBitmap(inval));
+        pred = c.perc->PerceptronFunction::predict(entry).raw();
+        if (mode == UpdateMode::Ordered)
+            c.perc->PerceptronFunction::update(
+                entry, SharingBitmap(fb_ordered));
         break;
     }
 
@@ -605,6 +625,9 @@ schemeStateWords(const SchemeSpec &s, unsigned n_nodes)
     std::size_t entry_words =
         s.kind == FunctionKind::PAs
             ? PAsFunction(s.depth, n_nodes).entryWords()
+        : s.kind == FunctionKind::Perceptron
+            ? PerceptronFunction(s.depth, n_nodes, s.perc)
+                  .entryWords()
         : s.kind == FunctionKind::OverlapLast ? 3
                                               : s.depth + 1;
     return checkedSchemeStateWords(s.index.indexBits(node_bits),

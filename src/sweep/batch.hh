@@ -147,6 +147,7 @@ class BatchEvaluator
         Inter,       ///< inter, depth >= 2
         OverlapLast, ///< overlap-filtered last
         PAs,         ///< two-level adaptive (via PAsFunction)
+        Perceptron,  ///< hashed perceptron (via PerceptronFunction)
     };
 
     /** One compiled scheme: plan + opcode + state slice. */
@@ -160,6 +161,8 @@ class BatchEvaluator
         std::size_t base = 0;
         /** Concrete function, PAs only (word layout lives there). */
         std::shared_ptr<const predict::PAsFunction> pas;
+        /** Concrete function, perceptron only (same reason). */
+        std::shared_ptr<const predict::PerceptronFunction> perc;
         /** tp/fp/fn popcount tallies for the trace being walked. */
         std::uint64_t tp = 0, fp = 0, fn = 0;
     };

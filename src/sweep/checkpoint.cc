@@ -59,8 +59,6 @@ validHeaderStructure(const CheckpointHeader &h)
         return false;
     if (h.nTraces == 0 || h.nTraces > maxCheckpointTraces)
         return false;
-    if (h.reserved0 != 0)
-        return false;
     for (std::uint8_t b : h.reserved)
         if (b != 0)
             return false;
@@ -223,7 +221,18 @@ makeCheckpointKey(const std::vector<trace::SharingTrace> &traces,
         hashString(sh, formatScheme(s));
     hashString(sh, predict::updateModeName(mode));
     key.schemeSetHash = sh.digest();
+    key.extensionKinds = extensionKindsOf(schemes);
     return key;
+}
+
+std::uint32_t
+extensionKindsOf(const std::vector<predict::SchemeSpec> &schemes)
+{
+    std::uint32_t mask = 0;
+    for (const auto &s : schemes)
+        if (s.kind == predict::FunctionKind::Perceptron)
+            mask |= checkpointKindPerceptron;
+    return mask;
 }
 
 const char *
@@ -238,6 +247,8 @@ checkpointLoadName(CheckpointLoad status)
         return "invalid";
       case CheckpointLoad::KeyMismatch:
         return "key-mismatch";
+      case CheckpointLoad::UnsupportedKind:
+        return "unsupported-kind";
     }
     ccp_panic("bad CheckpointLoad");
 }
@@ -258,6 +269,7 @@ saveCheckpoint(const std::string &path, const CheckpointKey &key,
     header.schemeSetHash = key.schemeSetHash;
     header.schemeCount = key.schemeCount;
     header.nTraces = key.nTraces;
+    header.extensionKinds = key.extensionKinds;
     header.entryCount = entries.size();
     header.payloadBytes =
         entries.size() * checkpointEntryBytes(key.nTraces);
@@ -332,7 +344,14 @@ loadCheckpoint(const std::string &path, const CheckpointKey &key,
     if (sum.digest() != header.checksum)
         return CheckpointLoad::Invalid;
 
-    // The container is intact; now check it belongs to *this* sweep.
+    // The container is intact.  Before any key comparison, refuse
+    // extension kinds this binary does not implement — a structured
+    // "written by a newer binary" failure, not a crash or a silent
+    // key mismatch.
+    if (header.extensionKinds & ~checkpointSupportedExtensionKinds)
+        return CheckpointLoad::UnsupportedKind;
+
+    // Now check it belongs to *this* sweep.
     CheckpointKey file_key;
     file_key.traceSetHash = header.traceSetHash;
     file_key.schemeSetHash = header.schemeSetHash;
@@ -340,6 +359,7 @@ loadCheckpoint(const std::string &path, const CheckpointKey &key,
     file_key.nNodes = header.nNodes;
     file_key.kernel = header.kernel;
     file_key.nTraces = header.nTraces;
+    file_key.extensionKinds = header.extensionKinds;
     if (!(file_key == key))
         return CheckpointLoad::KeyMismatch;
 
@@ -403,11 +423,13 @@ validBlobHeader(const StateBlobHeader &h)
 
 bool
 saveStateBlob(const std::string &path, std::uint64_t key_hash,
-              const std::vector<char> &payload)
+              const std::vector<char> &payload,
+              std::uint32_t features)
 {
     StateBlobHeader header;
     header.keyHash = key_hash;
     header.payloadBytes = payload.size();
+    header.features = features;
 
     Fnv1a sum = blobChecksumSeed(header);
     sum.update(payload.data(), payload.size());
@@ -429,7 +451,8 @@ saveStateBlob(const std::string &path, std::uint64_t key_hash,
 
 CheckpointLoad
 loadStateBlob(const std::string &path, std::uint64_t key_hash,
-              std::vector<char> &payload)
+              std::vector<char> &payload,
+              std::uint32_t supported_features)
 {
     payload.clear();
 
@@ -461,6 +484,11 @@ loadStateBlob(const std::string &path, std::uint64_t key_hash,
     sum.update(loaded.data(), loaded.size());
     if (sum.digest() != header.checksum)
         return CheckpointLoad::Invalid;
+
+    // Intact blob; refuse features this caller cannot decode before
+    // comparing keys, so the failure names its real cause.
+    if (header.features & ~supported_features)
+        return CheckpointLoad::UnsupportedKind;
 
     if (header.keyHash != key_hash)
         return CheckpointLoad::KeyMismatch;

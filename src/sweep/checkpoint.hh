@@ -65,9 +65,32 @@ struct CheckpointKey
     std::uint32_t nNodes = 0;
     std::uint32_t kernel = 0;
     std::uint32_t nTraces = 0;
+    /** Extension-kind mask of the scheme set (extensionKindsOf). */
+    std::uint32_t extensionKinds = 0;
 
     bool operator==(const CheckpointKey &) const = default;
 };
+
+/**
+ * Extension function-kind bits carried in checkpoint headers (and, as
+ * feature bits, in CCPS state blobs).  The paper's own families
+ * (union/inter/PAs/overlap-last) map to no bit at all, so files that
+ * contain only legacy kinds stay byte-identical to the original v1
+ * format — and a pre-extension binary, which required these bytes to
+ * be zero, rejects any file carrying extension state with a clean
+ * structured "invalid" instead of crashing or silently mis-decoding.
+ * A binary at this version rejects bits it does not know with the
+ * structured CheckpointLoad::UnsupportedKind status.
+ */
+inline constexpr std::uint32_t checkpointKindPerceptron = 1u << 0;
+
+/** Every extension-kind bit this binary can decode. */
+inline constexpr std::uint32_t checkpointSupportedExtensionKinds =
+    checkpointKindPerceptron;
+
+/** The extension-kind mask of a scheme set (0 for legacy-only). */
+std::uint32_t
+extensionKindsOf(const std::vector<predict::SchemeSpec> &schemes);
 
 /**
  * Compute the key of one sweep: an FNV-1a pass over every trace's
@@ -90,7 +113,9 @@ struct CheckpointHeader
     std::uint64_t schemeSetHash = 0;
     std::uint64_t schemeCount = 0;
     std::uint32_t nTraces = 0;
-    std::uint32_t reserved0 = 0;
+    /** Extension-kind mask (was reserved-zero in pre-extension
+     *  binaries, which therefore reject nonzero values cleanly). */
+    std::uint32_t extensionKinds = 0;
     std::uint64_t entryCount = 0;
     /** Exact byte size of everything after the header. */
     std::uint64_t payloadBytes = 0;
@@ -145,6 +170,10 @@ enum class CheckpointLoad : std::uint8_t
     Invalid,
     /** Valid container for a *different* sweep (stale key). */
     KeyMismatch,
+    /** Intact container carrying extension function kinds (or blob
+     *  features) this binary does not implement — written by a newer
+     *  binary; rejected with structure, never decoded blind. */
+    UnsupportedKind,
 };
 
 const char *checkpointLoadName(CheckpointLoad status);
@@ -185,11 +214,22 @@ struct StateBlobHeader
     std::uint64_t payloadBytes = 0;
     /** FNV-1a 64 over the header (this field zeroed) + payload. */
     std::uint64_t checksum = 0;
-    std::uint8_t reserved[16] = {};
+    /** Feature mask of the payload (was reserved-zero; pre-extension
+     *  binaries reject nonzero values as Invalid, this binary rejects
+     *  unknown bits as UnsupportedKind). */
+    std::uint32_t features = 0;
+    std::uint8_t reserved[12] = {};
 };
 
 static_assert(sizeof(StateBlobHeader) == 48,
               "state blob header must stay 48 bytes");
+
+/** Blob feature bits (the CCPS analogue of extension kinds). */
+inline constexpr std::uint32_t stateBlobFeaturePerceptron = 1u << 0;
+
+/** Every blob feature bit this binary can decode. */
+inline constexpr std::uint32_t stateBlobSupportedFeatures =
+    stateBlobFeaturePerceptron;
 
 /**
  * Write @p payload as a CCPS blob with the same durability contract
@@ -198,16 +238,20 @@ static_assert(sizeof(StateBlobHeader) == 48,
  * fault points.  @return false on I/O failure.
  */
 bool saveStateBlob(const std::string &path, std::uint64_t key_hash,
-                   const std::vector<char> &payload);
+                   const std::vector<char> &payload,
+                   std::uint32_t features = 0);
 
 /**
  * Load and fully validate the CCPS blob at @p path.  On Ok,
  * @p payload holds the stored bytes; on any other status it is left
  * empty.  Size is bounded by the real file size before allocation.
+ * A blob whose feature mask has bits outside @p supported_features is
+ * rejected as UnsupportedKind before any key comparison.
  */
-CheckpointLoad loadStateBlob(const std::string &path,
-                             std::uint64_t key_hash,
-                             std::vector<char> &payload);
+CheckpointLoad loadStateBlob(
+    const std::string &path, std::uint64_t key_hash,
+    std::vector<char> &payload,
+    std::uint32_t supported_features = stateBlobSupportedFeatures);
 
 } // namespace ccp::sweep
 

@@ -15,6 +15,15 @@ formatScheme(const SchemeSpec &scheme)
     std::ostringstream os;
     os << predict::functionKindName(scheme.kind) << '('
        << scheme.index.fieldsName() << ')' << scheme.depth;
+    if (scheme.kind == FunctionKind::Perceptron) {
+        // The perceptron's extra swept dimensions are part of the
+        // scheme's identity (checkpoint keys and serve snapshot keys
+        // hash this notation), so they always print.
+        os << 'w' << scheme.perc.weightBits << 't'
+           << scheme.perc.theta;
+        if (scheme.perc.bloomBits > 0)
+            os << 'b' << scheme.perc.bloomBits;
+    }
     return os.str();
 }
 
@@ -84,6 +93,8 @@ parseScheme(const std::string &text)
         out.scheme.kind = FunctionKind::Union;
     else if (cur.eatWord("inter"))
         out.scheme.kind = FunctionKind::Inter;
+    else if (cur.eatWord("perceptron"))
+        out.scheme.kind = FunctionKind::Perceptron;
     else if (cur.eatWord("pas"))
         out.scheme.kind = FunctionKind::PAs;
     else if (cur.eatWord("overlap-last"))
@@ -95,6 +106,10 @@ parseScheme(const std::string &text)
 
     if (!cur.eat('('))
         return std::nullopt;
+
+    // Optional hashed-fold marker before the field list.
+    if (cur.eatWord("hash:"))
+        out.scheme.index.hashed = true;
 
     // Field list: pid, pcN, dir, addN (also accept memN and addrN as
     // spelling variants used in the paper's Table 7).
@@ -123,6 +138,29 @@ parseScheme(const std::string &text)
 
     auto depth = cur.eatNumber();
     out.scheme.depth = depth.value_or(1);
+
+    // Perceptron dimensions: wW tT [bB], each optional (defaults
+    // apply when omitted), only legal on the perceptron family.
+    if (out.scheme.kind == FunctionKind::Perceptron) {
+        if (cur.eat('w')) {
+            auto n = cur.eatNumber();
+            if (!n)
+                return std::nullopt;
+            out.scheme.perc.weightBits = *n;
+        }
+        if (cur.eat('t')) {
+            auto n = cur.eatNumber();
+            if (!n)
+                return std::nullopt;
+            out.scheme.perc.theta = *n;
+        }
+        if (cur.eat('b')) {
+            auto n = cur.eatNumber();
+            if (!n)
+                return std::nullopt;
+            out.scheme.perc.bloomBits = *n;
+        }
+    }
 
     if (cur.eat('[')) {
         if (cur.eatWord("direct"))

@@ -258,6 +258,7 @@ ResilientRunner::evaluate(const std::vector<trace::SharingTrace> &traces,
             break;
           case CheckpointLoad::Invalid:
           case CheckpointLoad::KeyMismatch:
+          case CheckpointLoad::UnsupportedKind:
             ++parent.counter("sweep.checkpoints_rejected");
             ccp_warn("checkpoint ", file, " rejected (",
                      checkpointLoadName(status),

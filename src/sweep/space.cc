@@ -47,6 +47,29 @@ enumerateSchemes(const SpaceSpec &spec)
         }
         for (unsigned depth : spec.pasDepths)
             push(FunctionKind::PAs, depth, idx);
+        for (unsigned depth : spec.percDepths) {
+            IndexSpec pidx = idx;
+            // The hashed fold needs at least one index bit to fold
+            // into; the single-entry (empty) index stays as-is.
+            if (spec.percHashedIndex &&
+                pidx.indexBits(node_bits) > 0)
+                pidx.hashed = true;
+            for (unsigned wb : spec.percWeightBits) {
+                for (unsigned th : spec.percThetas) {
+                    for (unsigned bb : spec.percBloomBits) {
+                        SchemeSpec scheme{pidx,
+                                          FunctionKind::Perceptron,
+                                          depth};
+                        scheme.perc.weightBits = wb;
+                        scheme.perc.theta = th;
+                        scheme.perc.bloomBits = bb;
+                        if (scheme.sizeBits(spec.nNodes) <=
+                            spec.maxBits)
+                            out.push_back(scheme);
+                    }
+                }
+            }
+        }
     }
     return out;
 }

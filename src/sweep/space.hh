@@ -32,6 +32,17 @@ struct SpaceSpec
     std::vector<unsigned> windowDepths = {1, 2, 3, 4};
     /** PAs history depths; empty to exclude PAs from the sweep. */
     std::vector<unsigned> pasDepths = {1, 2, 4};
+    /** Perceptron history depths; empty to exclude the family. */
+    std::vector<unsigned> percDepths = {2, 4};
+    /** Perceptron weight widths (bits, sign included). */
+    std::vector<unsigned> percWeightBits = {5};
+    /** Perceptron prediction thresholds. */
+    std::vector<unsigned> percThetas = {2};
+    /** Perceptron Bloom filter widths (0 = no negative filter). */
+    std::vector<unsigned> percBloomBits = {0, 16};
+    /** Index perceptron schemes with the hashed feature fold (the
+     *  family's natural access mode; full-entropy features). */
+    bool percHashedIndex = true;
 };
 
 /**

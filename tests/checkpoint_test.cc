@@ -648,4 +648,178 @@ TEST_F(CheckpointTest, StateBlobTornWriteIsRejectedThenRegenerable)
     EXPECT_EQ(loaded, someBlob());
 }
 
+// ---------------------------------------------------------------------
+// Extension-kind gating: files carrying function kinds (or blob
+// features) this binary does not implement are rejected with the
+// structured UnsupportedKind status — never decoded blind, never
+// silently skipped.
+
+// Byte offsets of the extension masks (both headers static_asserted).
+constexpr std::size_t offExtensionKinds = 44; // CheckpointHeader
+constexpr std::size_t offBlobFeatures = 32;   // StateBlobHeader
+constexpr std::size_t offBlobChecksum = 24;
+
+void
+putU32(std::vector<char> &buf, std::size_t off, std::uint32_t v)
+{
+    std::memcpy(buf.data() + off, &v, 4);
+}
+
+std::uint32_t
+getU32(const std::vector<char> &buf, std::size_t off)
+{
+    std::uint32_t v;
+    std::memcpy(&v, buf.data() + off, 4);
+    return v;
+}
+
+/** Reseal a CCPS blob's whole-file checksum after a header edit. */
+void
+resealBlobChecksum(std::vector<char> &buf)
+{
+    putWord(buf, offBlobChecksum, 0);
+    trace::Fnv1a sum;
+    sum.update(buf.data(), buf.size());
+    putWord(buf, offBlobChecksum, sum.digest());
+}
+
+/** A scheme space with no extension kinds in it. */
+std::vector<SchemeSpec>
+legacySpace()
+{
+    sweep::SpaceSpec spec;
+    spec.maxBits = std::uint64_t(1) << 10;
+    spec.pcBitsGrid = {0, 2};
+    spec.addrBitsGrid = {0, 2};
+    spec.pasDepths = {1};
+    spec.percDepths = {};
+    return enumerateSchemes(spec);
+}
+
+TEST_F(CheckpointTest, ExtensionKindsMaskTracksTheSchemeSet)
+{
+    const auto legacy = legacySpace();
+    ASSERT_FALSE(legacy.empty());
+    EXPECT_EQ(sweep::extensionKindsOf(legacy), 0u);
+
+    // tinySpace enumerates perceptrons (the default grids include
+    // them), so its mask carries exactly the perceptron bit.
+    const auto with_perc = tinySpace();
+    bool has_perc = false;
+    for (const auto &s : with_perc)
+        has_perc |= s.kind == predict::FunctionKind::Perceptron;
+    ASSERT_TRUE(has_perc);
+    EXPECT_EQ(sweep::extensionKindsOf(with_perc),
+              sweep::checkpointKindPerceptron);
+}
+
+TEST_F(CheckpointTest, LegacySchemeSetWritesAZeroExtensionMask)
+{
+    // Legacy-only files stay byte-compatible with pre-extension
+    // binaries, which required these header bytes to be zero.
+    auto suite = tinySuite();
+    const auto schemes = legacySpace();
+    const CheckpointKey key = tinyKey(suite, schemes);
+    const std::string path = tempPath("legacy-mask.ckpt");
+    ASSERT_TRUE(saveCheckpoint(path, key, someEntries(suite.size())));
+
+    EXPECT_EQ(getU32(readFile(path), offExtensionKinds), 0u);
+    std::vector<CheckpointEntry> loaded;
+    EXPECT_EQ(loadCheckpoint(path, key, loaded), CheckpointLoad::Ok);
+}
+
+TEST_F(CheckpointTest, PerceptronSchemeSetRoundTripsWithItsKindBit)
+{
+    auto suite = tinySuite();
+    const auto schemes = tinySpace();
+    const CheckpointKey key = tinyKey(suite, schemes);
+    ASSERT_EQ(key.extensionKinds, sweep::checkpointKindPerceptron);
+    const std::string path = tempPath("perc-mask.ckpt");
+    ASSERT_TRUE(saveCheckpoint(path, key, someEntries(suite.size())));
+
+    EXPECT_EQ(getU32(readFile(path), offExtensionKinds),
+              sweep::checkpointKindPerceptron);
+    std::vector<CheckpointEntry> loaded;
+    ASSERT_EQ(loadCheckpoint(path, key, loaded), CheckpointLoad::Ok);
+    EXPECT_EQ(loaded.size(), 3u);
+}
+
+TEST_F(CheckpointTest, UnknownExtensionKindIsRejectedWithStructure)
+{
+    auto suite = tinySuite();
+    const auto schemes = tinySpace();
+    const CheckpointKey key = tinyKey(suite, schemes);
+    const std::string path = tempPath("future-kind.ckpt");
+    ASSERT_TRUE(saveCheckpoint(path, key, someEntries(suite.size())));
+
+    // A "newer binary" stamps a kind bit this one does not know.
+    auto bytes = readFile(path);
+    putU32(bytes, offExtensionKinds,
+           getU32(bytes, offExtensionKinds) | (1u << 31));
+    resealChecksum(bytes); // kind gate, not a checksum artifact
+    writeFile(path, bytes);
+
+    // UnsupportedKind, not Invalid (the container is intact) and not
+    // KeyMismatch (the gate fires before any key comparison).
+    std::vector<CheckpointEntry> loaded;
+    EXPECT_EQ(loadCheckpoint(path, key, loaded),
+              CheckpointLoad::UnsupportedKind);
+    EXPECT_TRUE(loaded.empty());
+
+    // Without the reseal the checksum still rules: Invalid.
+    auto torn = readFile(path);
+    putU32(torn, offExtensionKinds, 1u << 30);
+    writeFile(path, torn);
+    EXPECT_EQ(loadCheckpoint(path, key, loaded),
+              CheckpointLoad::Invalid);
+}
+
+TEST_F(CheckpointTest, StateBlobUnknownFeatureBitIsRejected)
+{
+    const std::string path = tempPath("blob-future.ccps");
+    ASSERT_TRUE(sweep::saveStateBlob(path, 0xabcd, someBlob(),
+                                     sweep::stateBlobFeaturePerceptron));
+
+    // The supported feature set loads...
+    std::vector<char> loaded;
+    EXPECT_EQ(sweep::loadStateBlob(path, 0xabcd, loaded),
+              CheckpointLoad::Ok);
+    EXPECT_EQ(loaded, someBlob());
+
+    // ...a decoder restricted to the legacy feature set refuses it,
+    // and the gate fires before the key compare (wrong key, same
+    // status).
+    EXPECT_EQ(sweep::loadStateBlob(path, 0xabcd, loaded,
+                                   /*supported_features=*/0),
+              CheckpointLoad::UnsupportedKind);
+    EXPECT_EQ(sweep::loadStateBlob(path, 0xffff, loaded,
+                                   /*supported_features=*/0),
+              CheckpointLoad::UnsupportedKind);
+    EXPECT_TRUE(loaded.empty());
+
+    // A genuinely unknown future bit is refused even by this binary.
+    auto bytes = readFile(path);
+    putU32(bytes, offBlobFeatures,
+           getU32(bytes, offBlobFeatures) | (1u << 17));
+    resealBlobChecksum(bytes);
+    writeFile(path, bytes);
+    EXPECT_EQ(sweep::loadStateBlob(path, 0xabcd, loaded),
+              CheckpointLoad::UnsupportedKind);
+    EXPECT_TRUE(loaded.empty());
+}
+
+TEST_F(CheckpointTest, LoadStatusNamesAreStable)
+{
+    EXPECT_STREQ(sweep::checkpointLoadName(CheckpointLoad::Ok), "ok");
+    EXPECT_STREQ(sweep::checkpointLoadName(CheckpointLoad::Missing),
+                 "missing");
+    EXPECT_STREQ(sweep::checkpointLoadName(CheckpointLoad::Invalid),
+                 "invalid");
+    EXPECT_STREQ(sweep::checkpointLoadName(CheckpointLoad::KeyMismatch),
+                 "key-mismatch");
+    EXPECT_STREQ(
+        sweep::checkpointLoadName(CheckpointLoad::UnsupportedKind),
+        "unsupported-kind");
+}
+
 } // namespace

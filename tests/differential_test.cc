@@ -13,12 +13,13 @@
  * rotation, index packing, word boundaries, lane interleave — shows
  * up here as an exact-count mismatch.
  *
- * Coverage: all 16 indexing classes of Table 1 x all four function
- * families x history depths 1..4 x all three update modes, on machines
- * of 4, 16, and 64 nodes (the last stressing full-width 64-bit
- * sharing bitmaps), with the simd engine exercised both through its
- * preferred backend and — via the CCP_SIMD_DISABLE override — through
- * the portable scalar lane path.
+ * Coverage: all 16 indexing classes of Table 1 x all five function
+ * families (the perceptron with randomized weight widths, thresholds,
+ * Bloom sizes, and hashed-vs-flat indexing) x history depths 1..4 x
+ * all three update modes, on machines of 4, 16, and 64 nodes (the
+ * last stressing full-width 64-bit sharing bitmaps), with the simd
+ * engine exercised both through its preferred backend and — via the
+ * CCP_SIMD_DISABLE override — through the portable scalar lane path.
  */
 
 #include <gtest/gtest.h>
@@ -108,9 +109,22 @@ randomTrace(Rng &rng, unsigned n_nodes, std::size_t events,
     return b.take();
 }
 
+/** Randomize the swept perceptron dimensions onto @p scheme; the
+ *  hashed index fold is flipped on half the non-empty indices. */
+void
+randomizePerceptron(Rng &rng, SchemeSpec &scheme, bool non_empty_index)
+{
+    scheme.index.hashed = non_empty_index && rng.below(2) == 0;
+    const unsigned widths[] = {2, 4, 5, 8};
+    scheme.perc.weightBits = widths[rng.below(4)];
+    scheme.perc.theta = 1 + unsigned(rng.below(6));
+    const unsigned blooms[] = {0, 8, 16, 32};
+    scheme.perc.bloomBits = blooms[rng.below(4)];
+}
+
 /**
  * One scheme per (Table-1 class x function family), with randomized
- * pc/addr widths and history depths 1..4: 64 schemes per call.
+ * pc/addr widths and history depths 1..4: 80 schemes per call.
  */
 std::vector<SchemeSpec>
 randomSchemes(Rng &rng, unsigned max_field_bits, unsigned max_pas_depth)
@@ -118,7 +132,8 @@ randomSchemes(Rng &rng, unsigned max_field_bits, unsigned max_pas_depth)
     const FunctionKind kinds[] = {FunctionKind::Union,
                                   FunctionKind::Inter,
                                   FunctionKind::OverlapLast,
-                                  FunctionKind::PAs};
+                                  FunctionKind::PAs,
+                                  FunctionKind::Perceptron};
     std::vector<SchemeSpec> schemes;
     for (unsigned cs = 0; cs < 16; ++cs) {
         for (FunctionKind kind : kinds) {
@@ -135,7 +150,40 @@ randomSchemes(Rng &rng, unsigned max_field_bits, unsigned max_pas_depth)
                 kind == FunctionKind::PAs
                     ? 1 + unsigned(rng.below(max_pas_depth))
                     : 1 + unsigned(rng.below(4));
-            schemes.push_back(SchemeSpec{idx, kind, depth});
+            SchemeSpec scheme{idx, kind, depth};
+            if (kind == FunctionKind::Perceptron)
+                randomizePerceptron(rng, scheme, cs != 0);
+            schemes.push_back(scheme);
+        }
+    }
+    return schemes;
+}
+
+/**
+ * Perceptron-only schemes over all 16 index classes: every non-empty
+ * index appears as a hashed/flat *twin pair* on otherwise identical
+ * dimensions, so the two index paths face the same trace and layout.
+ */
+std::vector<SchemeSpec>
+perceptronSchemes(Rng &rng, unsigned max_field_bits)
+{
+    std::vector<SchemeSpec> schemes;
+    for (unsigned cs = 0; cs < 16; ++cs) {
+        IndexSpec idx;
+        idx.usePid = (cs & 8) != 0;
+        idx.pcBits =
+            cs & 4 ? 1 + unsigned(rng.below(max_field_bits)) : 0;
+        idx.useDir = (cs & 2) != 0;
+        idx.addrBits =
+            cs & 1 ? 1 + unsigned(rng.below(max_field_bits)) : 0;
+        SchemeSpec scheme{idx, FunctionKind::Perceptron,
+                          1 + unsigned(rng.below(4))};
+        randomizePerceptron(rng, scheme, cs != 0);
+        schemes.push_back(scheme);
+        if (cs != 0) {
+            SchemeSpec twin = scheme;
+            twin.index.hashed = !scheme.index.hashed;
+            schemes.push_back(twin);
         }
     }
     return schemes;
@@ -244,6 +292,56 @@ TEST(Differential, FullWordMachineSixtyFourNodes)
                     /*max_field_bits=*/2, /*max_pas_depth=*/2);
 }
 
+/** The perceptron triple: reference oracle vs scalar batch vs simd
+ *  engine (which must route perceptron and hashed-index schemes to
+ *  its scalar lane path without disturbing their counts). */
+void
+runPerceptronDifferential(std::uint64_t seed, unsigned n_nodes,
+                          std::size_t events, unsigned max_field_bits)
+{
+    Rng rng(seed);
+    auto schemes = perceptronSchemes(rng, max_field_bits);
+    ASSERT_GE(schemes.size(), 31u);
+    auto tr = randomTrace(rng, n_nodes, events);
+
+    sweep::BatchEvaluator batch(schemes, n_nodes);
+    sweep::BatchEvaluator simd(schemes, n_nodes,
+                               sweep::BatchEngine::Simd);
+    ASSERT_EQ(batch.size(), schemes.size());
+    ASSERT_EQ(simd.size(), schemes.size());
+
+    for (UpdateMode mode : kModes) {
+        auto got = batch.evaluateTrace(tr, mode);
+        auto got_simd = simd.evaluateTrace(tr, mode);
+        ASSERT_EQ(got.size(), schemes.size());
+        ASSERT_EQ(got_simd.size(), schemes.size());
+        for (std::size_t i = 0; i < schemes.size(); ++i) {
+            Confusion want =
+                predict::evaluateTrace(tr, schemes[i], mode);
+            expectExactMatch(got[i], want, schemes[i], mode);
+            expectExactMatch(got_simd[i], want, schemes[i], mode);
+        }
+    }
+}
+
+TEST(Differential, PerceptronSixteenNodes)
+{
+    runPerceptronDifferential(/*seed=*/41, /*n_nodes=*/16,
+                              /*events=*/2000, /*max_field_bits=*/3);
+}
+
+TEST(Differential, PerceptronSmallMachineFourNodes)
+{
+    runPerceptronDifferential(/*seed=*/43, /*n_nodes=*/4,
+                              /*events=*/1500, /*max_field_bits=*/4);
+}
+
+TEST(Differential, PerceptronFullWordMachineSixtyFourNodes)
+{
+    runPerceptronDifferential(/*seed=*/47, /*n_nodes=*/64,
+                              /*events=*/1200, /*max_field_bits=*/2);
+}
+
 TEST(Differential, SuiteResultsMatchReferenceSuite)
 {
     Rng rng(17);
@@ -350,6 +448,16 @@ TEST(SimdKernel, DisableOverrideForcesScalarLanes)
             expectExactMatch(got[i], want[m][i], schemes[i],
                              kModes[m]);
     }
+}
+
+TEST(SimdKernel, PerceptronTripleHoldsUnderForcedScalarLanes)
+{
+    // The perceptron differential again, but with the simd engine
+    // forced onto its portable scalar lane path: the scalar-routed
+    // perceptron schemes must be unaffected by the backend override.
+    ScopedSimdDisable disable;
+    runPerceptronDifferential(/*seed=*/53, /*n_nodes=*/16,
+                              /*events=*/1200, /*max_field_bits=*/3);
 }
 
 TEST(SimdKernel, ScalarEngineFormsNoLaneGroups)

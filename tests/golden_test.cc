@@ -157,6 +157,20 @@ goldenSpace()
                 space.push_back(SchemeSpec{shape, kind, depth});
         }
     }
+    // The learned family: each index shape as a hashed-fold perceptron
+    // at two depths, with and without the Bloom negative filter.
+    for (unsigned depth : {2u, 4u}) {
+        for (unsigned bloom : {0u, 16u}) {
+            for (const IndexSpec &shape : shapes) {
+                IndexSpec hashed = shape;
+                hashed.hashed = true;
+                SchemeSpec scheme{hashed, FunctionKind::Perceptron,
+                                  depth};
+                scheme.perc.bloomBits = bloom;
+                space.push_back(scheme);
+            }
+        }
+    }
     return space;
 }
 

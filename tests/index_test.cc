@@ -139,4 +139,96 @@ TEST(IndexSpec, EventConvenienceOverload)
               idx.index(5, 0x420, 9, 0x3f, 4));
 }
 
+// ---------------------------------------------------------------------
+// Hashed feature folding
+
+TEST(HashedIndex, StaysWithinTheIndexWidth)
+{
+    IndexSpec idx{true, 4, true, 6};
+    idx.hashed = true;
+    const unsigned bits = idx.indexBits(4); // 4 + 4 + 4 + 6 = 18
+    ASSERT_EQ(bits, 18u);
+    std::uint64_t seen_high = 0;
+    for (std::uint64_t k = 0; k < 4096; ++k) {
+        std::uint64_t v = idx.index(
+            static_cast<NodeId>(k % 16), 0x400 + 4 * k,
+            static_cast<NodeId>((k / 3) % 16), k * 0x51ed, 4);
+        EXPECT_LT(v, std::uint64_t(1) << bits);
+        seen_high |= v;
+    }
+    // The fold actually reaches the upper index bits (truncation
+    // would too via the concatenated fields; the point is the hash is
+    // not stuck in a narrow range).
+    EXPECT_GE(64 - unsigned(__builtin_clzll(seen_high)), bits - 2);
+}
+
+TEST(HashedIndex, PlanMatchesSpecBitForBit)
+{
+    // The compiled plan must agree with IndexSpec::index on every
+    // tuple — the reference and batched kernels each use one of the
+    // two, and the differential tier depends on their identity.
+    for (unsigned cs = 1; cs < 16; ++cs) {
+        IndexSpec idx;
+        idx.usePid = (cs & 8) != 0;
+        idx.pcBits = cs & 4 ? 5 : 0;
+        idx.useDir = (cs & 2) != 0;
+        idx.addrBits = cs & 1 ? 7 : 0;
+        idx.hashed = true;
+        const auto plan = predict::makeIndexPlan(idx, 4);
+        EXPECT_TRUE(plan.hashed());
+        for (std::uint64_t k = 0; k < 512; ++k) {
+            const NodeId pid = static_cast<NodeId>(k % 16);
+            const Pc pc = 0x8000 + 4 * (k % 97);
+            const NodeId dir = static_cast<NodeId>((k >> 2) % 16);
+            const Addr block = k * 0x9af1 + 3;
+            EXPECT_EQ(plan.index(pid, pc, dir, block),
+                      idx.index(pid, pc, dir, block, 4))
+                << "case " << cs << " k " << k;
+        }
+    }
+}
+
+TEST(HashedIndex, AbsentFieldsDoNotParticipate)
+{
+    // Only addr participates: varying pid/pc/dir must not move the
+    // hashed index (their multipliers are zero).
+    IndexSpec idx;
+    idx.addrBits = 8;
+    idx.hashed = true;
+    const std::uint64_t base = idx.index(0, 0x400, 0, 42, 4);
+    EXPECT_EQ(idx.index(7, 0x999, 3, 42, 4), base);
+    EXPECT_NE(idx.index(0, 0x400, 0, 43, 4), base);
+}
+
+TEST(HashedIndex, DiffersFromTruncationConcat)
+{
+    // Same fields, same width, different entry mapping: the fold uses
+    // full-width address entropy that truncation throws away, so two
+    // blocks that collide under truncation separate under the hash.
+    IndexSpec flat;
+    flat.addrBits = 4;
+    IndexSpec hashed = flat;
+    hashed.hashed = true;
+    // Blocks 0x10 and 0x20 share their low 4 bits (both 0).
+    EXPECT_EQ(flat.index(0, 0, 0, 0x10, 4),
+              flat.index(0, 0, 0, 0x20, 4));
+    EXPECT_NE(hashed.index(0, 0, 0, 0x10, 4),
+              hashed.index(0, 0, 0, 0x20, 4));
+}
+
+TEST(HashedIndex, EmptyIndexFoldsToZero)
+{
+    IndexSpec idx;
+    idx.hashed = true; // no fields: mask is zero, index is zero
+    EXPECT_EQ(idx.index(3, 0x4444, 7, 12345, 4), 0u);
+    EXPECT_EQ(idx.indexBits(4), 0u);
+}
+
+TEST(HashedIndex, HashedFieldsNameCarriesTheMarker)
+{
+    IndexSpec idx{true, 4, false, 6};
+    idx.hashed = true;
+    EXPECT_EQ(idx.fieldsName(), "hash:pid+pc4+add6");
+}
+
 } // namespace

@@ -116,6 +116,60 @@ TEST(Name, RejectsMalformedInput)
     EXPECT_FALSE(parseScheme("union(pid)1[direct").has_value());
 }
 
+TEST(Name, PerceptronRoundTrip)
+{
+    // w/t always print (they are part of the scheme's identity —
+    // checkpoint and serve keys hash this notation), b only when the
+    // Bloom filter is on, and the hashed fold marks the field list.
+    auto s = spec(FunctionKind::Perceptron, 4, false, 8, false, 6);
+    s.perc.weightBits = 5;
+    s.perc.theta = 2;
+    EXPECT_EQ(formatScheme(s), "perceptron(pc8+add6)4w5t2");
+
+    s.index.hashed = true;
+    s.perc.bloomBits = 16;
+    EXPECT_EQ(formatScheme(s), "perceptron(hash:pc8+add6)4w5t2b16");
+
+    std::vector<SchemeSpec> cases;
+    cases.push_back(s);
+    auto t = spec(FunctionKind::Perceptron, 1, true, 0, true, 0);
+    t.perc.weightBits = 8;
+    t.perc.theta = 7;
+    cases.push_back(t);
+    for (const auto &c : cases) {
+        auto parsed = parseScheme(formatScheme(c));
+        ASSERT_TRUE(parsed.has_value()) << formatScheme(c);
+        EXPECT_EQ(parsed->scheme, c) << formatScheme(c);
+    }
+
+    auto with_mode =
+        parseScheme("perceptron(hash:pid+dir+add4)2w4t1b8[forwarded]");
+    ASSERT_TRUE(with_mode.has_value());
+    EXPECT_EQ(with_mode->scheme.kind, FunctionKind::Perceptron);
+    EXPECT_TRUE(with_mode->scheme.index.hashed);
+    EXPECT_EQ(with_mode->scheme.perc.weightBits, 4u);
+    EXPECT_EQ(with_mode->scheme.perc.theta, 1u);
+    EXPECT_EQ(with_mode->scheme.perc.bloomBits, 8u);
+    EXPECT_EQ(with_mode->mode, UpdateMode::Forwarded);
+}
+
+TEST(Name, PerceptronDimensionDefaultsApplyWhenOmitted)
+{
+    auto p = parseScheme("perceptron(pid+pc4)2");
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(p->scheme.perc, predict::PerceptronParams{});
+    EXPECT_FALSE(p->scheme.index.hashed);
+}
+
+TEST(Name, PerceptronRejectsDanglingDimensions)
+{
+    EXPECT_FALSE(parseScheme("perceptron(pid)2w").has_value());
+    EXPECT_FALSE(parseScheme("perceptron(pid)2w5t").has_value());
+    EXPECT_FALSE(parseScheme("perceptron(pid)2w5t2b").has_value());
+    // The w/t/b dimensions are only legal on the perceptron family.
+    EXPECT_FALSE(parseScheme("union(pid)2w5t2").has_value());
+}
+
 } // namespace
 
 namespace {

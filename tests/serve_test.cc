@@ -24,6 +24,7 @@
 #include "serve/server.hh"
 #include "serve/session.hh"
 #include "serve/spsc.hh"
+#include "sweep/checkpoint.hh"
 #include "sweep/name.hh"
 #include "trace/trace.hh"
 
@@ -572,6 +573,86 @@ TEST_F(ServerSnapshotTest, KilledMidStreamRestoresByteIdentical)
 
     // Serve the second half on the revived server: the final state
     // must equal an uninterrupted inline run of the whole stream.
+    driveServer(revived, streams, cut);
+    revived.stop();
+    const auto full = inlineSessions(streams, cfg);
+    for (unsigned c = 0; c < streams.size(); ++c) {
+        const SessionStats got = revived.stats(c);
+        const SessionStats want = full[c].stats();
+        EXPECT_EQ(got.events, want.events) << c;
+        EXPECT_TRUE(sameConfusion(got.total, want.total)) << c;
+        EXPECT_TRUE(sameConfusion(got.window, want.window)) << c;
+    }
+}
+
+TEST_F(ServerSnapshotTest, PerceptronRestoresByteIdenticalAtAnyAgentCount)
+{
+    // The perceptron's packed state — histories, int8 weight lanes,
+    // the Bloom word — rides the same CCPS snapshot as every other
+    // family, and must restore byte-identically at a different agent
+    // count; the blob additionally carries the perceptron feature
+    // bit, so a legacy-feature decoder refuses it with structure.
+    const SessionConfig cfg =
+        makeConfig("perceptron(hash:pid+pc4)2w5t2b16", 32);
+    const auto streams = makeStreams(3);
+    const std::size_t cut = streams[0].events().size() / 2;
+
+    std::vector<Session> half;
+    for (unsigned i = 0; i < streams.size(); ++i) {
+        half.emplace_back(i, cfg, kNodes);
+        for (std::size_t j = 0; j < cut; ++j)
+            half[i].onEvent(streams[i].events()[j]);
+    }
+
+    ServeOptions opts;
+    opts.session = cfg;
+    opts.nNodes = kNodes;
+    opts.sessions = 3;
+    opts.agents = 2;
+    opts.snapshotPath = snapPath();
+    opts.snapshotIntervalSec = 0;
+    {
+        PredictServer server(opts);
+        ASSERT_TRUE(server.start());
+        driveServer(server, streams, 0, cut);
+        server.stop();
+    }
+    const std::vector<char> first_image = snapBytes();
+
+    // The snapshot must be marked as carrying perceptron state: a
+    // decoder restricted to the legacy feature set rejects it with
+    // UnsupportedKind (not a crash, not a silent mis-decode).
+    {
+        std::vector<char> payload;
+        EXPECT_EQ(sweep::loadStateBlob(snapPath(), 0, payload,
+                                       /*supported_features=*/0),
+                  sweep::CheckpointLoad::UnsupportedKind);
+        EXPECT_TRUE(payload.empty());
+    }
+
+    // Restore + event-free stop re-emits the snapshot byte for byte.
+    {
+        PredictServer copy(opts);
+        ASSERT_EQ(copy.restore(), sweep::CheckpointLoad::Ok);
+        ASSERT_TRUE(copy.start());
+        copy.stop();
+        EXPECT_EQ(snapBytes(), first_image);
+    }
+
+    // Restart at a DIFFERENT agent count; the restored sessions must
+    // match the inline oracle, and the full stream must land exactly
+    // where an uninterrupted run does.
+    opts.agents = 5;
+    PredictServer revived(opts);
+    ASSERT_EQ(revived.restore(), sweep::CheckpointLoad::Ok);
+    ASSERT_TRUE(revived.start());
+    for (unsigned c = 0; c < streams.size(); ++c) {
+        const SessionStats got = revived.stats(c);
+        const SessionStats want = half[c].stats();
+        EXPECT_EQ(got.events, want.events);
+        EXPECT_TRUE(sameConfusion(got.total, want.total));
+        EXPECT_TRUE(sameConfusion(got.window, want.window));
+    }
     driveServer(revived, streams, cut);
     revived.stop();
     const auto full = inlineSessions(streams, cfg);

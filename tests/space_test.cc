@@ -87,6 +87,68 @@ TEST(Space, PaperSpaceIsBigButBounded)
     EXPECT_LT(schemes.size(), 5000u);
 }
 
+TEST(Space, ExcludingPerceptronWorks)
+{
+    SpaceSpec spec;
+    spec.percDepths.clear();
+    for (const auto &s : enumerateSchemes(spec))
+        EXPECT_NE(s.kind, FunctionKind::Perceptron);
+}
+
+TEST(Space, PerceptronCrossProductCoversEveryDimension)
+{
+    SpaceSpec spec;
+    spec.maxBits = 1ull << 22;
+    spec.pcBitsGrid = {0, 4};
+    spec.addrBitsGrid = {0, 4};
+    spec.windowDepths = {};
+    spec.pasDepths = {};
+    spec.percDepths = {1, 2};
+    spec.percWeightBits = {4, 5};
+    spec.percThetas = {1, 2};
+    spec.percBloomBits = {0, 16};
+
+    std::set<unsigned> depths, widths, thetas, blooms;
+    std::size_t count = 0;
+    for (const auto &s : enumerateSchemes(spec)) {
+        ASSERT_EQ(s.kind, FunctionKind::Perceptron);
+        depths.insert(s.depth);
+        widths.insert(s.perc.weightBits);
+        thetas.insert(s.perc.theta);
+        blooms.insert(s.perc.bloomBits);
+        ++count;
+    }
+    // 16 index classes x 2 depths x 2 widths x 2 thetas x 2 blooms,
+    // minus anything over the cost cap.
+    EXPECT_GT(count, 200u);
+    EXPECT_EQ(depths.size(), 2u);
+    EXPECT_EQ(widths.size(), 2u);
+    EXPECT_EQ(thetas.size(), 2u);
+    EXPECT_EQ(blooms.size(), 2u);
+}
+
+TEST(Space, PerceptronIndicesAreHashedExceptTheEmptyOne)
+{
+    SpaceSpec spec;
+    for (const auto &s : enumerateSchemes(spec)) {
+        if (s.kind != FunctionKind::Perceptron)
+            continue;
+        const unsigned node_bits = predict::nodeBitsFor(spec.nNodes);
+        if (s.index.indexBits(node_bits) > 0)
+            EXPECT_TRUE(s.index.hashed) << sweep::formatScheme(s);
+        else
+            EXPECT_FALSE(s.index.hashed) << sweep::formatScheme(s);
+    }
+}
+
+TEST(Space, PerceptronHashedFoldCanBeDisabled)
+{
+    SpaceSpec spec;
+    spec.percHashedIndex = false;
+    for (const auto &s : enumerateSchemes(spec))
+        EXPECT_FALSE(s.index.hashed) << sweep::formatScheme(s);
+}
+
 // ---------------------------------------------------------------------
 // rankSchemes on a synthetic trace with a known best scheme.
 
