@@ -49,6 +49,24 @@
  *   --batch-deadline <s>       advisory per-batch wall-clock deadline;
  *                              overruns are recorded, results kept
  *
+ * Distributed-sweep flags (top-10 benches only — docs/RESILIENCE.md,
+ * "Distributed sweeps"):
+ *   --shards <K>           partition the scheme list into K shards by
+ *                          canonical-name hash (sweep/shard.hh)
+ *   --shard-id <i>         worker mode: evaluate only shard i's
+ *                          schemes, checkpoint them, print no table
+ *                          (needs --shards and --checkpoint)
+ *   --orchestrate <W>      supervisor mode: spawn W concurrent worker
+ *                          processes over the K shards, retry/
+ *                          quarantine failures, merge, and print the
+ *                          same table a single-process run prints —
+ *                          byte-identical wherever shards completed
+ *   --worker-deadline <s>  per-worker liveness deadline: a worker
+ *                          whose shard checkpoint stops advancing for
+ *                          s seconds is SIGTERMed, then SIGKILLed
+ *   --worker-retries <n>   launches per shard before quarantine
+ *                          (default 3)
+ *
  * Environment knobs:
  *   CCP_TRACE_DIR  cache directory (default ./ccp_traces)
  *   CCP_SCALE      workload iteration scale (default 1.0)
@@ -69,6 +87,10 @@
 #include <system_error>
 #include <vector>
 
+#include <signal.h>
+#include <unistd.h>
+
+#include "common/fault.hh"
 #include "common/logging.hh"
 #include "common/mem_budget.hh"
 #include "common/parse.hh"
@@ -80,9 +102,11 @@
 #include "obs/trace.hh"
 #include "predict/evaluator.hh"
 #include "sweep/name.hh"
+#include "sweep/orchestrator.hh"
 #include "sweep/parallel.hh"
 #include "sweep/runner.hh"
 #include "sweep/search.hh"
+#include "sweep/shard.hh"
 #include "trace/format.hh"
 #include "trace/trace.hh"
 #include "workloads/registry.hh"
@@ -391,6 +415,18 @@ suiteResultJson(const predict::SuiteResult &res, unsigned n_nodes = 16)
 }
 
 /**
+ * Whether a bench can run as a shard worker / shard supervisor.  Only
+ * drivers whose sweep is a pure function of (suite, scheme list) can
+ * — the top-10 tables opt in; everything else rejects the shard flags
+ * loudly instead of silently sweeping the wrong space.
+ */
+enum class Sharding : bool
+{
+    Unsupported,
+    Supported,
+};
+
+/**
  * Shared front end of the bench/figure binaries: parses the common
  * flags, stamps the config section, and writes the run report (if
  * requested) in finish().
@@ -398,9 +434,12 @@ suiteResultJson(const predict::SuiteResult &res, unsigned n_nodes = 16)
 class BenchContext
 {
   public:
-    BenchContext(std::string tool, int argc, char **argv)
+    BenchContext(std::string tool, int argc, char **argv,
+                 Sharding sharding = Sharding::Unsupported)
         : report_(std::move(tool))
     {
+        if (argc > 0 && argv[0] && argv[0][0] != '\0')
+            argv0_ = argv[0];
         // Surface a bad CCP_LOG now; the lazy init would otherwise
         // only warn the first time something logs.
         logLevel();
@@ -457,6 +496,42 @@ class BenchContext
                     ccp_fatal("bad --batch-deadline '", value,
                               "' (want seconds >= 0)");
                 batchDeadlineSec_ = sec;
+            } else if (takesValue(arg, "--shards", i, argc, argv,
+                                  value)) {
+                std::uint64_t n = 0;
+                if (!parseU64InRange(value, n, 4096) || n == 0)
+                    ccp_fatal("bad --shards value '", value,
+                              "' (want 1..4096)");
+                shards_ = static_cast<unsigned>(n);
+            } else if (takesValue(arg, "--shard-id", i, argc, argv,
+                                  value)) {
+                std::uint64_t n = 0;
+                if (!parseU64InRange(value, n, 4095))
+                    ccp_fatal("bad --shard-id value '", value,
+                              "' (want 0..4095)");
+                shardId_ = static_cast<unsigned>(n);
+                shardWorker_ = true;
+            } else if (takesValue(arg, "--orchestrate", i, argc, argv,
+                                  value)) {
+                std::uint64_t n = 0;
+                if (!parseU64InRange(value, n, 4096) || n == 0)
+                    ccp_fatal("bad --orchestrate value '", value,
+                              "' (want 1..4096 concurrent workers)");
+                orchestrateWorkers_ = static_cast<unsigned>(n);
+            } else if (takesValue(arg, "--worker-deadline", i, argc,
+                                  argv, value)) {
+                double sec = 0.0;
+                if (!parseDouble(value, sec) || sec < 0)
+                    ccp_fatal("bad --worker-deadline '", value,
+                              "' (want seconds >= 0)");
+                workerDeadlineSec_ = sec;
+            } else if (takesValue(arg, "--worker-retries", i, argc,
+                                  argv, value)) {
+                std::uint64_t n = 0;
+                if (!parseU64InRange(value, n, 1000) || n == 0)
+                    ccp_fatal("bad --worker-retries '", value,
+                              "' (want 1..1000 attempts per shard)");
+                workerRetries_ = static_cast<unsigned>(n);
             } else if (takesValue(arg, "--trace-out", i, argc, argv,
                                   value)) {
                 if (value.empty())
@@ -473,7 +548,10 @@ class BenchContext
                     "[--checkpoint-interval <sec>] "
                     "[--mem-budget <bytes>] "
                     "[--batch-deadline <sec>] "
-                    "[--trace-out <trace.json>] [--perf-counters]\n",
+                    "[--trace-out <trace.json>] [--perf-counters] "
+                    "[--shards <K> (--shard-id <i> | "
+                    "--orchestrate <W>)] [--worker-deadline <sec>] "
+                    "[--worker-retries <n>]\n",
                     report_.tool().c_str());
                 std::exit(0);
             } else {
@@ -481,6 +559,28 @@ class BenchContext
                           "' (try --help)");
             }
         }
+
+        if ((shards_ > 0 || shardWorker_ || orchestrateWorkers_ > 0) &&
+            sharding == Sharding::Unsupported)
+            ccp_fatal("this bench does not support sharded sweeps "
+                      "(--shards/--shard-id/--orchestrate are for the "
+                      "top-10 tables)");
+        if ((shardWorker_ || orchestrateWorkers_ > 0) && shards_ == 0)
+            ccp_fatal("--shard-id/--orchestrate need --shards <K>");
+        if (shardWorker_ && orchestrateWorkers_ > 0)
+            ccp_fatal("--shard-id (worker) and --orchestrate "
+                      "(supervisor) are mutually exclusive");
+        if (shardWorker_ && shardId_ >= shards_)
+            ccp_fatal("--shard-id ", shardId_, " out of range for "
+                      "--shards ", shards_);
+        if ((shardWorker_ || orchestrateWorkers_ > 0) &&
+            checkpointPath_.empty())
+            ccp_fatal("sharded sweeps need --checkpoint <base>: shard "
+                      "CCPC checkpoints are the merge exchange "
+                      "format");
+        if (shards_ > 0 && !shardWorker_ && orchestrateWorkers_ == 0)
+            ccp_fatal("--shards needs --shard-id <i> (worker) or "
+                      "--orchestrate <W> (supervisor)");
 
         if (resume_ && checkpointPath_.empty())
             ccp_fatal("--resume needs --checkpoint <base> so there is "
@@ -524,6 +624,23 @@ class BenchContext
             r["mem_budget_bytes"] = obs::Json(memBudgetBytes_);
             r["batch_deadline_sec"] = obs::Json(batchDeadlineSec_);
         }
+        if (shards_ > 0) {
+            obs::Json &s = config["sharding"];
+            s = obs::Json::object();
+            s["shards"] = obs::Json(std::uint64_t(shards_));
+            s["role"] = obs::Json(shardWorker_ ? "worker"
+                                               : "supervisor");
+            if (shardWorker_)
+                s["shard_id"] = obs::Json(std::uint64_t(shardId_));
+            else {
+                s["workers"] =
+                    obs::Json(std::uint64_t(orchestrateWorkers_));
+                s["worker_deadline_sec"] =
+                    obs::Json(workerDeadlineSec_);
+                s["worker_retries"] =
+                    obs::Json(std::uint64_t(workerRetries_));
+            }
+        }
     }
 
     obs::RunReport &report() { return report_; }
@@ -548,6 +665,64 @@ class BenchContext
                memBudgetBytes_ > 0 || batchDeadlineSec_ > 0;
     }
 
+    /** True when running as a shard worker (--shard-id). */
+    bool shardWorker() const { return shardWorker_; }
+
+    /** Worker mode's shard index. */
+    unsigned shardId() const { return shardId_; }
+
+    /** Shard count K (0 when sharding is off). */
+    unsigned shards() const { return shards_; }
+
+    /** True when running as the shard supervisor (--orchestrate). */
+    bool orchestrating() const { return orchestrateWorkers_ > 0; }
+
+    /**
+     * The supervisor's options: the worker command re-invokes *this*
+     * binary with every shared sweep flag forwarded, so a worker's
+     * ResilientRunner sees exactly the configuration the supervisor
+     * was given (same kernel, threads, budget — and therefore the
+     * same shard checkpoint keys).
+     */
+    sweep::OrchestratorOptions
+    orchestratorOptions() const
+    {
+        // The liveness deadline watches the shard checkpoint file, so
+        // a healthy worker is only as alive as its flush cadence: cap
+        // the forwarded interval well under the deadline, or a worker
+        // that checkpoints every 30 s would be shot as "hung" by any
+        // tighter --worker-deadline while working fine.
+        double interval = checkpointIntervalSec_;
+        if (workerDeadlineSec_ > 0)
+            interval = std::min(interval, workerDeadlineSec_ / 4.0);
+        sweep::OrchestratorOptions opts;
+        opts.workerArgv = {selfBinary(), "--checkpoint",
+                           checkpointPath_, "--kernel",
+                           sweep::sweepKernelName(kernel_),
+                           "--checkpoint-interval",
+                           std::to_string(interval)};
+        if (threads_ > 0) {
+            opts.workerArgv.push_back("--threads");
+            opts.workerArgv.push_back(std::to_string(threads_));
+        }
+        if (memBudgetBytes_ > 0) {
+            opts.workerArgv.push_back("--mem-budget");
+            opts.workerArgv.push_back(
+                std::to_string(memBudgetBytes_));
+        }
+        if (batchDeadlineSec_ > 0) {
+            opts.workerArgv.push_back("--batch-deadline");
+            opts.workerArgv.push_back(
+                std::to_string(batchDeadlineSec_));
+        }
+        opts.checkpointBase = checkpointPath_;
+        opts.shards = shards_;
+        opts.workers = orchestrateWorkers_;
+        opts.maxAttempts = workerRetries_;
+        opts.workerDeadlineSec = workerDeadlineSec_;
+        return opts;
+    }
+
     /** The resilience flags assembled into RunnerOptions. */
     sweep::RunnerOptions
     runnerOptions() const
@@ -560,6 +735,9 @@ class BenchContext
         opts.checkpointIntervalSec = checkpointIntervalSec_;
         opts.memBudgetBytes = memBudgetBytes_;
         opts.batchDeadlineSec = batchDeadlineSec_;
+        // A supervised worker's checkpoint file doubles as its
+        // liveness signal; create it before the first batch.
+        opts.initialLivenessFlush = shardWorker_;
         return opts;
     }
 
@@ -687,6 +865,28 @@ class BenchContext
     }
 
   private:
+    /**
+     * The path the supervisor re-invokes for workers.  argv[0] is
+     * authoritative when it names a path; a bare name (launched via
+     * PATH) falls back to /proc/self/exe so re-invocation does not
+     * depend on the caller's PATH surviving into the fleet.
+     */
+    std::string
+    selfBinary() const
+    {
+        if (argv0_.find('/') != std::string::npos)
+            return argv0_;
+        std::error_code ec;
+        auto exe =
+            std::filesystem::read_symlink("/proc/self/exe", ec);
+        if (!ec)
+            return exe.string();
+        if (!argv0_.empty())
+            return argv0_;
+        ccp_fatal("cannot determine own binary path for worker "
+                  "re-invocation");
+    }
+
     static bool
     takesValue(const std::string &arg, const std::string &flag, int &i,
                int argc, char **argv, std::string &value)
@@ -725,6 +925,19 @@ class BenchContext
     std::string traceOutPath_;
     /** --perf-counters: sample hardware counters per span. */
     bool perfCounters_ = false;
+    /** argv[0] as invoked (worker re-invocation). */
+    std::string argv0_;
+    /** --shards K; 0 = sharding off. */
+    unsigned shards_ = 0;
+    /** --shard-id (valid when shardWorker_). */
+    unsigned shardId_ = 0;
+    bool shardWorker_ = false;
+    /** --orchestrate W; 0 = not supervising. */
+    unsigned orchestrateWorkers_ = 0;
+    /** --worker-deadline seconds (0 = none). */
+    double workerDeadlineSec_ = 0.0;
+    /** --worker-retries attempts per shard. */
+    unsigned workerRetries_ = 3;
     /** addOutcome() accumulators (multi-phase benches). */
     std::size_t outcomes_ = 0;
     std::size_t schemesResumed_ = 0;
@@ -769,6 +982,125 @@ evaluateSchemesResilient(BenchContext &ctx,
     outcome_out = sweep::ResilientOutcome{};
     outcome_out.completed.assign(schemes.size(), 1);
     return results;
+}
+
+/**
+ * Shard-worker mode (--shard-id i --shards K): evaluate only shard
+ * i's schemes through the ResilientRunner, leaving the shard CCPC
+ * checkpoint as the product.  Prints no table — the checkpoint IS the
+ * output; the supervisor (or mergeShardCheckpoints) folds it into the
+ * global result.  Exit codes follow the runner convention: 0 when the
+ * shard's evaluation finished (even with per-scheme failures — the
+ * supervisor verifies coverage from the checkpoint, not the exit
+ * code), 75 when drained by a signal.
+ *
+ * Worker-side fault points (fired when the armed value equals this
+ * worker's shard index, so one orchestration kills exactly one
+ * worker):
+ *   shard.worker_fail=i   exit 1 before evaluating (persistent — the
+ *                         supervisor never strips it; quarantine)
+ *   shard.worker_kill=i   SIGKILL self after the first fresh scheme
+ *                         completes (a partial checkpoint exists)
+ *   shard.worker_hang=i   wedge after the first fresh scheme (the
+ *                         supervisor's liveness deadline must fire)
+ *   shard.torn_checkpoint=i  truncate the final shard checkpoint to
+ *                         half its size after a clean run (the
+ *                         supervisor must reject and retry it)
+ */
+inline int
+runShardWorker(BenchContext &ctx,
+               const std::vector<trace::SharingTrace> &suite,
+               const std::vector<predict::SchemeSpec> &schemes,
+               predict::UpdateMode mode)
+{
+    const unsigned shard = ctx.shardId();
+    const sweep::ShardPlan plan =
+        sweep::planShards(schemes, ctx.shards());
+    const auto mine = sweep::shardSchemes(schemes, plan, shard);
+
+    obs::Json &results = ctx.results();
+    results["shard"] = obs::Json(std::uint64_t(shard));
+    results["shards"] = obs::Json(std::uint64_t(ctx.shards()));
+    results["schemes_owned"] = obs::Json(mine.size());
+    if (mine.empty())
+        return ctx.finish(); // K > N leaves some shards empty
+
+    if (fault::enabled() &&
+        fault::fireAt("shard.worker_fail", shard)) {
+        std::fprintf(stderr,
+                     "[bench] shard %u: injected persistent worker "
+                     "failure\n", shard);
+        return ctx.finishWith(1);
+    }
+
+    if (logLevel() >= LogLevel::Info)
+        std::fprintf(stderr,
+                     "[bench] shard %u/%u: sweeping %zu of %zu "
+                     "schemes...\n", shard, ctx.shards(), mine.size(),
+                     schemes.size());
+    obs::ProgressReporter reporter("shard " + std::to_string(shard));
+    sweep::ResilientRunner runner(ctx.runnerOptions());
+    sweep::ResilientOutcome outcome = runner.evaluate(
+        suite, mine, mode, [&](const obs::Progress &p) {
+            reporter(p);
+            // Crash/hang faults fire only after fresh progress, so
+            // the checkpoint the supervisor resumes from is never
+            // empty (ticks happen after checkpoint writes when
+            // --checkpoint-interval is 0).
+            if (fault::enabled() && p.done > p.resumed) {
+                if (fault::fireAt("shard.worker_kill", shard))
+                    ::kill(::getpid(), SIGKILL);
+                if (fault::fireAt("shard.worker_hang", shard))
+                    for (;;)
+                        ::sleep(3600);
+            }
+        });
+    ctx.addOutcome(outcome);
+
+    if (!outcome.interrupted && fault::enabled()) {
+        if (fault::fireAt("shard.torn_checkpoint", shard)) {
+            std::error_code ec;
+            const auto size = std::filesystem::file_size(
+                outcome.checkpointFile, ec);
+            if (!ec)
+                std::filesystem::resize_file(outcome.checkpointFile,
+                                             size / 2, ec);
+            std::fprintf(stderr,
+                         "[bench] shard %u: tore checkpoint %s to "
+                         "half size\n", shard,
+                         outcome.checkpointFile.c_str());
+        }
+    }
+
+    if (outcome.interrupted)
+        return ctx.finishWith(outcome.exitCode());
+    return ctx.finish();
+}
+
+/**
+ * Supervisor mode (--orchestrate W --shards K): run the sweep as a
+ * fleet of shard-worker processes (sweep/orchestrator.hh) and return
+ * the merged results in the exact shape evaluateSchemesResilient
+ * returns, so the caller's ranking and printing code is shared —
+ * and its stdout byte-identical — between the two paths.
+ */
+inline std::vector<predict::SuiteResult>
+orchestrateSchemes(BenchContext &ctx,
+                   const std::vector<trace::SharingTrace> &suite,
+                   const std::vector<predict::SchemeSpec> &schemes,
+                   predict::UpdateMode mode,
+                   const obs::ProgressFn &progress,
+                   sweep::ResilientOutcome &outcome_out)
+{
+    sweep::OrchestratorOutcome oo = sweep::orchestrateSweep(
+        ctx.orchestratorOptions(), suite, schemes, mode, ctx.kernel(),
+        progress);
+    ctx.addOutcome(oo.outcome);
+    obs::Json &orch = ctx.report().section("orchestrator");
+    orch["shards"] = obs::Json(std::uint64_t(ctx.shards()));
+    orch["shard_reports"] = sweep::orchestratorJson(oo.shardReports);
+    outcome_out = std::move(oo.outcome);
+    return std::move(outcome_out.results);
 }
 
 /**

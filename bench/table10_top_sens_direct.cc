@@ -12,7 +12,8 @@ int
 main(int argc, char **argv)
 {
     using namespace ccp;
-    benchutil::BenchContext ctx("table10_top_sens_direct", argc, argv);
+    benchutil::BenchContext ctx("table10_top_sens_direct", argc, argv,
+                                benchutil::Sharding::Supported);
     return benchutil::runTopTen(
         ctx, "Table 10: top 10 sensitivity, direct update",
         predict::UpdateMode::Direct, sweep::RankBy::Sensitivity,

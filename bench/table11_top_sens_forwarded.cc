@@ -12,7 +12,8 @@ int
 main(int argc, char **argv)
 {
     using namespace ccp;
-    benchutil::BenchContext ctx("table11_top_sens_forwarded", argc, argv);
+    benchutil::BenchContext ctx("table11_top_sens_forwarded", argc, argv,
+                                benchutil::Sharding::Supported);
     return benchutil::runTopTen(
         ctx, "Table 11: top 10 sensitivity, forwarded update",
         predict::UpdateMode::Forwarded, sweep::RankBy::Sensitivity,

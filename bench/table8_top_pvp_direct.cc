@@ -11,7 +11,8 @@ int
 main(int argc, char **argv)
 {
     using namespace ccp;
-    benchutil::BenchContext ctx("table8_top_pvp_direct", argc, argv);
+    benchutil::BenchContext ctx("table8_top_pvp_direct", argc, argv,
+                                benchutil::Sharding::Supported);
     return benchutil::runTopTen(
         ctx, "Table 8: top 10 PVP, direct update",
         predict::UpdateMode::Direct, sweep::RankBy::Pvp,

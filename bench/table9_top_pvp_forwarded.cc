@@ -12,7 +12,8 @@ int
 main(int argc, char **argv)
 {
     using namespace ccp;
-    benchutil::BenchContext ctx("table9_top_pvp_forwarded", argc, argv);
+    benchutil::BenchContext ctx("table9_top_pvp_forwarded", argc, argv,
+                                benchutil::Sharding::Supported);
     return benchutil::runTopTen(
         ctx, "Table 9: top 10 PVP, forwarded update",
         predict::UpdateMode::Forwarded, sweep::RankBy::Pvp,

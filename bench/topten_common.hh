@@ -58,15 +58,29 @@ runTopTen(BenchContext &ctx, const char *title, predict::UpdateMode mode,
     ctx.addSuite(suite);
     auto schemes = enumerateSchemes(paperSpace());
 
+    // Shard-worker mode: evaluate this worker's sub-list and leave
+    // the shard checkpoint; no table (the merge prints it).
+    if (ctx.shardWorker())
+        return runShardWorker(ctx, suite, schemes, mode);
+
     if (logLevel() >= LogLevel::Info)
         std::fprintf(stderr, "[bench] sweeping %zu schemes...\n",
                      schemes.size());
     obs::ProgressReporter reporter("sweep");
+    auto on_progress = [&reporter](const obs::Progress &p) {
+        reporter(p);
+    };
     sweep::ResilientOutcome outcome;
-    auto results_vec = evaluateSchemesResilient(
-        ctx, suite, schemes, mode,
-        [&reporter](const obs::Progress &p) { reporter(p); },
-        outcome);
+    // Supervisor mode swaps only the evaluation engine (a worker
+    // fleet instead of in-process threads); ranking and printing
+    // below are shared, so the orchestrated table is byte-identical
+    // to the single-process one wherever shards completed.
+    auto results_vec =
+        ctx.orchestrating()
+            ? orchestrateSchemes(ctx, suite, schemes, mode,
+                                 on_progress, outcome)
+            : evaluateSchemesResilient(ctx, suite, schemes, mode,
+                                       on_progress, outcome);
     if (outcome.interrupted) {
         // Drained early: the checkpoint holds everything finished so
         // far; a partial top-10 would be misleading, so don't rank.

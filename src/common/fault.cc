@@ -5,6 +5,7 @@
 #include <mutex>
 
 #include "common/logging.hh"
+#include "common/parse.hh"
 
 namespace ccp::fault {
 
@@ -47,12 +48,13 @@ parseSpec(const char *spec, State &state)
                      clause, "' (want point=value)");
             continue;
         }
-        char *end = nullptr;
-        std::uint64_t value =
-            std::strtoull(clause.c_str() + eq + 1, &end, 0);
-        if (end == clause.c_str() + eq + 1 || *end != '\0') {
+        // Strict full-string parse (base 0 keeps the 0x convention):
+        // strtoull would wrap "-1" to 2^64-1 and stop silently at the
+        // first stray character, arming the point at a bogus ordinal.
+        std::uint64_t value = 0;
+        if (!parseU64(clause.substr(eq + 1), value, 0)) {
             ccp_warn("CCP_FAULT_INJECT: ignoring clause '", clause,
-                     "' with non-numeric value");
+                     "' with malformed value");
             continue;
         }
         state.points[clause.substr(0, eq)] = Point{value, false};

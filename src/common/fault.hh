@@ -27,6 +27,20 @@
  *                           checkpoint/state-blob write (non-consuming:
  *                           read via armed(), so one arming covers the
  *                           whole run — the pre-durability-fix mode)
+ *
+ * Distributed-sweep points (fire in the worker whose --shard-id
+ * equals the armed value; the orchestrator strips the one-shot ones
+ * from retried workers' environments so a retry converges —
+ * shard.worker_fail is persistent on purpose, it exercises
+ * quarantine):
+ *   shard.worker_kill=I     worker I SIGKILLs itself after its first
+ *                           fresh scheme completes
+ *   shard.worker_hang=I     worker I wedges after its first fresh
+ *                           scheme (liveness deadline must fire)
+ *   shard.torn_checkpoint=I worker I truncates its final shard
+ *                           checkpoint to half size after a clean run
+ *   shard.worker_fail=I     worker I exits 1 before evaluating, every
+ *                           attempt
  */
 
 #ifndef CCP_COMMON_FAULT_HH

@@ -1,0 +1,67 @@
+#include "common/io.hh"
+
+#include <cerrno>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+namespace ccp::io {
+
+int
+openRetry(const char *path, int flags, unsigned mode)
+{
+    for (;;) {
+        int fd = ::open(path, flags, mode);
+        if (fd >= 0 || errno != EINTR)
+            return fd;
+    }
+}
+
+bool
+writeFull(int fd, const void *buf, std::size_t n)
+{
+    const char *p = static_cast<const char *>(buf);
+    std::size_t off = 0;
+    while (off < n) {
+        ssize_t w = ::write(fd, p + off, n - off);
+        if (w < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        off += static_cast<std::size_t>(w);
+    }
+    return true;
+}
+
+ssize_t
+readFull(int fd, void *buf, std::size_t n)
+{
+    char *p = static_cast<char *>(buf);
+    std::size_t off = 0;
+    while (off < n) {
+        ssize_t r = ::read(fd, p + off, n - off);
+        if (r < 0) {
+            if (errno == EINTR)
+                continue;
+            return -1;
+        }
+        if (r == 0)
+            break; // end of file
+        off += static_cast<std::size_t>(r);
+    }
+    return static_cast<ssize_t>(off);
+}
+
+bool
+fsyncRetry(int fd)
+{
+    for (;;) {
+        if (::fsync(fd) == 0)
+            return true;
+        if (errno != EINTR)
+            return false;
+    }
+}
+
+} // namespace ccp::io

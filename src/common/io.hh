@@ -1,0 +1,50 @@
+/**
+ * @file
+ * EINTR-safe wrappers over the raw POSIX I/O calls.
+ *
+ * The shard supervisor (sweep/orchestrator.hh) makes signals routine:
+ * SIGCHLD from reaped workers, SIGTERM drains, and the deadline
+ * escalation path all land while checkpoint and trace I/O is in
+ * flight, so an unguarded read()/write()/open()/fsync() now fails
+ * with EINTR in normal operation, not just under exotic timing.
+ * Every raw descriptor loop in the repo goes through these helpers
+ * instead of open-coding the retry (the audit that introduced them
+ * found three hand-rolled variants, one of which forgot fsync).
+ *
+ * close() is deliberately NOT retried: on Linux the descriptor is
+ * freed even when close() reports EINTR, and retrying can close a
+ * descriptor another thread just received from open().
+ */
+
+#ifndef CCP_COMMON_IO_HH
+#define CCP_COMMON_IO_HH
+
+#include <cstddef>
+
+#include <sys/types.h>
+
+namespace ccp::io {
+
+/** open(2), retrying EINTR.  @return the descriptor or -1 (errno
+ *  set, never EINTR). */
+int openRetry(const char *path, int flags, unsigned mode = 0);
+
+/**
+ * Write all @p n bytes of @p buf to @p fd, retrying interrupted and
+ * short writes.  @return false on any non-EINTR error (errno set).
+ */
+bool writeFull(int fd, const void *buf, std::size_t n);
+
+/**
+ * Read up to @p n bytes into @p buf, retrying interrupted and short
+ * reads.  @return the number of bytes read — less than @p n only at
+ * end of file — or -1 on a non-EINTR error (errno set).
+ */
+ssize_t readFull(int fd, void *buf, std::size_t n);
+
+/** fsync(2), retrying EINTR.  @return false on error (errno set). */
+bool fsyncRetry(int fd);
+
+} // namespace ccp::io
+
+#endif // CCP_COMMON_IO_HH

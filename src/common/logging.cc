@@ -67,6 +67,22 @@ parseLogLevel(const std::string &text, LogLevel &out)
     return true;
 }
 
+const char *
+logLevelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Quiet:
+        return "quiet";
+      case LogLevel::Warn:
+        return "warn";
+      case LogLevel::Info:
+        return "info";
+      case LogLevel::Debug:
+        return "debug";
+    }
+    return "info";
+}
+
 void
 panicImpl(const char *file, int line, const std::string &msg)
 {

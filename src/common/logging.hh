@@ -45,6 +45,11 @@ void setLogLevel(LogLevel level);
  */
 bool parseLogLevel(const std::string &text, LogLevel &out);
 
+/** The canonical CCP_LOG spelling of @p level ("quiet", "warn",
+ *  "info", "debug") — what a supervisor exports to child processes so
+ *  a --log override propagates to workers. */
+const char *logLevelName(LogLevel level);
+
 [[noreturn]] void panicImpl(const char *file, int line,
                             const std::string &msg);
 [[noreturn]] void fatalImpl(const char *file, int line,

@@ -5,6 +5,7 @@
 #include <cstdlib>
 
 #include "common/fault.hh"
+#include "common/parse.hh"
 
 namespace ccp {
 
@@ -13,32 +14,35 @@ parseByteSize(const std::string &text, std::uint64_t &bytes)
 {
     if (text.empty())
         return false;
-    char *end = nullptr;
-    unsigned long long value = std::strtoull(text.c_str(), &end, 10);
-    if (end == text.c_str())
-        return false;
+    // Split off an optional single trailing suffix, then parse the
+    // digits strictly: strtoull's tokenizer lenience (" 16K", and
+    // "-1" wrapping to 2^64-1) let a typo'd --mem-budget disable the
+    // guard it was meant to tighten.
+    std::size_t digits = text.size();
     std::uint64_t shift = 0;
-    if (*end != '\0') {
-        switch (std::tolower(static_cast<unsigned char>(*end))) {
-          case 'k':
-            shift = 10;
-            break;
-          case 'm':
-            shift = 20;
-            break;
-          case 'g':
-            shift = 30;
-            break;
-          default:
-            return false;
-        }
-        if (end[1] != '\0')
-            return false;
+    switch (std::tolower(static_cast<unsigned char>(text.back()))) {
+      case 'k':
+        shift = 10;
+        --digits;
+        break;
+      case 'm':
+        shift = 20;
+        --digits;
+        break;
+      case 'g':
+        shift = 30;
+        --digits;
+        break;
+      default:
+        break;
     }
+    std::uint64_t value = 0;
+    if (!parseU64(text.substr(0, digits), value))
+        return false;
     // Reject shifts that would silently wrap.
     if (shift > 0 && value > (~0ull >> shift))
         return false;
-    bytes = static_cast<std::uint64_t>(value) << shift;
+    bytes = value << shift;
     return true;
 }
 

@@ -8,6 +8,8 @@
 
 #include <cerrno>
 #include <cstring>
+
+#include "common/io.hh"
 #endif
 
 namespace ccp::obs {
@@ -86,7 +88,7 @@ PerfCounters::read() const
     // value[nr] in the order the events joined the group (leader
     // first, then any siblings that opened successfully).
     std::uint64_t buf[3 + 4];
-    ssize_t n = ::read(fd_, buf, sizeof(buf));
+    ssize_t n = io::readFull(fd_, buf, sizeof(buf));
     if (n < static_cast<ssize_t>(4 * sizeof(std::uint64_t)))
         return s;
 

@@ -12,6 +12,7 @@
 #include <unistd.h>
 
 #include "common/fault.hh"
+#include "common/io.hh"
 #include "common/logging.hh"
 #include "obs/registry.hh"
 #include "sweep/name.hh"
@@ -97,7 +98,7 @@ syncFd(int fd, bool skip_fsync)
         ++reg.counter("checkpoint.fsyncs_skipped");
         return true;
     }
-    if (::fsync(fd) != 0)
+    if (!io::fsyncRetry(fd))
         return false;
     ++reg.counter("checkpoint.fsyncs");
     return true;
@@ -134,21 +135,15 @@ durableWriteFile(const std::string &path, const char *image,
                       std::to_string(seq.fetch_add(
                           1, std::memory_order_relaxed));
 
-    int fd = ::open(tmp.c_str(),
-                    O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+    int fd = io::openRetry(tmp.c_str(),
+                           O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                           0644);
     if (fd < 0)
         return false;
-    std::size_t off = 0;
-    while (off < write_bytes) {
-        ssize_t n = ::write(fd, image + off, write_bytes - off);
-        if (n < 0) {
-            if (errno == EINTR)
-                continue;
-            ::close(fd);
-            std::remove(tmp.c_str());
-            return false;
-        }
-        off += static_cast<std::size_t>(n);
+    if (!io::writeFull(fd, image, write_bytes)) {
+        ::close(fd);
+        std::remove(tmp.c_str());
+        return false;
     }
     if (!syncFd(fd, skip_fsync)) {
         ::close(fd);
@@ -170,7 +165,8 @@ durableWriteFile(const std::string &path, const char *image,
         std::filesystem::path(path).parent_path();
     const std::string dir =
         parent.empty() ? std::string(".") : parent.string();
-    int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+    int dfd = io::openRetry(dir.c_str(),
+                            O_RDONLY | O_DIRECTORY | O_CLOEXEC);
     if (dfd < 0) {
         ccp_warn("cannot open ", dir, " to fsync checkpoint entry");
         return true; // data file itself is durable and in place
@@ -233,6 +229,42 @@ extensionKindsOf(const std::vector<predict::SchemeSpec> &schemes)
         if (s.kind == predict::FunctionKind::Perceptron)
             mask |= checkpointKindPerceptron;
     return mask;
+}
+
+std::string
+checkpointFileName(const std::string &base, const CheckpointKey &key)
+{
+    Fnv1a h;
+    auto word = [&h](std::uint64_t v) { h.update(&v, sizeof(v)); };
+    word(key.traceSetHash);
+    word(key.schemeSetHash);
+    word(key.schemeCount);
+    word(key.nNodes);
+    word(key.kernel);
+    word(key.nTraces);
+    char hex[17];
+    std::snprintf(hex, sizeof(hex), "%016llx",
+                  static_cast<unsigned long long>(h.digest()));
+    return base + "." + hex + ".ckpt";
+}
+
+predict::SuiteResult
+restoreSuiteResult(const predict::SchemeSpec &scheme,
+                   predict::UpdateMode mode,
+                   const std::vector<trace::SharingTrace> &traces,
+                   const std::vector<predict::Confusion> &per_trace)
+{
+    ccp_assert(per_trace.size() == traces.size(),
+               "restoreSuiteResult trace-count mismatch");
+    predict::SuiteResult r;
+    r.scheme = scheme;
+    r.mode = mode;
+    r.perTrace.reserve(traces.size());
+    for (std::size_t t = 0; t < traces.size(); ++t) {
+        r.pooled.merge(per_trace[t]);
+        r.perTrace.push_back({traces[t].name(), per_trace[t]});
+    }
+    return r;
 }
 
 const char *

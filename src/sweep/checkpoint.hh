@@ -189,6 +189,28 @@ CheckpointLoad loadCheckpoint(const std::string &path,
                               const CheckpointKey &key,
                               std::vector<CheckpointEntry> &entries);
 
+/**
+ * Derived checkpoint filename: "<base>.<key16>.ckpt".  The key hash in
+ * the name keeps concurrent sweeps with one --checkpoint base (the
+ * phases of a multi-sweep tool, the shards of an orchestrated run)
+ * from clobbering each other's files; the key *inside* the file is
+ * still validated on load.
+ */
+std::string checkpointFileName(const std::string &base,
+                               const CheckpointKey &key);
+
+/**
+ * Rebuild the exact SuiteResult evaluateSuite would have produced
+ * from checkpointed per-trace confusion counts — the one restore path
+ * shared by --resume and the shard merge, so both are byte-identical
+ * to a live evaluation by construction.
+ */
+predict::SuiteResult
+restoreSuiteResult(const predict::SchemeSpec &scheme,
+                   predict::UpdateMode mode,
+                   const std::vector<trace::SharingTrace> &traces,
+                   const std::vector<predict::Confusion> &per_trace);
+
 /** "CCPS" — the generic durable state-blob container. */
 inline constexpr std::uint32_t stateBlobMagic = 0x53504343;
 

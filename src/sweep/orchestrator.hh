@@ -1,0 +1,142 @@
+/**
+ * @file
+ * The shard supervisor: one sweep as a crash-tolerant fleet of worker
+ * processes.
+ *
+ * orchestrateSweep() partitions the scheme list with planShards()
+ * (sweep/shard.hh), spawns up to W concurrent worker processes — each
+ * re-invoking the bench binary in `--shard-id i --shards K` mode, so
+ * a worker is nothing but the already-proven ResilientRunner on its
+ * sub-list — and supervises them to completion:
+ *
+ *  - Liveness, not heartbeats: a worker's shard checkpoint file is
+ *    its progress signal.  The per-child deadline re-arms whenever
+ *    the file grows or its mtime moves, so a slow shard is fine and a
+ *    wedged one dies on schedule (SIGTERM, grace, SIGKILL — see
+ *    common/subprocess.hh).
+ *  - Retries resume, never restart: a crashed or killed worker left
+ *    an atomic, validated partial checkpoint; its retry is launched
+ *    with --resume and re-evaluates only the remainder.  Backoff is
+ *    exponential per shard up to maxAttempts.
+ *  - Completion is verified, not trusted: after every attempt the
+ *    supervisor loads the shard's checkpoint itself — a worker that
+ *    exited 0 behind a torn or stale file is retried like a crash.
+ *  - Quarantine over silent loss: a shard still incomplete after
+ *    maxAttempts contributes whatever schemes its checkpoint does
+ *    cover; every scheme still missing becomes a structured
+ *    SchemeFailure (FailureKind::Quarantine, with the last attempt's
+ *    classification and stderr tail), so the merged ranking masks
+ *    exactly those rows and the report says why.
+ *  - One-shot faults stay one-shot: each worker re-reads
+ *    CCP_FAULT_INJECT, so the injected `shard.worker_kill` /
+ *    `shard.worker_hang` / `shard.torn_checkpoint` points (which fire
+ *    in the worker whose shard index matches the armed value) would
+ *    re-fire on every retry; the supervisor strips them from the
+ *    child environment after the first attempt.  `shard.worker_fail`
+ *    is deliberately *not* stripped — it is the persistent failure
+ *    that exercises quarantine end to end.
+ *
+ * The final merge (mergeShardCheckpoints + restoreSuiteResult) yields
+ * a ResilientOutcome byte-equivalent to a single-process run of the
+ * same sweep wherever shards completed, and a merged full-sweep CCPC
+ * checkpoint is written under the same base so a later single-process
+ * `--resume` picks the fleet's work up directly.
+ *
+ * Counters: orch.workers_spawned, orch.worker_retries,
+ * orch.workers_timeout, orch.shards_completed, orch.shards_quarantined,
+ * orch.schemes_recovered.
+ */
+
+#ifndef CCP_SWEEP_ORCHESTRATOR_HH
+#define CCP_SWEEP_ORCHESTRATOR_HH
+
+#include <string>
+#include <vector>
+
+#include "obs/json.hh"
+#include "obs/timer.hh"
+#include "sweep/runner.hh"
+#include "sweep/shard.hh"
+
+namespace ccp::sweep {
+
+struct OrchestratorOptions
+{
+    /**
+     * Worker command prefix: the bench binary plus every flag the
+     * workers share (--checkpoint <base>, --kernel, --threads,
+     * --checkpoint-interval, ...).  The supervisor appends
+     * "--shards <K> --shard-id <i> --resume" per launch.
+     */
+    std::vector<std::string> workerArgv;
+
+    /** Checkpoint base the workers were given; shard files and the
+     *  merged checkpoint are derived from it. */
+    std::string checkpointBase;
+
+    /** K: number of shards the scheme list is partitioned into. */
+    unsigned shards = 4;
+    /** W: concurrent worker processes. */
+    unsigned workers = 2;
+
+    /** Launches per shard before quarantine (>= 1). */
+    unsigned maxAttempts = 3;
+    /** First retry backoff; doubles per attempt. */
+    double retryBackoffSec = 0.25;
+
+    /** Per-worker liveness deadline (seconds without checkpoint
+     *  progress before SIGTERM→SIGKILL); 0 = none. */
+    double workerDeadlineSec = 0.0;
+    /** SIGTERM → SIGKILL grace. */
+    double termGraceSec = 5.0;
+};
+
+/** One shard's supervision history, for the run report. */
+struct ShardRunReport
+{
+    unsigned shard = 0;
+    unsigned attempts = 0;
+    bool quarantined = false;
+    std::size_t schemesTotal = 0;
+    /** Schemes recovered from the shard's checkpoint at the end. */
+    std::size_t schemesDone = 0;
+    /** Last attempt's classification (subprocessStatusName), or
+     *  "complete" / "empty-shard". */
+    std::string lastStatus = "complete";
+    int lastExitCode = 0;
+    int lastSignal = 0;
+    /** Last failing attempt's captured stderr tail (empty when the
+     *  shard completed). */
+    std::string stderrTail;
+    std::string checkpointFile;
+};
+
+struct OrchestratorOutcome
+{
+    /** Merged global outcome: results/completed in scheme order,
+     *  quarantined schemes as structured failures, interrupted set
+     *  when a child drained on a signal the supervisor did not send. */
+    ResilientOutcome outcome;
+    std::vector<ShardRunReport> shardReports;
+};
+
+/** Shard reports as a JSON array for the run report. */
+obs::Json
+orchestratorJson(const std::vector<ShardRunReport> &reports);
+
+/**
+ * Run the full sweep as a supervised fleet of shard workers and merge
+ * the result.  @p progress observes global scheme completion (ticked
+ * per supervised shard).  Blocks until every shard is complete,
+ * quarantined, or the run is interrupted.
+ */
+OrchestratorOutcome
+orchestrateSweep(const OrchestratorOptions &opts,
+                 const std::vector<trace::SharingTrace> &traces,
+                 const std::vector<predict::SchemeSpec> &schemes,
+                 predict::UpdateMode mode, SweepKernel kernel,
+                 const obs::ProgressFn &progress = {});
+
+} // namespace ccp::sweep
+
+#endif // CCP_SWEEP_ORCHESTRATOR_HH

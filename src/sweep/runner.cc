@@ -31,8 +31,19 @@ namespace {
 
 // ---------------------------------------------------------------------
 // Signal-requested drain
+//
+// Two flags on purpose.  The handler may touch only
+// `volatile std::sig_atomic_t` — the one type the C standard
+// guarantees is safe to assign from signal context — and nothing in
+// the handler below allocates, locks, or logs (signal(), raise() and
+// the assignment are all async-signal-safe).  requestInterrupt(), the
+// *programmatic* drain used by tests and embedding tools, writes a
+// separate atomic instead: threads injecting a drain while workers
+// poll interruptRequested() would otherwise be a formal data race on
+// the volatile (and a real TSan report).  Readers poll both.
 
-std::atomic<int> g_signal{0};
+volatile std::sig_atomic_t g_signal_flag = 0;
+std::atomic<int> g_drain_requested{0};
 
 extern "C" void
 runnerSignalHandler(int sig)
@@ -40,10 +51,12 @@ runnerSignalHandler(int sig)
     // First signal requests a drain (workers finish in-flight batches,
     // a final checkpoint is flushed).  A second one means "now": fall
     // back to the default disposition and re-raise.
-    if (g_signal.exchange(sig) != 0) {
+    if (g_signal_flag != 0) {
         ::signal(sig, SIG_DFL);
         ::raise(sig);
+        return;
     }
+    g_signal_flag = sig;
 }
 
 /** RAII SIGINT/SIGTERM installation around one sweep. */
@@ -132,43 +145,6 @@ planTasks(const std::vector<SchemeSpec> &schemes, unsigned n_nodes,
     return tasks;
 }
 
-/** Rebuild the exact SuiteResult evaluateSuite would have produced
- *  from checkpointed per-trace confusion counts. */
-SuiteResult
-restoreResult(const SchemeSpec &scheme, UpdateMode mode,
-              const std::vector<trace::SharingTrace> &traces,
-              const std::vector<Confusion> &per_trace)
-{
-    SuiteResult r;
-    r.scheme = scheme;
-    r.mode = mode;
-    r.perTrace.reserve(traces.size());
-    for (std::size_t t = 0; t < traces.size(); ++t) {
-        r.pooled.merge(per_trace[t]);
-        r.perTrace.push_back({traces[t].name(), per_trace[t]});
-    }
-    return r;
-}
-
-/** Derived checkpoint filename: "<base>.<key16>.ckpt" so concurrent
- *  phases of a multi-sweep tool never clobber each other. */
-std::string
-checkpointFileName(const std::string &base, const CheckpointKey &key)
-{
-    trace::Fnv1a h;
-    auto word = [&h](std::uint64_t v) { h.update(&v, sizeof(v)); };
-    word(key.traceSetHash);
-    word(key.schemeSetHash);
-    word(key.schemeCount);
-    word(key.nNodes);
-    word(key.kernel);
-    word(key.nTraces);
-    char hex[17];
-    std::snprintf(hex, sizeof(hex), "%016llx",
-                  static_cast<unsigned long long>(h.digest()));
-    return base + "." + hex + ".ckpt";
-}
-
 } // namespace
 
 const char *
@@ -181,6 +157,8 @@ failureKindName(FailureKind kind)
         return "deadline";
       case FailureKind::MemBudget:
         return "mem-budget";
+      case FailureKind::Quarantine:
+        return "quarantine";
     }
     ccp_panic("bad FailureKind");
 }
@@ -204,13 +182,14 @@ failuresJson(const std::vector<SchemeFailure> &failures)
 bool
 ResilientRunner::interruptRequested()
 {
-    return g_signal.load(std::memory_order_relaxed) != 0;
+    return g_signal_flag != 0 ||
+           g_drain_requested.load(std::memory_order_relaxed) != 0;
 }
 
 void
 ResilientRunner::requestInterrupt()
 {
-    g_signal.store(SIGINT, std::memory_order_relaxed);
+    g_drain_requested.store(SIGINT, std::memory_order_relaxed);
 }
 
 ResilientOutcome
@@ -326,7 +305,7 @@ ResilientRunner::evaluate(const std::vector<trace::SharingTrace> &traces,
         kept.reserve(done.size());
         for (auto &e : done) {
             if (outcome.completed[e.schemeIndex]) {
-                outcome.results[e.schemeIndex] = restoreResult(
+                outcome.results[e.schemeIndex] = restoreSuiteResult(
                     schemes[e.schemeIndex], mode, traces, e.perTrace);
                 kept.push_back(std::move(e));
             }
@@ -337,7 +316,8 @@ ResilientRunner::evaluate(const std::vector<trace::SharingTrace> &traces,
     // A fresh sweep starts un-interrupted even when a previous one in
     // this process drained (multi-phase tools, tests); the guard only
     // installs handlers.
-    g_signal.store(0);
+    g_signal_flag = 0;
+    g_drain_requested.store(0);
     SignalGuard guard(opts_.handleSignals);
 
     ThreadPool pool(opts_.threads);
@@ -377,6 +357,16 @@ ResilientRunner::evaluate(const std::vector<trace::SharingTrace> &traces,
         }
         since_checkpoint.reset();
     };
+
+    // Liveness flush before any evaluation: a supervisor probing this
+    // file for progress would otherwise see nothing at all until the
+    // first batch lands — a blind spot a worker deadline can hit on a
+    // loaded machine even though the worker is perfectly healthy.
+    // (Also a progress event: the file appearing re-arms the probe.)
+    if (checkpointing && opts_.initialLivenessFlush) {
+        std::lock_guard<std::mutex> lock(state_mutex);
+        writeCheckpointLocked();
+    }
 
     pool.forEach(
         pending.size(),

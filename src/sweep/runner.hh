@@ -96,6 +96,12 @@ struct RunnerOptions
 
     /** Install SIGINT/SIGTERM drain handlers around the sweep. */
     bool handleSignals = true;
+
+    /** Write the checkpoint once before any evaluation.  For shard
+     *  workers under a supervisor probing the file for liveness: the
+     *  file appearing is the first progress signal, closing the blind
+     *  spot between spawn and the first completed batch. */
+    bool initialLivenessFlush = false;
 };
 
 enum class FailureKind : std::uint8_t
@@ -106,6 +112,9 @@ enum class FailureKind : std::uint8_t
     Deadline,
     /** Scheme footprint over --mem-budget; skipped, no results. */
     MemBudget,
+    /** Shard's worker process failed every attempt; the scheme was
+     *  never evaluated (sweep/orchestrator.hh). */
+    Quarantine,
 };
 
 const char *failureKindName(FailureKind kind);

@@ -1,0 +1,115 @@
+#include "sweep/shard.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "obs/registry.hh"
+#include "sweep/name.hh"
+#include "trace/format.hh"
+
+namespace ccp::sweep {
+
+ShardPlan
+planShards(const std::vector<predict::SchemeSpec> &schemes,
+           unsigned n_shards)
+{
+    ccp_assert(n_shards >= 1, "shard plan needs at least one shard");
+    ShardPlan plan;
+    plan.shards = n_shards;
+    plan.byShard.assign(n_shards, {});
+    for (std::size_t i = 0; i < schemes.size(); ++i) {
+        const std::string name = formatScheme(schemes[i]);
+        trace::Fnv1a h;
+        h.update(name.data(), name.size());
+        plan.byShard[h.digest() % n_shards].push_back(i);
+    }
+    return plan;
+}
+
+std::vector<predict::SchemeSpec>
+shardSchemes(const std::vector<predict::SchemeSpec> &schemes,
+             const ShardPlan &plan, unsigned shard)
+{
+    ccp_assert(shard < plan.shards, "shard index out of range");
+    std::vector<predict::SchemeSpec> out;
+    out.reserve(plan.byShard[shard].size());
+    for (std::size_t gi : plan.byShard[shard])
+        out.push_back(schemes[gi]);
+    return out;
+}
+
+CheckpointKey
+shardCheckpointKey(const std::vector<trace::SharingTrace> &traces,
+                   const std::vector<predict::SchemeSpec> &schemes,
+                   const ShardPlan &plan, unsigned shard,
+                   predict::UpdateMode mode, SweepKernel kernel)
+{
+    return makeCheckpointKey(traces, shardSchemes(schemes, plan, shard),
+                             mode, kernel);
+}
+
+ShardMerge
+mergeShardCheckpoints(const std::string &base,
+                      const std::vector<trace::SharingTrace> &traces,
+                      const std::vector<predict::SchemeSpec> &schemes,
+                      predict::UpdateMode mode, SweepKernel kernel,
+                      unsigned n_shards)
+{
+    auto &reg = obs::StatsRegistry::current();
+    const ShardPlan plan = planShards(schemes, n_shards);
+
+    ShardMerge merge;
+    merge.completed.assign(schemes.size(), 0);
+    merge.shardStatus.reserve(n_shards);
+
+    for (unsigned s = 0; s < n_shards; ++s) {
+        ShardStatus status;
+        status.shard = s;
+        status.schemesTotal = plan.byShard[s].size();
+
+        if (plan.byShard[s].empty()) {
+            // A shard that owns nothing (K > N) is trivially complete
+            // and writes no file.
+            status.load = CheckpointLoad::Ok;
+            merge.shardStatus.push_back(std::move(status));
+            continue;
+        }
+
+        const CheckpointKey key =
+            shardCheckpointKey(traces, schemes, plan, s, mode, kernel);
+        status.file = checkpointFileName(base, key);
+
+        std::vector<CheckpointEntry> entries;
+        status.load = loadCheckpoint(status.file, key, entries);
+        if (status.load != CheckpointLoad::Ok &&
+            status.load != CheckpointLoad::Missing) {
+            ++reg.counter("shard.merge_rejected");
+            ccp_warn("shard ", s, ": checkpoint ", status.file,
+                     " rejected (", checkpointLoadName(status.load),
+                     ")");
+        }
+
+        // Remap shard-local entry indices into global scheme space.
+        // The shard's sub-list preserves global order, so local index
+        // j is simply byShard[s][j].
+        for (auto &e : entries) {
+            ccp_assert(e.schemeIndex < plan.byShard[s].size(),
+                       "shard entry out of sub-list range");
+            const std::size_t gi = plan.byShard[s][e.schemeIndex];
+            e.schemeIndex = gi;
+            merge.completed[gi] = 1;
+            merge.entries.push_back(std::move(e));
+            ++status.schemesDone;
+        }
+        reg.counter("shard.merge_schemes") += status.schemesDone;
+        merge.shardStatus.push_back(std::move(status));
+    }
+
+    std::sort(merge.entries.begin(), merge.entries.end(),
+              [](const CheckpointEntry &a, const CheckpointEntry &b) {
+                  return a.schemeIndex < b.schemeIndex;
+              });
+    return merge;
+}
+
+} // namespace ccp::sweep

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Deterministic shard planning + CCPC shard merge for distributed
+ * sweeps (ROADMAP item 5: one sweep as a fleet job).
+ *
+ * A sweep over N schemes is split into K shards by hashing each
+ * scheme's canonical notation (sweep/name.hh) — a pure function of
+ * the scheme list and K, never of worker count, host, or timing, so
+ * every participant (orchestrator, workers, the merge, a human
+ * re-running one shard by hand) derives the identical partition
+ * independently.  Shard i evaluates the sub-list of schemes it owns
+ * through the ordinary ResilientRunner, checkpointing into a CCPC
+ * file whose key is derived from that *sub-list*: shard checkpoints
+ * are self-describing, their filenames can't collide, and a shard
+ * file from the wrong sweep, wrong shard count, or wrong shard index
+ * is rejected by the existing key validation — never folded into a
+ * wrong merge.
+ *
+ * mergeShardCheckpoints() folds the K shard files back into one
+ * result set in global scheme order.  Because each entry's counts are
+ * the exact integers the evaluation produced (nothing re-derived) and
+ * the order is canonical, a merged ranking is byte-identical to a
+ * single-process run over the same scheme list — the property the CI
+ * chaos job enforces with cmp(1) under injected worker kills and torn
+ * shard files.  Missing or partial shards surface per shard in
+ * ShardMerge::shardStatus; the merge never fails wholesale, it
+ * reports exactly what it recovered so the supervisor can retry or
+ * quarantine the remainder.
+ */
+
+#ifndef CCP_SWEEP_SHARD_HH
+#define CCP_SWEEP_SHARD_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sweep/checkpoint.hh"
+
+namespace ccp::sweep {
+
+/** Deterministic partition of a scheme list into K shards. */
+struct ShardPlan
+{
+    unsigned shards = 1;
+    /** byShard[s] = the global scheme indices shard s owns, ascending
+     *  (so a shard's local entry order is its global order). */
+    std::vector<std::vector<std::size_t>> byShard;
+};
+
+/**
+ * Partition @p schemes into @p n_shards by FNV-1a over each scheme's
+ * canonical notation, mod K.  Stable across processes and hosts;
+ * depends only on the scheme list and K.
+ */
+ShardPlan planShards(const std::vector<predict::SchemeSpec> &schemes,
+                     unsigned n_shards);
+
+/** The sub-list of schemes shard @p shard owns, in global order. */
+std::vector<predict::SchemeSpec>
+shardSchemes(const std::vector<predict::SchemeSpec> &schemes,
+             const ShardPlan &plan, unsigned shard);
+
+/**
+ * The CCPC identity key of shard @p shard: makeCheckpointKey over the
+ * shard's own scheme sub-list.  Distinct per shard (the sub-lists
+ * differ), so shard files never collide under one --checkpoint base
+ * and a mismatched file is a structured KeyMismatch on load.
+ */
+CheckpointKey
+shardCheckpointKey(const std::vector<trace::SharingTrace> &traces,
+                   const std::vector<predict::SchemeSpec> &schemes,
+                   const ShardPlan &plan, unsigned shard,
+                   predict::UpdateMode mode, SweepKernel kernel);
+
+/** One shard's contribution to a merge, for supervision and reports. */
+struct ShardStatus
+{
+    unsigned shard = 0;
+    /** Checkpoint-load status of the shard's file. */
+    CheckpointLoad load = CheckpointLoad::Missing;
+    /** The shard's derived checkpoint filename. */
+    std::string file;
+    /** Schemes the shard owns. */
+    std::size_t schemesTotal = 0;
+    /** Schemes its checkpoint actually covers. */
+    std::size_t schemesDone = 0;
+};
+
+/** The fold of K shard checkpoints back into global scheme space. */
+struct ShardMerge
+{
+    /** Recovered entries with *global* scheme indices, sorted —
+     *  exactly what a single-process checkpoint would contain. */
+    std::vector<CheckpointEntry> entries;
+    /** completed[i] != 0 iff scheme i was recovered from some shard. */
+    std::vector<std::uint8_t> completed;
+    std::vector<ShardStatus> shardStatus;
+
+    bool
+    allCompleted() const
+    {
+        for (std::uint8_t c : completed)
+            if (!c)
+                return false;
+        return true;
+    }
+};
+
+/**
+ * Load every shard checkpoint under @p base (filenames derived via
+ * shardCheckpointKey + checkpointFileName), remap each shard-local
+ * entry index to its global scheme index, and return the union in
+ * canonical (global, ascending) order.  Invalid, stale, or missing
+ * shard files contribute nothing except their ShardStatus row —
+ * partial recovery is the normal case mid-orchestration.
+ */
+ShardMerge
+mergeShardCheckpoints(const std::string &base,
+                      const std::vector<trace::SharingTrace> &traces,
+                      const std::vector<predict::SchemeSpec> &schemes,
+                      predict::UpdateMode mode, SweepKernel kernel,
+                      unsigned n_shards);
+
+} // namespace ccp::sweep
+
+#endif // CCP_SWEEP_SHARD_HH

@@ -20,6 +20,8 @@
 #include <sys/mman.h>
 #include <sys/stat.h>
 #include <unistd.h>
+
+#include "common/io.hh"
 #endif
 
 namespace ccp::trace {
@@ -320,7 +322,7 @@ SharingTrace::MapLoad
 SharingTrace::loadMappedImpl(const std::string &path)
 {
     CCP_TRACE_SPAN("trace", "trace.load_mmap");
-    const ScopedFd fd(::open(path.c_str(), O_RDONLY));
+    const ScopedFd fd(io::openRetry(path.c_str(), O_RDONLY));
     if (fd.fd < 0)
         return MapLoad::Unavailable;
     struct stat st;

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Tests for the fault-injection harness's spec parsing (common/fault.hh)
+ * and the MemBudget admission guard (common/mem_budget.hh).  The
+ * harness is what every resilience test trusts to arm failures
+ * deterministically, so its own parsing must be strict: a malformed
+ * CCP_FAULT_INJECT clause is warned about and skipped, never silently
+ * mis-armed at a wrong ordinal (strtoull would wrap "-1" to 2^64-1 and
+ * stop at the first stray character without complaint).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "common/fault.hh"
+#include "common/mem_budget.hh"
+
+namespace {
+
+using namespace ccp;
+
+class FaultSpecTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        ::unsetenv("CCP_FAULT_INJECT");
+        fault::reinit();
+    }
+
+    void
+    TearDown() override
+    {
+        ::unsetenv("CCP_FAULT_INJECT");
+        fault::reinit();
+    }
+
+    void
+    arm(const char *spec)
+    {
+        ::setenv("CCP_FAULT_INJECT", spec, 1);
+        fault::reinit();
+    }
+};
+
+TEST_F(FaultSpecTest, UnsetAndEmptySpecsArmNothing)
+{
+    EXPECT_FALSE(fault::enabled());
+    EXPECT_FALSE(fault::armed("sweep.worker_throw").has_value());
+
+    arm("");
+    EXPECT_FALSE(fault::enabled());
+
+    // Stray separators alone are not clauses.
+    arm(",,,");
+    EXPECT_FALSE(fault::enabled());
+}
+
+TEST_F(FaultSpecTest, WellFormedClausesArmTheirPoints)
+{
+    arm("sweep.worker_throw=3,checkpoint.torn_write=100");
+    EXPECT_TRUE(fault::enabled());
+    EXPECT_EQ(fault::armed("sweep.worker_throw"), 3u);
+    EXPECT_EQ(fault::armed("checkpoint.torn_write"), 100u);
+    // A point the spec never named stays unarmed.
+    EXPECT_FALSE(fault::armed("mem.alloc_fail").has_value());
+    EXPECT_FALSE(fault::fireAt("mem.alloc_fail", 0));
+}
+
+TEST_F(FaultSpecTest, HexValuesFollowTheSeedConvention)
+{
+    arm("shard.worker_kill=0x10");
+    EXPECT_EQ(fault::armed("shard.worker_kill"), 16u);
+}
+
+TEST_F(FaultSpecTest, MalformedClausesAreSkippedNotMisarmed)
+{
+    // Each clause here is broken a different way; none may arm, and
+    // the well-formed clause riding along must still work.
+    arm("p=banana,q=,r=1x,s= 1,t=-1,=5,lonely,ok=7");
+    EXPECT_TRUE(fault::enabled());
+    EXPECT_EQ(fault::armed("ok"), 7u);
+    for (const char *point : {"p", "q", "r", "s", "t", "lonely", ""})
+        EXPECT_FALSE(fault::armed(point).has_value()) << point;
+}
+
+TEST_F(FaultSpecTest, HugeCountsOverflowToRejectionNotWraparound)
+{
+    // 2^64 overflows; strtoull would saturate to ULLONG_MAX with only
+    // errno to show for it.  The strict parser refuses the clause.
+    arm("p=18446744073709551616");
+    EXPECT_FALSE(fault::armed("p").has_value());
+
+    // The largest representable value is still accepted.
+    arm("p=18446744073709551615");
+    EXPECT_EQ(fault::armed("p"), ~std::uint64_t(0));
+}
+
+TEST_F(FaultSpecTest, FireAtFiresExactlyOnceAtItsOrdinal)
+{
+    arm("sweep.worker_throw=2");
+    EXPECT_FALSE(fault::fireAt("sweep.worker_throw", 1));
+    EXPECT_TRUE(fault::fireAt("sweep.worker_throw", 2));
+    EXPECT_FALSE(fault::fireAt("sweep.worker_throw", 2));
+
+    // reinit() re-arms: a new test scenario starts fresh.
+    fault::reinit();
+    EXPECT_TRUE(fault::fireAt("sweep.worker_throw", 2));
+}
+
+TEST_F(FaultSpecTest, ConsumeYieldsTheValueOnce)
+{
+    arm("checkpoint.torn_write=48");
+    EXPECT_EQ(fault::consume("checkpoint.torn_write"), 48u);
+    EXPECT_FALSE(fault::consume("checkpoint.torn_write").has_value());
+    EXPECT_FALSE(fault::consume("never.armed").has_value());
+}
+
+class MemBudgetTest : public FaultSpecTest
+{
+};
+
+TEST_F(MemBudgetTest, ZeroBudgetIsUnlimited)
+{
+    MemBudget b(0);
+    EXPECT_TRUE(b.unlimited());
+    EXPECT_TRUE(b.fits(~std::uint64_t(0)));
+    EXPECT_TRUE(b.admit(0, ~std::uint64_t(0)));
+}
+
+TEST_F(MemBudgetTest, FitsIsInclusiveAtTheBoundary)
+{
+    MemBudget b(4096);
+    EXPECT_FALSE(b.unlimited());
+    EXPECT_TRUE(b.fits(4095));
+    EXPECT_TRUE(b.fits(4096));
+    EXPECT_FALSE(b.fits(4097));
+}
+
+TEST_F(MemBudgetTest, AdmitHonoursTheAllocFailFaultOnce)
+{
+    arm("mem.alloc_fail=5");
+    MemBudget b(1 << 20);
+    // Plans other than the armed ordinal admit normally.
+    EXPECT_TRUE(b.admit(4, 64));
+    // The armed ordinal fails exactly once, then recovers.
+    EXPECT_FALSE(b.admit(5, 64));
+    EXPECT_TRUE(b.admit(5, 64));
+    // The fault cannot admit what the budget itself refuses.
+    EXPECT_FALSE(b.admit(6, (1 << 20) + 1));
+}
+
+TEST_F(MemBudgetTest, ParseByteSizeAcceptsSuffixesRejectsJunk)
+{
+    std::uint64_t v = 0;
+    ASSERT_TRUE(parseByteSize("65536", v));
+    EXPECT_EQ(v, 65536u);
+    ASSERT_TRUE(parseByteSize("512M", v));
+    EXPECT_EQ(v, std::uint64_t(512) << 20);
+    ASSERT_TRUE(parseByteSize("2g", v));
+    EXPECT_EQ(v, std::uint64_t(2) << 30);
+    ASSERT_TRUE(parseByteSize("16K", v));
+    EXPECT_EQ(v, std::uint64_t(16) << 10);
+
+    const std::uint64_t untouched = v;
+    for (const char *bad :
+         {"", "K", "12KB", "1.5G", "-1", " 16K", "16 K", "0x10M",
+          "99999999999999999999G"}) {
+        EXPECT_FALSE(parseByteSize(bad, v)) << "'" << bad << "'";
+        EXPECT_EQ(v, untouched) << "out clobbered by '" << bad << "'";
+    }
+}
+
+} // namespace

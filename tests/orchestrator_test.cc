@@ -1,0 +1,373 @@
+/**
+ * @file
+ * Tests for the shard supervisor (sweep/orchestrator.hh) using fake
+ * shell-script workers, so every supervision policy — verify-by-
+ * loading, retry with --resume, quarantine, drain propagation, and
+ * one-shot fault stripping — is exercised in seconds without running
+ * real sweeps in the children.  (The real worker path is covered end
+ * to end by the CI chaos job, which diffs an orchestrated bench run
+ * against a single-process one under injected faults.)
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/fault.hh"
+#include "common/rng.hh"
+#include "obs/registry.hh"
+#include "sweep/name.hh"
+#include "sweep/orchestrator.hh"
+#include "sweep/parallel.hh"
+#include "sweep/shard.hh"
+#include "sweep/space.hh"
+
+namespace {
+
+using namespace ccp;
+using predict::SchemeSpec;
+using predict::UpdateMode;
+using sweep::CheckpointEntry;
+using sweep::CheckpointKey;
+using sweep::CheckpointLoad;
+using sweep::FailureKind;
+using sweep::OrchestratorOptions;
+using sweep::OrchestratorOutcome;
+using sweep::ShardPlan;
+using sweep::SweepKernel;
+using sweep::planShards;
+using sweep::shardCheckpointKey;
+using sweep::shardSchemes;
+
+trace::SharingTrace
+noisyTrace(const char *name, std::uint64_t seed)
+{
+    trace::SharingTrace tr(name, 16);
+    trace::CoherenceEvent prev_by_block[32];
+    bool seen[32] = {};
+    Rng rng(seed);
+    for (int i = 0; i < 600; ++i) {
+        unsigned k = static_cast<unsigned>(rng.below(32));
+        trace::CoherenceEvent ev;
+        ev.pid = static_cast<NodeId>(k % 16);
+        ev.pc = 0x400 + 4 * (k % 8);
+        ev.block = k;
+        ev.dir = k % 16;
+        ev.readers = SharingBitmap::single((k + 1) % 16);
+        if (rng.below(4) == 0)
+            ev.readers.set(static_cast<NodeId>(rng.below(16)));
+        if (seen[k]) {
+            ev.invalidated = prev_by_block[k].readers;
+            ev.prevWriterPid = prev_by_block[k].pid;
+            ev.prevWriterPc = prev_by_block[k].pc;
+            ev.hasPrevWriter = true;
+        }
+        seen[k] = true;
+        prev_by_block[k] = ev;
+        tr.append(ev);
+    }
+    return tr;
+}
+
+std::uint64_t
+counterOf(const obs::StatsRegistry &reg, const std::string &path)
+{
+    const auto *c = reg.findCounter(path);
+    return c ? c->value : 0;
+}
+
+class OrchestratorTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        ::unsetenv("CCP_FAULT_INJECT");
+        fault::reinit();
+
+        suite_.push_back(noisyTrace("alpha", 7));
+        suite_.push_back(noisyTrace("beta", 23));
+        sweep::SpaceSpec spec;
+        spec.maxBits = std::uint64_t(1) << 12;
+        spec.pcBitsGrid = {0, 2, 4};
+        spec.addrBitsGrid = {0, 2, 4};
+        spec.pasDepths = {1};
+        schemes_ = enumerateSchemes(spec);
+
+        // A fresh scratch directory per test: stale shard files from
+        // a prior run would satisfy the supervisor's pre-check.
+        dir_ = ::testing::TempDir() + "orch_" +
+               ::testing::UnitTest::GetInstance()
+                   ->current_test_info()
+                   ->name();
+        std::filesystem::remove_all(dir_);
+        std::filesystem::create_directories(dir_);
+        base_ = dir_ + "/ck";
+    }
+
+    void
+    TearDown() override
+    {
+        ::unsetenv("CCP_FAULT_INJECT");
+        fault::reinit();
+        std::filesystem::remove_all(dir_);
+    }
+
+    /** Write an executable /bin/sh script and return its path.  The
+     *  supervisor invokes it as a worker: the script sees the
+     *  appended "--shards K --shard-id i --resume" arguments. */
+    std::string
+    fakeWorker(const std::string &body)
+    {
+        const std::string path = dir_ + "/worker.sh";
+        {
+            std::ofstream out(path);
+            out << "#!/bin/sh\n"
+                // Recover this invocation's shard index from argv.
+                << "ID=; prev=\n"
+                << "for a in \"$@\"; do\n"
+                << "  [ \"$prev\" = --shard-id ] && ID=$a\n"
+                << "  prev=$a\n"
+                << "done\n"
+                << "D=" << dir_ << "\n"
+                << body;
+        }
+        std::filesystem::permissions(
+            path, std::filesystem::perms::owner_all |
+                      std::filesystem::perms::group_read |
+                      std::filesystem::perms::others_read);
+        return path;
+    }
+
+    OrchestratorOptions
+    options(const std::string &worker, unsigned shards = 3)
+    {
+        OrchestratorOptions o;
+        o.workerArgv = {worker};
+        o.checkpointBase = base_;
+        o.shards = shards;
+        o.workers = 2;
+        o.maxAttempts = 2;
+        o.retryBackoffSec = 0.01;
+        return o;
+    }
+
+    /** Evaluate shard @p shard for real and save its checkpoint at
+     *  @p stash (or its derived place when @p stash is empty). */
+    std::string
+    stashShardCheckpoint(const ShardPlan &plan, unsigned shard,
+                         const std::string &stash)
+    {
+        const auto sub = shardSchemes(schemes_, plan, shard);
+        const auto results =
+            sweep::ParallelSweep(1, SweepKernel::Batched)
+                .evaluate(suite_, sub, UpdateMode::Direct);
+        std::vector<CheckpointEntry> entries;
+        for (std::size_t j = 0; j < results.size(); ++j) {
+            CheckpointEntry e;
+            e.schemeIndex = j;
+            for (const auto &pt : results[j].perTrace)
+                e.perTrace.push_back(pt.confusion);
+            entries.push_back(std::move(e));
+        }
+        const CheckpointKey key = shardCheckpointKey(
+            suite_, schemes_, plan, shard, UpdateMode::Direct,
+            SweepKernel::Batched);
+        const std::string file =
+            stash.empty()
+                ? sweep::checkpointFileName(base_, key)
+                : stash;
+        EXPECT_TRUE(
+            sweep::saveCheckpoint(file, key, std::move(entries)));
+        return file;
+    }
+
+    OrchestratorOutcome
+    run(const OrchestratorOptions &opts, obs::StatsRegistry &stats)
+    {
+        obs::ScopedRegistry route(stats);
+        return orchestrateSweep(opts, suite_, schemes_,
+                                UpdateMode::Direct,
+                                SweepKernel::Batched);
+    }
+
+    std::vector<trace::SharingTrace> suite_;
+    std::vector<SchemeSpec> schemes_;
+    std::string dir_;
+    std::string base_;
+};
+
+TEST_F(OrchestratorTest, CompleteShardsAreVerifiedNotReRun)
+{
+    // Every shard checkpoint already exists and is complete: the
+    // supervisor's pre-check must accept them without spawning a
+    // single worker — the "worker" here would fail loudly if run.
+    const ShardPlan plan = planShards(schemes_, 3);
+    for (unsigned s = 0; s < 3; ++s)
+        stashShardCheckpoint(plan, s, "");
+
+    obs::StatsRegistry stats;
+    const auto out = run(options("/bin/false"), stats);
+
+    EXPECT_TRUE(out.outcome.allCompleted());
+    EXPECT_FALSE(out.outcome.interrupted);
+    EXPECT_TRUE(out.outcome.failures.empty());
+    EXPECT_EQ(counterOf(stats, "orch.workers_spawned"), 0u);
+    EXPECT_EQ(counterOf(stats, "orch.shards_completed"), 3u);
+    EXPECT_EQ(counterOf(stats, "orch.schemes_recovered"),
+              schemes_.size());
+    for (const auto &r : out.shardReports)
+        EXPECT_EQ(r.lastStatus, "complete");
+
+    // The merged full-sweep checkpoint is left behind for a later
+    // single-process --resume.
+    const CheckpointKey full = makeCheckpointKey(
+        suite_, schemes_, UpdateMode::Direct, SweepKernel::Batched);
+    std::vector<CheckpointEntry> entries;
+    EXPECT_EQ(loadCheckpoint(out.outcome.checkpointFile, full,
+                             entries),
+              CheckpointLoad::Ok);
+    EXPECT_EQ(entries.size(), schemes_.size());
+}
+
+TEST_F(OrchestratorTest, PersistentFailureQuarantinesWithTheCause)
+{
+    const auto worker =
+        fakeWorker("echo shard-$ID-boom >&2\nexit 3\n");
+    obs::StatsRegistry stats;
+    const auto out = run(options(worker), stats);
+
+    EXPECT_FALSE(out.outcome.allCompleted());
+    EXPECT_FALSE(out.outcome.interrupted);
+    ASSERT_EQ(out.outcome.failures.size(), schemes_.size());
+    for (const auto &f : out.outcome.failures) {
+        EXPECT_EQ(f.kind, FailureKind::Quarantine);
+        EXPECT_EQ(f.attempts, 2u);
+        EXPECT_NE(f.message.find("exit 3"), std::string::npos)
+            << f.message;
+        EXPECT_NE(f.message.find("boom"), std::string::npos)
+            << f.message;
+    }
+    // Failures are sorted by global scheme index.
+    for (std::size_t i = 1; i < out.outcome.failures.size(); ++i)
+        EXPECT_LT(out.outcome.failures[i - 1].schemeIndex,
+                  out.outcome.failures[i].schemeIndex);
+
+    EXPECT_EQ(counterOf(stats, "orch.shards_quarantined"), 3u);
+    // maxAttempts launches per shard, attempt 2+ counted as retries.
+    EXPECT_EQ(counterOf(stats, "orch.workers_spawned"), 6u);
+    EXPECT_EQ(counterOf(stats, "orch.worker_retries"), 3u);
+    for (const auto &r : out.shardReports) {
+        EXPECT_TRUE(r.quarantined);
+        EXPECT_EQ(r.lastStatus, "failed");
+        EXPECT_EQ(r.lastExitCode, 3);
+    }
+}
+
+TEST_F(OrchestratorTest, CrashyWorkerIsRetriedAndRecovers)
+{
+    // Attempt 1 of every shard dies before leaving a checkpoint;
+    // attempt 2 installs the shard's real, complete checkpoint (the
+    // test pre-computed it into a stash, standing in for a worker
+    // that re-runs with --resume and finishes the remainder).
+    const ShardPlan plan = planShards(schemes_, 3);
+    for (unsigned s = 0; s < 3; ++s) {
+        const std::string file = stashShardCheckpoint(
+            plan, s, dir_ + "/stash." + std::to_string(s));
+        const CheckpointKey key = shardCheckpointKey(
+            suite_, schemes_, plan, s, UpdateMode::Direct,
+            SweepKernel::Batched);
+        std::ofstream(dir_ + "/target." + std::to_string(s))
+            << sweep::checkpointFileName(base_, key);
+    }
+    const auto worker = fakeWorker(
+        "if [ ! -e \"$D/marker.$ID\" ]; then\n"
+        "  : > \"$D/marker.$ID\"\n"
+        "  exit 137\n"
+        "fi\n"
+        "cp \"$D/stash.$ID\" \"$(cat \"$D/target.$ID\")\"\n"
+        "exit 0\n");
+
+    obs::StatsRegistry stats;
+    const auto out = run(options(worker), stats);
+
+    EXPECT_TRUE(out.outcome.allCompleted());
+    EXPECT_TRUE(out.outcome.failures.empty());
+    EXPECT_EQ(counterOf(stats, "orch.workers_spawned"), 6u);
+    EXPECT_EQ(counterOf(stats, "orch.worker_retries"), 3u);
+    EXPECT_EQ(counterOf(stats, "orch.shards_completed"), 3u);
+    for (const auto &r : out.shardReports) {
+        EXPECT_FALSE(r.quarantined);
+        EXPECT_EQ(r.attempts, 2u);
+        EXPECT_EQ(r.lastStatus, "complete");
+        EXPECT_EQ(r.schemesDone, r.schemesTotal);
+    }
+}
+
+TEST_F(OrchestratorTest, DrainedWorkerInterruptsTheWholeFleet)
+{
+    const auto worker = fakeWorker("exit 75\n");
+    obs::StatsRegistry stats;
+    OrchestratorOptions opts = options(worker);
+    opts.workers = 1; // deterministic: first shard drains the run
+    const auto out = run(opts, stats);
+
+    EXPECT_TRUE(out.outcome.interrupted);
+    EXPECT_EQ(out.outcome.exitCode(),
+              sweep::ResilientOutcome::interruptedExitCode);
+    // Interruption is not failure: nothing is quarantined, the
+    // remaining schemes are simply not done yet.
+    EXPECT_TRUE(out.outcome.failures.empty());
+    EXPECT_EQ(counterOf(stats, "orch.shards_quarantined"), 0u);
+}
+
+TEST_F(OrchestratorTest, OneShotFaultsAreStrippedFromRetries)
+{
+    // Workers log the fault spec they inherited, then fail, forcing a
+    // retry.  The retry environment must have the one-shot shard
+    // points stripped — and keep every other clause.
+    ::setenv("CCP_FAULT_INJECT",
+             "shard.worker_kill=0,sweep.interrupt_at=9", 1);
+    const auto worker = fakeWorker(
+        "echo \"${CCP_FAULT_INJECT-unset}\" >> \"$D/log.$ID\"\n"
+        "exit 1\n");
+    obs::StatsRegistry stats;
+    const auto out = run(options(worker), stats);
+    ::unsetenv("CCP_FAULT_INJECT");
+
+    EXPECT_FALSE(out.outcome.allCompleted());
+    for (unsigned s = 0; s < 3; ++s) {
+        std::ifstream log(dir_ + "/log." + std::to_string(s));
+        std::string first, second, extra;
+        ASSERT_TRUE(std::getline(log, first)) << "shard " << s;
+        ASSERT_TRUE(std::getline(log, second)) << "shard " << s;
+        EXPECT_FALSE(std::getline(log, extra)) << "shard " << s;
+        EXPECT_EQ(first, "shard.worker_kill=0,sweep.interrupt_at=9");
+        EXPECT_EQ(second, "sweep.interrupt_at=9");
+    }
+}
+
+TEST_F(OrchestratorTest, WedgedWorkerDiesByLivenessDeadline)
+{
+    // A worker that never touches its checkpoint file trips the
+    // no-progress deadline (SIGTERM, grace, SIGKILL), is retried,
+    // and — still wedged — ends quarantined as a timeout.
+    const auto worker = fakeWorker("sleep 60\n");
+    obs::StatsRegistry stats;
+    OrchestratorOptions opts = options(worker, 1);
+    opts.workerDeadlineSec = 0.3;
+    opts.termGraceSec = 0.2;
+    const auto out = run(opts, stats);
+
+    EXPECT_FALSE(out.outcome.allCompleted());
+    EXPECT_EQ(counterOf(stats, "orch.workers_timeout"), 2u);
+    ASSERT_EQ(out.shardReports.size(), 1u);
+    EXPECT_TRUE(out.shardReports[0].quarantined);
+    EXPECT_EQ(out.shardReports[0].lastStatus, "timeout");
+}
+
+} // namespace

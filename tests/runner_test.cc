@@ -464,6 +464,40 @@ TEST_F(RunnerTest, InjectedAdmissionFailureSkipsOneBatch)
     EXPECT_FALSE(outcome.completed[2]);
 }
 
+TEST_F(RunnerTest, InitialLivenessFlushWritesBeforeEvaluation)
+{
+    auto suite = smallSuite();
+    auto schemes = smallSpace();
+
+    RunnerOptions opts;
+    opts.threads = 1;
+    opts.checkpointPath = ckptBase("liveness");
+    // A huge interval suppresses every periodic write, so the counter
+    // isolates the two deliberate ones: the pre-evaluation liveness
+    // flush and the final flush.
+    opts.checkpointIntervalSec = 1e9;
+    opts.handleSignals = false;
+    opts.initialLivenessFlush = true;
+
+    obs::StatsRegistry stats;
+    ResilientOutcome outcome;
+    {
+        obs::ScopedRegistry route(stats);
+        outcome = ResilientRunner(opts).evaluate(suite, schemes,
+                                                 UpdateMode::Direct);
+    }
+    EXPECT_TRUE(outcome.allCompleted());
+    EXPECT_EQ(counterOf(stats, "sweep.checkpoints_written"), 2u);
+
+    // The early empty write must not poison resume: the final flush
+    // replaced it with the complete record.
+    opts.resume = true;
+    auto resumed = ResilientRunner(opts).evaluate(suite, schemes,
+                                                  UpdateMode::Direct);
+    EXPECT_TRUE(resumed.allCompleted());
+    EXPECT_EQ(resumed.schemesResumed, schemes.size());
+}
+
 TEST_F(RunnerTest, TornCheckpointIsRejectedThenRegenerated)
 {
     auto suite = smallSuite();

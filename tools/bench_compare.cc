@@ -151,6 +151,23 @@ runChecks(const std::vector<Check> &checks, double max_regress)
             ok = false;
             continue;
         }
+        if (!std::isnan(c.baseline) && !std::isfinite(c.baseline)) {
+            // A present-but-infinite value (e.g. an overflowed
+            // "1e999" in the record) is a broken measurement, not a
+            // comparison: inf >= anything would "pass" every gate.
+            // (A literal nan never gets this far — the JSON parser
+            // rejects the token, so the whole record fails to load.)
+            std::printf("%-34s %12s %12s %8s  %s\n", label, "-", "-",
+                        "FAIL", "non-finite baseline value");
+            ok = false;
+            continue;
+        }
+        if (!std::isnan(c.current) && !std::isfinite(c.current)) {
+            std::printf("%-34s %12s %12s %8s  %s\n", label, "-", "-",
+                        "FAIL", "non-finite current value");
+            ok = false;
+            continue;
+        }
         if (std::isnan(c.current)) {
             // A metric may be new to the current record, but must
             // never silently disappear from it.
